@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artefact (table or figure) at a
+meaningful scale, times it via pytest-benchmark (single round -- these
+are experiments, not microbenchmarks), asserts the paper's qualitative
+shape, and writes the rendered table to ``benchmarks/results/`` for
+inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def regenerate(benchmark, results_dir):
+    """Run an experiment once under timing and persist its rendering."""
+
+    def _run(name: str, fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1,
+                                    warmup_rounds=0)
+        text = result.render() if hasattr(result, "render") else str(result)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+        return result
+
+    return _run

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 10 (statistical QoS vs epsilon)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(regenerate):
+    result = regenerate("fig10", fig10.run, scale=0.4, n_intervals=16,
+                        seed=0)
+    for wl in ("exchange", "tpce"):
+        rows = [r for r in result.rows if r[0] == wl]
+        eps = [r[1] for r in rows]
+        delayed = [r[2] for r in rows]
+        avg = [r[3] for r in rows]
+        assert eps == sorted(eps)
+
+        # (a, c): % delayed decreases monotonically with epsilon
+        for a, b in zip(delayed, delayed[1:]):
+            assert b <= a + 0.2, (wl, delayed)
+        assert delayed[-1] < delayed[0]
+
+        # (b, d): average response rises with epsilon
+        assert avg[-1] > avg[0]
+        for a, b in zip(avg, avg[1:]):
+            assert b >= a - 1e-6, (wl, avg)
+
+        # epsilon = 0 is the deterministic case: avg pinned at the
+        # guarantee
+        assert abs(avg[0] - 0.132507) < 1e-5

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 11 (% blocks matched by FIM)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11(regenerate):
+    result = regenerate("fig11", fig11.run, scale=0.5, n_intervals=96,
+                        seed=0)
+    means = {r[0]: r[2] for r in result.rows if r[1] == "mean(>0)"}
+    firsts = {r[0]: r[2] for r in result.rows if r[1] == 0}
+
+    # nothing mined before the first interval
+    assert firsts["exchange"] == 0.0
+    assert firsts["tpce"] == 0.0
+
+    # paper: Exchange ~17%, TPC-E ~87% -- the order-of-magnitude gap is
+    # the headline; absolutes should land near the paper's numbers
+    assert 8.0 <= means["exchange"] <= 30.0
+    assert 70.0 <= means["tpce"] <= 95.0
+    assert means["tpce"] > 3 * means["exchange"]

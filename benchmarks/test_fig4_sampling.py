@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 4 (optimal retrieval probabilities)."""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+def test_fig4(regenerate):
+    result = regenerate("fig4", fig4.run, max_k=20, trials=4000, seed=0)
+    probs = {row[0]: row[2] for row in result.rows}
+
+    # paper reference points (read off Figure 4)
+    assert probs[6] == pytest.approx(0.99, abs=0.02)
+    assert probs[7] == pytest.approx(0.98, abs=0.03)
+    assert probs[8] == pytest.approx(0.95, abs=0.05)
+    assert probs[9] == pytest.approx(0.75, abs=0.08)
+    assert probs[10] == 1.0
+
+    # shape: dips at multiples of N = 9, certain in between
+    assert probs[9] < probs[8] < probs[7] < 1.0
+    assert probs[18] < probs[17]
+    assert probs[11] == pytest.approx(1.0, abs=0.01)

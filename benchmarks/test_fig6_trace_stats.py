@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 6 (trace statistics)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6(regenerate):
+    result = regenerate("fig6", fig6.run, scale=0.5, seed=0,
+                        n_intervals=96)
+    exch = [r for r in result.rows if r[0] == "exchange"]
+    tpce = [r for r in result.rows if r[0] == "tpce"]
+
+    # structural facts of the two traces (paper §V-B2)
+    assert len(exch) == 96
+    assert len(tpce) == 6
+
+    # Exchange: diurnal variation -- peak at least double the trough
+    totals = [r[2] for r in exch]
+    assert max(totals) >= 2 * min(totals)
+
+    # TPC-E: flat high rate -- every part within 2x of the mean,
+    # and a higher average rate than Exchange's average
+    tp_rates = [r[3] for r in tpce]
+    mean_rate = sum(tp_rates) / len(tp_rates)
+    assert all(0.5 * mean_rate <= r <= 2 * mean_rate for r in tp_rates)
+    ex_rates = [r[3] for r in exch]
+    assert mean_rate > sum(ex_rates) / len(ex_rates)
+
+    # peak (max req/s) dominates the average everywhere it is defined
+    for r in result.rows:
+        if r[2] > 10:
+            assert r[4] >= r[3]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table II (DTR vs OLR access counts)."""
+
+from repro.experiments import table2
+
+
+def test_table2(regenerate):
+    result = regenerate("table2", table2.run, samples=4000, seed=0)
+    by_s = {row[0]: row for row in result.rows}
+    # paper shape: DTR deterministic 1 for s <= 5; OLR "1 or 2" at 4, 5
+    for s in range(1, 6):
+        assert by_s[s][2] == "1"
+    assert by_s[4][4] == "1 or 2"
+    assert by_s[5][4] == "1 or 2"
+    assert by_s[6][5] == 2  # guarantee level M(6) = 2

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table IV (FIM time and memory)."""
+
+from repro.experiments import table4
+
+
+def test_table4(regenerate):
+    result = regenerate("table4", table4.run, scale=1.0, n_intervals=24,
+                        seed=0)
+    rows = {(r[0], r[2]): r for r in result.rows}
+
+    # more requests => more mining time and memory (per workload)
+    for wl in ("exch", "tpce"):
+        small = rows[(f"{wl}-small", 1)]
+        large = rows[(f"{wl}-large", 1)]
+        assert large[1] > small[1]
+        assert large[3] >= small[3]
+
+    # higher support prunes: cheaper and fewer pairs (paper tpce3 row)
+    s1 = rows[("tpce-large", 1)]
+    s3 = rows[("tpce-large", 3)]
+    assert s3[3] <= s1[3] + 0.05
+    assert s3[5] <= s1[5]

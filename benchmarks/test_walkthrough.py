@@ -1,0 +1,26 @@
+"""Benchmark: the §III walkthrough (Table I + Figures 3 and 5)."""
+
+from repro.experiments import walkthrough
+
+
+def test_walkthrough(regenerate):
+    result = regenerate("walkthrough", walkthrough.run)
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    # Table I: apps 1-3 admitted (total 5), late joiner refused
+    assert rows[("admission", "T0")][4] == "admitted"
+    assert rows[("admission", "T1")][4] == "admitted"
+    assert rows[("admission", "T2")][4] == "admitted"
+    assert rows[("admission", "-")][4] == "rejected"
+
+    # Figure 5: every period retrieves in one access; T3 needs
+    # remapping (the paper remaps (0,1,2)->d2 and (1,3,8)->d3)
+    for period in ("T0", "T1", "T2", "T3"):
+        assert rows[("figure5", period)][3] == "1 access(es)"
+    assert rows[("figure5", "T0")][5] == "0 remapped"
+    assert rows[("figure5", "T3")][5] == "2 remapped"
+
+    # Figure 3: nine non-conflicting requests in one access
+    fig3 = rows[("figure3", "-")]
+    assert fig3[3] == "1 access(es)"
+    assert fig3[4] == "all devices distinct"

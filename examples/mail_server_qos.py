@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Mail-server scenario: deterministic QoS on an Exchange-like workload.
+
+The workload the paper's introduction motivates: a corporate mail
+server whose bursty read traffic needs predictable response times.
+This example runs the full §IV/§V-D pipeline --
+
+1. generate an Exchange-like trace (9 volumes, diurnal rate, bursts),
+2. per interval, mine the *previous* interval with Apriori and map the
+   data blocks onto the 36 design blocks of the (9,3,1) design,
+3. play the stream through the simulated flash array with online
+   retrieval and deterministic admission control,
+4. compare against the "original stand" (each request served by the
+   volume the trace names, no replication).
+
+Run: ``python examples/mail_server_qos.py``
+"""
+
+import statistics
+
+from repro.experiments.common import play_original, play_workload
+from repro.traces.exchange import exchange_like_trace
+
+
+def main() -> None:
+    print("Generating Exchange-like workload (12 intervals)...")
+    parts = exchange_like_trace(scale=0.5, seed=11, n_intervals=12)
+    total = sum(len(p) for p in parts)
+    print(f"  {total} read requests across {len(parts)} intervals\n")
+
+    print("Playing with deterministic QoS (online retrieval + FIM)...")
+    qos_run = play_workload(parts, n_devices=9, epsilon=0.0,
+                            mode="online")
+    qos = qos_run.report
+    print(f"  avg response : {qos.avg_response_ms:.6f} ms")
+    print(f"  max response : {qos.max_response_ms:.6f} ms")
+    print(f"  guarantee met: {qos.guarantee_met}")
+    print(f"  delayed      : {qos.pct_delayed:.2f} % of requests, "
+          f"avg delay {qos.avg_delay_ms:.4f} ms")
+    rates = qos_run.match_rates[1:]
+    print(f"  FIM match    : {100 * statistics.mean(rates):.1f} % of "
+          f"blocks recognised from the previous interval\n")
+
+    print("Playing the original stand (trace volumes, no QoS)...")
+    orig = play_original(parts, n_devices=9).overall()
+    print(f"  avg response : {orig.avg:.6f} ms")
+    print(f"  max response : {orig.max:.6f} ms\n")
+
+    speedup = orig.max / qos.max_response_ms
+    print(f"Worst-case response improved {speedup:.1f}x; the QoS array "
+          f"never exceeds its guarantee, the original stand does.")
+    assert qos.guarantee_met
+    assert orig.max > qos.max_response_ms
+
+
+if __name__ == "__main__":
+    main()

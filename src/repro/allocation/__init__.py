@@ -1,0 +1,28 @@
+"""Replicated declustering / allocation schemes.
+
+An *allocation scheme* decides, for every data bucket, the ordered set
+of devices holding its ``c`` replicas.  The paper's contribution uses
+design-theoretic allocation; the evaluation compares against RAID-1
+mirrored and RAID-1 chained (Figure 7), and §II-B2 surveys the wider
+literature (RDA, partitioned, dependent periodic, orthogonal) -- all of
+which are implemented here as baselines.
+"""
+
+from repro.allocation.base import AllocationScheme
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.allocation.orthogonal import OrthogonalAllocation
+from repro.allocation.partitioned import PartitionedAllocation
+from repro.allocation.periodic import DependentPeriodicAllocation
+from repro.allocation.raid1 import Raid1Chained, Raid1Mirrored
+from repro.allocation.rda import RandomDuplicateAllocation
+
+__all__ = [
+    "AllocationScheme",
+    "DesignTheoreticAllocation",
+    "DependentPeriodicAllocation",
+    "OrthogonalAllocation",
+    "PartitionedAllocation",
+    "Raid1Chained",
+    "Raid1Mirrored",
+    "RandomDuplicateAllocation",
+]

@@ -1,0 +1,71 @@
+"""Abstract allocation scheme interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple
+
+__all__ = ["AllocationScheme"]
+
+
+class AllocationScheme(ABC):
+    """Maps data buckets to ordered device tuples.
+
+    Subclasses define :meth:`devices_for`.  The first device in the
+    returned tuple is the *primary* copy (used by the initial mapping of
+    design-theoretic retrieval); the rest are replicas in preference
+    order.
+    """
+
+    #: Number of devices in the array.
+    n_devices: int
+    #: Number of replicas per bucket.
+    replication: int
+    #: Number of distinct buckets the scheme supports (buckets wrap
+    #: modulo this when the data space is larger).
+    n_buckets: int
+
+    @abstractmethod
+    def devices_for(self, bucket: int) -> Tuple[int, ...]:
+        """Ordered devices holding ``bucket``'s replicas.
+
+        ``bucket`` may be any non-negative integer; schemes wrap it
+        modulo :attr:`n_buckets`.
+        """
+
+    def primary(self, bucket: int) -> int:
+        """Device holding the first copy of ``bucket``."""
+        return self.devices_for(bucket)[0]
+
+    def candidates(self, buckets) -> List[Tuple[int, ...]]:
+        """Vectorised :meth:`devices_for` over an iterable of buckets."""
+        return [self.devices_for(int(b)) for b in buckets]
+
+    def layout(self) -> Dict[int, List[int]]:
+        """Device -> list of buckets stored on it (over all buckets).
+
+        Reproduces the right-hand charts of the paper's Figure 7.
+        """
+        table: Dict[int, List[int]] = {d: [] for d in range(self.n_devices)}
+        for b in range(self.n_buckets):
+            for d in self.devices_for(b):
+                table[d].append(b)
+        return table
+
+    def validate(self) -> None:
+        """Structural sanity check over all supported buckets."""
+        for b in range(self.n_buckets):
+            devs = self.devices_for(b)
+            if len(devs) != self.replication:
+                raise ValueError(
+                    f"bucket {b}: expected {self.replication} devices, "
+                    f"got {devs}")
+            if len(set(devs)) != len(devs):
+                raise ValueError(f"bucket {b}: duplicate devices {devs}")
+            for d in devs:
+                if not 0 <= d < self.n_devices:
+                    raise ValueError(f"bucket {b}: device {d} out of range")
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} N={self.n_devices} "
+                f"c={self.replication} buckets={self.n_buckets}>")

@@ -1,0 +1,105 @@
+"""Degraded-mode allocation: serving around failed devices.
+
+Replication buys fault tolerance as well as QoS: with ``c`` copies and
+``f`` failed devices every bucket still has at least ``c - f`` live
+replicas, and the pairwise balance of a design survives restriction, so
+the design-theoretic guarantee degrades gracefully to
+
+    ``S_degraded(M) = (c - f - 1) M^2 + (c - f) M``.
+
+:class:`DegradedAllocation` is a view over any allocation scheme that
+filters failed devices out of every bucket's replica tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.allocation.base import AllocationScheme
+from repro.core.guarantees import guarantee_capacity
+
+__all__ = ["DegradedAllocation", "DataUnavailableError",
+           "degraded_capacity"]
+
+
+class DataUnavailableError(RuntimeError):
+    """All replicas of a bucket are on failed devices."""
+
+
+def degraded_capacity(accesses: int, replication: int,
+                      n_failed: int) -> int:
+    """Guarantee capacity after ``n_failed`` device failures.
+
+    Conservative: assumes every failure removes one replica of every
+    bucket (the worst case).  Zero once failures reach ``c - 1``... at
+    ``c - 1`` failures a single replica remains, which still serves
+    ``M`` buckets per device but without any declustering guarantee, so
+    we report the single-copy bound ``M``.
+    """
+    if n_failed < 0:
+        raise ValueError("n_failed must be >= 0")
+    live = replication - n_failed
+    if live <= 0:
+        return 0
+    if live == 1:
+        return accesses  # single copy: only k <= M on one device
+    return guarantee_capacity(accesses, live)
+
+
+class DegradedAllocation(AllocationScheme):
+    """A failure-masking view over ``base``.
+
+    Parameters
+    ----------
+    base:
+        The healthy allocation scheme.
+    failed:
+        Device indices currently failed.  Buckets whose replicas all
+        fall in this set raise :class:`DataUnavailableError` on lookup.
+    """
+
+    def __init__(self, base: AllocationScheme, failed: Iterable[int]):
+        self.base = base
+        self.failed: Set[int] = {int(d) for d in failed}
+        for d in self.failed:
+            if not 0 <= d < base.n_devices:
+                raise ValueError(f"failed device {d} out of range")
+        self.n_devices = base.n_devices
+        self.n_buckets = base.n_buckets
+        # Report the *effective* replication: the worst-case live copy
+        # count.  Admission control and guarantee-level retrieval key
+        # off this attribute, so degraded capacity follows automatically.
+        self.replication = max(0, base.replication - len(self.failed))
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed)
+
+    @property
+    def effective_replication(self) -> int:
+        """Guaranteed live replicas per bucket (worst case)."""
+        return self.replication
+
+    def devices_for(self, bucket: int) -> Tuple[int, ...]:
+        live = tuple(d for d in self.base.devices_for(bucket)
+                     if d not in self.failed)
+        if not live:
+            raise DataUnavailableError(
+                f"bucket {bucket % self.n_buckets}: all replicas on "
+                f"failed devices {sorted(self.failed)}")
+        return live
+
+    def guarantee(self, accesses: int) -> int:
+        """Degraded admission capacity for this failure set."""
+        return degraded_capacity(accesses, self.base.replication,
+                                 self.n_failed)
+
+    def validate(self) -> None:  # overrides the fixed-length check
+        for b in range(self.n_buckets):
+            devs = self.devices_for(b)
+            if len(set(devs)) != len(devs):
+                raise ValueError(f"bucket {b}: duplicate devices {devs}")
+            for d in devs:
+                if not 0 <= d < self.n_devices:
+                    raise ValueError(
+                        f"bucket {b}: device {d} out of range")

@@ -1,0 +1,55 @@
+"""Partitioned allocation (Ferhatosmanoglu et al., DAPD 2006).
+
+Devices are split into groups; a bucket's primary device is assigned
+round-robin across *all* devices and its replicas stay inside the
+primary's group.  Good for range queries, poor for arbitrary queries
+(paper §II-B2) -- exactly the behaviour the ablation benchmarks probe.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.allocation.base import AllocationScheme
+
+__all__ = ["PartitionedAllocation"]
+
+
+class PartitionedAllocation(AllocationScheme):
+    """Replication confined to device groups of size ``group_size``.
+
+    Parameters
+    ----------
+    n_devices:
+        Total devices; must be divisible by ``group_size``.
+    replication:
+        Copies per bucket; at most ``group_size``.
+    group_size:
+        Devices per partition group (defaults to ``replication``, which
+        makes the scheme coincide with RAID-1 mirroring except for the
+        round-robin primary).
+    """
+
+    def __init__(self, n_devices: int, replication: int = 3,
+                 group_size: int | None = None,
+                 n_buckets: int | None = None):
+        group_size = group_size or replication
+        if n_devices % group_size != 0:
+            raise ValueError(
+                f"group_size {group_size} must divide N={n_devices}")
+        if replication > group_size:
+            raise ValueError("replication cannot exceed group size")
+        self.n_devices = n_devices
+        self.replication = replication
+        self.group_size = group_size
+        self.n_buckets = n_buckets or (
+            (n_devices * (n_devices - 1)) // (replication - 1))
+
+    def devices_for(self, bucket: int) -> Tuple[int, ...]:
+        bucket %= self.n_buckets
+        primary = bucket % self.n_devices
+        group = primary // self.group_size
+        base = group * self.group_size
+        offset = primary - base
+        return tuple(base + (offset + j) % self.group_size
+                     for j in range(self.replication))

@@ -1,0 +1,53 @@
+"""Dependent periodic allocation (Tosun & Ferhatosmanoglu, ICPP 2002).
+
+The ``j``-th copy of a bucket is a *shifted* version of the first:
+``device_j = (primary + j * shift) mod N``.  Strong for range/connected
+queries, weaker for arbitrary queries (paper §II-B2).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Tuple
+
+from repro.allocation.base import AllocationScheme
+
+__all__ = ["DependentPeriodicAllocation"]
+
+
+class DependentPeriodicAllocation(AllocationScheme):
+    """Periodic allocation with a fixed inter-copy shift.
+
+    Parameters
+    ----------
+    n_devices, replication:
+        Array shape.
+    shift:
+        Device offset between consecutive copies.  ``shift * j mod N``
+        must be distinct for ``j = 0..c-1``; a shift coprime to ``N``
+        always works.
+    """
+
+    def __init__(self, n_devices: int, replication: int = 3,
+                 shift: int | None = None, n_buckets: int | None = None):
+        if replication > n_devices:
+            raise ValueError("replication cannot exceed device count")
+        if shift is None:
+            # smallest shift >= 2 coprime to N keeps copies spread out;
+            # fall back to 1 (chained layout) when none exists.
+            shift = next((s for s in range(2, n_devices)
+                          if gcd(s, n_devices) == 1), 1)
+        offsets = {(shift * j) % n_devices for j in range(replication)}
+        if len(offsets) != replication:
+            raise ValueError(
+                f"shift {shift} collapses copies on N={n_devices}")
+        self.n_devices = n_devices
+        self.replication = replication
+        self.shift = shift
+        self.n_buckets = n_buckets or (
+            (n_devices * (n_devices - 1)) // (replication - 1))
+
+    def devices_for(self, bucket: int) -> Tuple[int, ...]:
+        bucket %= self.n_buckets
+        return tuple((bucket + self.shift * j) % self.n_devices
+                     for j in range(self.replication))

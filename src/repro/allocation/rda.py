@@ -1,0 +1,48 @@
+"""Random duplicate allocation (Sanders et al., SODA 2000).
+
+Each bucket's replicas land on ``c`` devices chosen uniformly at random
+without replacement.  Retrieval cost is within one of optimal with high
+probability, but -- as the paper stresses -- RDA can give no
+*deterministic* guarantee, which is why it is a baseline here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.allocation.base import AllocationScheme
+
+__all__ = ["RandomDuplicateAllocation"]
+
+
+class RandomDuplicateAllocation(AllocationScheme):
+    """RDA with a fixed seed for reproducible layouts.
+
+    Parameters
+    ----------
+    n_devices, replication:
+        Array shape.
+    n_buckets:
+        Size of the randomised placement table.
+    seed:
+        RNG seed; two instances with the same seed have identical
+        layouts.
+    """
+
+    def __init__(self, n_devices: int, replication: int = 3,
+                 n_buckets: int = 1024, seed: int = 0):
+        if replication > n_devices:
+            raise ValueError("replication cannot exceed device count")
+        self.n_devices = n_devices
+        self.replication = replication
+        self.n_buckets = n_buckets
+        rng = np.random.default_rng(seed)
+        self._table = np.empty((n_buckets, replication), dtype=np.int64)
+        for b in range(n_buckets):
+            self._table[b] = rng.choice(n_devices, size=replication,
+                                        replace=False)
+
+    def devices_for(self, bucket: int) -> Tuple[int, ...]:
+        return tuple(int(d) for d in self._table[bucket % self.n_buckets])

@@ -1,0 +1,16 @@
+"""Analytical models of the QoS system.
+
+Closed-form companions to the simulator:
+
+* :mod:`~repro.analysis.queueing` -- a replica-aware conflict model
+  predicting the delayed-request fraction and mean delay of
+  deterministic online QoS from workload utilisation, validated
+  against simulation in ``benchmarks/test_analysis_validation.py``;
+* :mod:`~repro.analysis.capacity` -- throughput and utilisation bounds
+  of a configuration.
+"""
+
+from repro.analysis.capacity import CapacityModel
+from repro.analysis.queueing import ConflictModel
+
+__all__ = ["CapacityModel", "ConflictModel"]

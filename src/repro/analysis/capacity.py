@@ -1,0 +1,85 @@
+"""Throughput and utilisation bounds of a QoS configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.guarantees import guarantee_capacity
+
+__all__ = ["CapacityModel"]
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """Capacity arithmetic for an ``(N, c, M, T)`` configuration.
+
+    Two ceilings bound admitted throughput:
+
+    * the **admission** ceiling ``S(M) / T`` -- what the deterministic
+      admission controller lets through, and
+    * the **physical** ceiling ``N / s`` -- aggregate device service
+      rate (reads; writes cost ``c`` device-slots each).
+    """
+
+    n_devices: int
+    replication: int
+    accesses: int
+    interval_ms: float
+    service_ms: float
+
+    def __post_init__(self):
+        if min(self.n_devices, self.replication, self.accesses) < 1:
+            raise ValueError("counts must be >= 1")
+        if self.interval_ms <= 0 or self.service_ms <= 0:
+            raise ValueError("times must be positive")
+
+    @property
+    def admission_limit(self) -> int:
+        """``S(M)``: admitted requests per interval."""
+        return guarantee_capacity(self.accesses, self.replication)
+
+    @property
+    def admission_rate(self) -> float:
+        """Admission ceiling in requests per ms."""
+        return self.admission_limit / self.interval_ms
+
+    @property
+    def physical_rate(self) -> float:
+        """Aggregate device service rate in requests per ms."""
+        return self.n_devices / self.service_ms
+
+    @property
+    def sustainable_rate(self) -> float:
+        """The binding ceiling (minimum of the two)."""
+        return min(self.admission_rate, self.physical_rate)
+
+    @property
+    def admission_bound_binding(self) -> bool:
+        """True when admission, not hardware, limits throughput."""
+        return self.admission_rate <= self.physical_rate
+
+    def utilisation_at(self, rate_per_ms: float) -> float:
+        """Fraction of the sustainable rate consumed by ``rate``."""
+        if rate_per_ms < 0:
+            raise ValueError("rate must be >= 0")
+        return rate_per_ms / self.sustainable_rate
+
+    def write_cost(self, write_fraction: float) -> float:
+        """Device-slots per logical request for a read/write mix.
+
+        Writes occupy every replica, so a fraction ``w`` of writes
+        costs ``(1 - w) + w * c`` device services per request.
+        """
+        if not 0 <= write_fraction <= 1:
+            raise ValueError("write_fraction must be in [0, 1]")
+        return (1 - write_fraction) + write_fraction * self.replication
+
+    def sustainable_rate_mixed(self, write_fraction: float,
+                               write_service_ms: float) -> float:
+        """Physical ceiling for a read/write mix (requests per ms)."""
+        if write_service_ms <= 0:
+            raise ValueError("write_service_ms must be positive")
+        w = write_fraction
+        cost_ms = ((1 - w) * self.service_ms
+                   + w * self.replication * write_service_ms)
+        return self.n_devices / cost_ms if cost_ms > 0 else float("inf")

@@ -1,0 +1,83 @@
+"""Replica-aware conflict model for deterministic online QoS.
+
+Under deterministic QoS a request is *delayed* exactly when all ``c``
+of its replica devices are busy at arrival (§IV-B preference order:
+idle replica, else wait).  For Poisson arrivals of rate ``lam`` served
+in deterministic time ``s`` and spread over ``N`` devices, each device
+behaves like an M/D/1 server with utilisation ``rho = lam * s / N``;
+treating the ``c`` replicas' busy states as independent gives
+
+    ``P(delayed) ~= rho^c``
+
+and, conditioned on a conflict, the wait is the minimum residual
+service among ``c`` busy deterministic servers, each residual being
+uniform on ``(0, s)``:
+
+    ``E[delay | delayed] ~= s / (c + 1)``.
+
+Both are first-order approximations (they ignore queue depth beyond
+one residual and the positive correlation bursts induce); the
+validation benchmark shows they track simulation within a small factor
+at the utilisations the paper's workloads run at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConflictModel"]
+
+
+@dataclass(frozen=True)
+class ConflictModel:
+    """Closed-form delay predictions for deterministic online QoS.
+
+    Parameters
+    ----------
+    n_devices:
+        Array size ``N``.
+    replication:
+        Copy count ``c``.
+    service_ms:
+        Deterministic per-request service time ``s``.
+    """
+
+    n_devices: int
+    replication: int
+    service_ms: float
+
+    def __post_init__(self):
+        if self.n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.service_ms <= 0:
+            raise ValueError("service_ms must be positive")
+
+    def utilisation(self, rate_per_ms: float) -> float:
+        """Per-device utilisation ``rho = lam * s / N``."""
+        if rate_per_ms < 0:
+            raise ValueError("rate must be >= 0")
+        return rate_per_ms * self.service_ms / self.n_devices
+
+    def p_delayed(self, rate_per_ms: float) -> float:
+        """Predicted delayed-request probability ``rho^c``."""
+        rho = min(1.0, self.utilisation(rate_per_ms))
+        return rho ** self.replication
+
+    def mean_delay_ms(self) -> float:
+        """Predicted mean delay of a delayed request ``s / (c+1)``."""
+        return self.service_ms / (self.replication + 1)
+
+    def max_stable_rate(self) -> float:
+        """Throughput ceiling ``N / s`` (requests per ms)."""
+        return self.n_devices / self.service_ms
+
+    def predict(self, rate_per_ms: float) -> dict:
+        """All predictions for one arrival rate."""
+        return {
+            "utilisation": self.utilisation(rate_per_ms),
+            "p_delayed": self.p_delayed(rate_per_ms),
+            "mean_delay_ms": self.mean_delay_ms(),
+            "max_stable_rate": self.max_stable_rate(),
+        }

@@ -1,0 +1,112 @@
+"""Adaptive statistical QoS: closing the loop on epsilon.
+
+The paper shows (§V-E) that ε *tunes* the delayed-request fraction but
+leaves choosing it to the operator.  This module automates the choice:
+a small feedback controller observes each trace interval's delayed
+fraction and nudges ε toward a target -- multiplicative
+increase/decrease, the classic AIMD-style rule that is robust to the
+(unknown, workload-dependent) shape of the delayed(ε) curve, which
+Figure 10 shows to be monotone decreasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import play_workload
+from repro.traces.records import Trace
+
+__all__ = ["AdaptiveEpsilonController", "AdaptiveRunResult"]
+
+
+@dataclass
+class AdaptiveRunResult:
+    """Trajectory of one adaptive run."""
+
+    epsilons: List[float]
+    delayed_pct: List[float]
+    avg_response: List[float]
+
+    @property
+    def final_epsilon(self) -> float:
+        return self.epsilons[-1]
+
+    def converged(self, target_pct: float, tolerance: float) -> bool:
+        """Did the last interval land within tolerance of the target?"""
+        return abs(self.delayed_pct[-1] - target_pct) <= tolerance
+
+
+class AdaptiveEpsilonController:
+    """Multiplicative feedback on ε against a delayed-% target.
+
+    Parameters
+    ----------
+    target_delayed_pct:
+        Desired percentage of delayed requests.
+    epsilon0:
+        Starting value.
+    gain:
+        Multiplicative step: ε grows by ``1 + gain`` when delays exceed
+        the target (admit more conflicts), shrinks by ``1 / (1 + gain)``
+        when below (tighten back toward deterministic).
+    epsilon_bounds:
+        Clamp range for ε.
+    """
+
+    def __init__(self, target_delayed_pct: float,
+                 epsilon0: float = 1e-4, gain: float = 0.5,
+                 epsilon_bounds: tuple = (1e-6, 0.5)):
+        if target_delayed_pct < 0:
+            raise ValueError("target must be >= 0")
+        if epsilon0 <= 0:
+            raise ValueError("epsilon0 must be positive")
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        lo, hi = epsilon_bounds
+        if not 0 < lo < hi:
+            raise ValueError("invalid epsilon bounds")
+        self.target = target_delayed_pct
+        self.epsilon = epsilon0
+        self.gain = gain
+        self.bounds = (lo, hi)
+
+    def update(self, observed_delayed_pct: float) -> float:
+        """One feedback step; returns the new ε."""
+        if observed_delayed_pct < 0:
+            raise ValueError("observed percentage must be >= 0")
+        if observed_delayed_pct > self.target:
+            self.epsilon *= (1.0 + self.gain)
+        elif observed_delayed_pct < self.target:
+            self.epsilon /= (1.0 + self.gain)
+        lo, hi = self.bounds
+        self.epsilon = min(hi, max(lo, self.epsilon))
+        return self.epsilon
+
+    # -- offline driving over trace intervals ------------------------------
+    def drive(self, parts: Sequence[Trace], n_devices: int,
+              replication: int = 3,
+              qos_interval_ms: float = 0.133,
+              seed: int = 0) -> AdaptiveRunResult:
+        """Play each trace interval with the current ε, then adapt.
+
+        Each part is played independently (its own array state), which
+        matches the per-interval accounting of Figures 8-10; the
+        controller state carries across parts.
+        """
+        epsilons: List[float] = []
+        delayed: List[float] = []
+        responses: List[float] = []
+        for part in parts:
+            epsilons.append(self.epsilon)
+            run = play_workload([part], n_devices=n_devices,
+                                replication=replication,
+                                qos_interval_ms=qos_interval_ms,
+                                epsilon=self.epsilon, seed=seed)
+            st = run.report.overall
+            delayed.append(st.pct_delayed)
+            responses.append(st.avg)
+            self.update(st.pct_delayed)
+        return AdaptiveRunResult(epsilons=epsilons,
+                                 delayed_pct=delayed,
+                                 avg_response=responses)

@@ -1,0 +1,190 @@
+"""Admission control (paper §III-A1 deterministic, §III-B2 statistical).
+
+Both controllers work at interval granularity: applications present
+block requests and the controller answers, per request, *admit now* or
+*delay/reject*.
+
+Deterministic control admits at most ``S`` requests per interval: with
+``S = (c-1)M^2 + cM`` the design guarantees retrieval within ``M``
+accesses, so every admitted request finishes inside the interval.
+
+Statistical control keeps the empirical interval-size distribution
+``R_k = N_k / N_t`` (``k+1`` counters, exactly as in the paper) and the
+sampled optimal-retrieval probabilities ``P_k``; it admits an interval
+of size ``k > S`` as long as the violation mass
+
+    ``Q = sum_k (1 - P_k) * R_k``
+
+stays below the user's threshold ``epsilon``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.core.guarantees import guarantee_capacity
+
+__all__ = [
+    "AdmissionDecision",
+    "DeterministicAdmission",
+    "StatisticalAdmission",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission query."""
+
+    admitted: bool
+    #: Request count in the interval after this decision.
+    interval_size: int
+    #: The violation-probability estimate at decision time (statistical
+    #: control only; 0.0 for deterministic).
+    q: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class DeterministicAdmission:
+    """Hard cap of ``S`` admitted requests per interval (ε = 0).
+
+    Parameters
+    ----------
+    replication:
+        Copy count ``c`` of the design in use.
+    accesses:
+        Access budget ``M`` per interval.
+    """
+
+    def __init__(self, replication: int, accesses: int = 1):
+        self.replication = replication
+        self.accesses = accesses
+        self.limit = guarantee_capacity(accesses, replication)
+        self._count = 0
+
+    @property
+    def interval_count(self) -> int:
+        """Requests admitted in the current interval."""
+        return self._count
+
+    def start_interval(self) -> None:
+        """Reset at an interval boundary."""
+        self._count = 0
+
+    def offer(self, n_requests: int = 1) -> AdmissionDecision:
+        """Offer ``n_requests`` more requests for the current interval."""
+        if n_requests < 0:
+            raise ValueError("n_requests must be >= 0")
+        if self._count + n_requests <= self.limit:
+            self._count += n_requests
+            return AdmissionDecision(True, self._count)
+        return AdmissionDecision(False, self._count)
+
+
+class StatisticalAdmission:
+    """ε-bounded admission using sampled ``P_k`` (paper §III-B2).
+
+    Parameters
+    ----------
+    probabilities:
+        ``{k: P_k}`` from :class:`repro.core.sampling.OptimalRetrievalSampler`
+        (missing sizes fall back to ``fallback(k)``).
+    epsilon:
+        Violation-probability budget; ``0`` reduces to deterministic
+        behaviour.
+    replication, accesses:
+        Determine the deterministic limit ``S`` below which requests
+        are always admitted.
+    fallback:
+        ``P_k`` for sizes absent from the table; defaults to the
+        conservative 0 below 1 interval of headroom, i.e. ``0.0``.
+    """
+
+    def __init__(self, probabilities: Dict[int, float], epsilon: float,
+                 replication: int, accesses: int = 1,
+                 fallback: Callable[[int], float] | None = None):
+        if epsilon < 0 or epsilon > 1:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.probabilities = dict(probabilities)
+        self.epsilon = epsilon
+        self.replication = replication
+        self.accesses = accesses
+        self.limit = guarantee_capacity(accesses, replication)
+        self._fallback = fallback or (lambda k: 0.0)
+        # Empirical interval-size histogram: N_k and N_t.
+        self._size_counts: Dict[int, int] = {}
+        self._total_intervals = 0
+        self._count = 0
+        # Guarantee violations knowingly admitted (conflicting requests
+        # allowed to queue); they enter Q alongside the sampled
+        # (1 - P_k) mass so that admissions self-limit at epsilon.
+        self._violations = 0
+
+    # -- interval bookkeeping -------------------------------------------
+    @property
+    def interval_count(self) -> int:
+        return self._count
+
+    def start_interval(self) -> None:
+        """Close the previous interval into the histogram and reset."""
+        if self._total_intervals > 0 or self._count > 0:
+            self._size_counts[self._count] = (
+                self._size_counts.get(self._count, 0) + 1)
+        self._total_intervals += 1
+        self._count = 0
+
+    def p_k(self, k: int) -> float:
+        """Optimal-retrieval probability for request size ``k``."""
+        if k <= self.limit:
+            return 1.0
+        return self.probabilities.get(k, self._fallback(k))
+
+    def violation_probability(self, hypothetical_size: int,
+                              extra_violations: int = 0) -> float:
+        """``Q`` if the current interval were to reach ``hypothetical_size``.
+
+        Computed over the empirical distribution with the current
+        interval counted at the hypothetical size.  Realized violations
+        (knowingly admitted conflicts) add their own mass:
+
+            Q = [sum_k (1 - P_k) N_k + V] / N_t
+        """
+        counts = dict(self._size_counts)
+        counts[hypothetical_size] = counts.get(hypothetical_size, 0) + 1
+        total = sum(counts.values())
+        q = 0.0
+        for k, n_k in counts.items():
+            q += (1.0 - self.p_k(k)) * (n_k / total)
+        q += (self._violations + extra_violations) / total
+        return min(1.0, q)
+
+    def offer(self, n_requests: int = 1) -> AdmissionDecision:
+        """Offer ``n_requests`` more requests for the current interval."""
+        if n_requests < 0:
+            raise ValueError("n_requests must be >= 0")
+        new_size = self._count + n_requests
+        if new_size <= self.limit:
+            self._count = new_size
+            return AdmissionDecision(True, self._count)
+        q = self.violation_probability(new_size)
+        if q < self.epsilon:
+            self._count = new_size
+            return AdmissionDecision(True, self._count, q=q)
+        return AdmissionDecision(False, self._count, q=q)
+
+    def offer_conflict(self) -> AdmissionDecision:
+        """Ask to admit a request whose replica devices are all busy.
+
+        Admitting it knowingly violates the response-time guarantee for
+        this request (it must queue), so the decision charges one
+        violation against the epsilon budget: admit iff the resulting
+        ``Q`` stays below epsilon.  With epsilon = 0 nothing is ever
+        admitted -- exactly the deterministic behaviour.
+        """
+        q = self.violation_probability(self._count, extra_violations=1)
+        if q < self.epsilon:
+            self._violations += 1
+            return AdmissionDecision(True, self._count, q=q)
+        return AdmissionDecision(False, self._count, q=q)

@@ -1,0 +1,120 @@
+"""Application and request model (paper §III-A, Table I).
+
+Applications join the system declaring a *request size* (block requests
+per period); the admission controller accepts an application only while
+the total declared request size stays within the guarantee ``S``.  Each
+period, applications then issue concrete block requests -- triples
+``(a, b, c)`` naming the devices holding the three copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.guarantees import guarantee_capacity
+
+__all__ = ["BlockRequest", "Application", "ApplicationAdmission",
+           "table1_scenario"]
+
+
+@dataclass(frozen=True)
+class BlockRequest:
+    """One block request, identified by its replica device tuple.
+
+    The paper's notation ``(a, b, c)`` -- first copy on device ``a``,
+    second on ``b``, third on ``c``.
+    """
+
+    devices: Tuple[int, ...]
+    app: str = ""
+
+    def __post_init__(self):
+        if len(set(self.devices)) != len(self.devices):
+            raise ValueError(f"duplicate devices in request {self.devices}")
+
+    @property
+    def primary(self) -> int:
+        return self.devices[0]
+
+
+@dataclass
+class Application:
+    """An application with a fixed per-period request budget."""
+
+    name: str
+    request_size: int
+    joined_at: Optional[int] = None
+
+    def __post_init__(self):
+        if self.request_size < 0:
+            raise ValueError("request_size must be >= 0")
+
+
+class ApplicationAdmission:
+    """Admission of whole applications by declared request size (§III-A).
+
+    Mirrors the worked example: with the (9,3,1) design and M=1 the
+    system capacity is ``S = 5`` requests per period; applications are
+    admitted while the sum of their declared sizes fits.
+    """
+
+    def __init__(self, replication: int, accesses: int = 1):
+        self.limit = guarantee_capacity(accesses, replication)
+        self.applications: Dict[str, Application] = {}
+
+    @property
+    def total_request_size(self) -> int:
+        return sum(a.request_size for a in self.applications.values())
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self.total_request_size
+
+    def admit(self, app: Application, period: Optional[int] = None) -> bool:
+        """Admit ``app`` if its declared size fits; returns the verdict."""
+        if app.name in self.applications:
+            raise ValueError(f"application {app.name!r} already admitted")
+        if self.total_request_size + app.request_size > self.limit:
+            return False
+        app.joined_at = period
+        self.applications[app.name] = app
+        return True
+
+    def leave(self, name: str) -> None:
+        """Remove an application, freeing its budget."""
+        self.applications.pop(name)
+
+    def validate_period(self, requests: Sequence[BlockRequest]) -> None:
+        """Check a period's concrete requests against declared budgets."""
+        per_app: Dict[str, int] = {}
+        for r in requests:
+            per_app[r.app] = per_app.get(r.app, 0) + 1
+        for name, used in per_app.items():
+            declared = self.applications.get(name)
+            if declared is None:
+                raise ValueError(f"unknown application {name!r}")
+            if used > declared.request_size:
+                raise ValueError(
+                    f"application {name!r} issued {used} requests, "
+                    f"declared {declared.request_size}")
+
+
+def table1_scenario() -> Dict[int, List[BlockRequest]]:
+    """The exact I/O requests of the paper's Table I.
+
+    Returns ``{period: [BlockRequest, ...]}`` for periods ``T0..T3``.
+    """
+    def reqs(app: str, *triples: Tuple[int, int, int]) -> List[BlockRequest]:
+        return [BlockRequest(devices=t, app=app) for t in triples]
+
+    return {
+        0: reqs("app1", (0, 3, 6), (5, 7, 0)),
+        1: (reqs("app1", (0, 4, 8))
+            + reqs("app2", (8, 0, 4), (7, 0, 5))),
+        2: (reqs("app1", (1, 2, 0))
+            + reqs("app3", (6, 0, 3))),
+        3: (reqs("app1", (1, 4, 7))
+            + reqs("app2", (1, 3, 8), (0, 5, 7))
+            + reqs("app3", (0, 1, 2))),
+    }

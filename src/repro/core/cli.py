@@ -1,0 +1,135 @@
+"""``repro-qos``: run a trace file through the QoS framework.
+
+Completes the tooling loop::
+
+    repro-trace generate exchange work.csv --scale 0.3
+    repro-qos run work.csv --devices 9 --interval-ms 0.133
+    repro-qos plan --response-ms 0.4 --rate 40
+
+Subcommands
+-----------
+
+``run``
+    Play a trace (DiskSim ASCII or CSV) through a ``QoSFlashArray``
+    and print the response-time report; optional FIM block matching
+    and statistical admission.
+``plan``
+    Print configurations meeting a response/throughput SLO
+    (:mod:`repro.core.planner`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.planner import SLO, plan_configurations
+from repro.core.qos import QoSFlashArray
+
+__all__ = ["main"]
+
+
+def _read_trace(path: Path):
+    from repro.traces.io import read_csv, read_disksim_ascii
+
+    if path.suffix.lower() == ".csv":
+        return read_csv(path)
+    return read_disksim_ascii(path)
+
+
+def _cmd_run(args) -> int:
+    trace = _read_trace(Path(args.trace)).sorted()
+    qos = QoSFlashArray(n_devices=args.devices,
+                        replication=args.replication,
+                        interval_ms=args.interval_ms,
+                        epsilon=args.epsilon,
+                        seed=args.seed)
+    buckets = trace.block
+    if args.fim:
+        from repro.experiments.common import play_workload
+        from repro.traces.intervals import split_intervals
+
+        parts = split_intervals(trace, args.fim_interval_ms)
+        run = play_workload(parts, n_devices=args.devices,
+                            replication=args.replication,
+                            epsilon=args.epsilon,
+                            qos_interval_ms=args.interval_ms,
+                            mode="online" if args.online else "batch",
+                            seed=args.seed)
+        report = run.report
+    else:
+        arrivals = [float(t) for t in trace.arrival_ms]
+        mapped = [int(b) % qos.n_buckets for b in buckets]
+        if args.online:
+            report = qos.run_online(arrivals, mapped)
+        else:
+            report = qos.run_batch(arrivals, mapped)
+
+    print(f"design              : {qos.design}")
+    print(f"requests            : {report.overall.n_total}")
+    print(f"guarantee           : {report.guarantee_ms:.6f} ms "
+          f"({'met' if report.guarantee_met else 'VIOLATED'})")
+    print(f"avg response        : {report.avg_response_ms:.6f} ms")
+    print(f"max response        : {report.max_response_ms:.6f} ms")
+    print(f"p99 response        : {report.overall.p99:.6f} ms")
+    print(f"delayed             : {report.pct_delayed:.2f} % "
+          f"(avg delay {report.avg_delay_ms:.4f} ms)")
+    return 0 if report.guarantee_met else 1
+
+
+def _cmd_plan(args) -> int:
+    slo = SLO(response_ms=args.response_ms, requests_per_ms=args.rate)
+    plans = plan_configurations(slo, max_plans=args.max_plans)
+    if not plans:
+        print("no configuration in the catalog meets this SLO")
+        return 1
+    print(f"configurations meeting response <= {slo.response_ms} ms "
+          f"at {slo.requests_per_ms} req/ms:")
+    for plan in plans:
+        print("  " + plan.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qos",
+        description="Run traces through the replication-based QoS "
+                    "framework.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="play a trace through the array")
+    run.add_argument("trace", help="DiskSim ASCII or CSV trace file")
+    run.add_argument("--devices", type=int, default=9)
+    run.add_argument("--replication", type=int, default=3)
+    run.add_argument("--interval-ms", type=float, default=0.133)
+    run.add_argument("--epsilon", type=float, default=0.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--online", action="store_true", default=True,
+                     help="online retrieval (default)")
+    run.add_argument("--batch", dest="online", action="store_false",
+                     help="interval-aligned batch retrieval")
+    run.add_argument("--fim", action="store_true",
+                     help="FIM block matching from previous intervals")
+    run.add_argument("--fim-interval-ms", type=float, default=60.0,
+                     help="trace interval length for FIM mining")
+    run.set_defaults(func=_cmd_run)
+
+    plan = sub.add_parser("plan", help="suggest configurations for an "
+                                       "SLO")
+    plan.add_argument("--response-ms", type=float, required=True)
+    plan.add_argument("--rate", type=float, required=True,
+                      help="requests per millisecond")
+    plan.add_argument("--max-plans", type=int, default=5)
+    plan.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

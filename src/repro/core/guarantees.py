@@ -1,0 +1,80 @@
+"""The design-theoretic guarantee algebra (paper §II-B2, §III-A).
+
+An ``(N, c, 1)`` design guarantees that any
+``S(M) = (c-1) M^2 + c M`` buckets can be retrieved in at most ``M``
+parallel accesses.  For the paper's (9,3,1) design: S(1)=5, S(2)=14,
+S(3)=27.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "guarantee_capacity",
+    "required_accesses",
+    "max_admissible",
+    "guarantee_table",
+]
+
+
+def guarantee_capacity(accesses: int, replication: int) -> int:
+    """``S(M) = (c-1) M^2 + c M``: buckets retrievable in ``M`` accesses.
+
+    Parameters
+    ----------
+    accesses:
+        ``M``, the number of parallel access rounds (>= 0).
+    replication:
+        ``c``, the copy count (>= 1).
+    """
+    if accesses < 0:
+        raise ValueError(f"accesses must be >= 0, got {accesses}")
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    c, m = replication, accesses
+    return (c - 1) * m * m + c * m
+
+
+def required_accesses(n_requests: int, replication: int) -> int:
+    """Smallest ``M`` with ``n_requests <= S(M)`` (inverse of the above).
+
+    Solves the quadratic ``(c-1)M^2 + cM - b >= 0`` in closed form and
+    fixes up floating error with a local scan.
+    """
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be >= 0, got {n_requests}")
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    if n_requests == 0:
+        return 0
+    c, b = replication, n_requests
+    if c == 1:
+        return b  # no replication: one access per request, worst case
+    disc = c * c + 4 * (c - 1) * b
+    m = max(1, math.ceil((-c + math.sqrt(disc)) / (2 * (c - 1))))
+    while guarantee_capacity(m, c) < b:
+        m += 1
+    while m > 1 and guarantee_capacity(m - 1, c) >= b:
+        m -= 1
+    return m
+
+
+def max_admissible(interval_ms: float, access_time_ms: float,
+                   replication: int) -> int:
+    """Largest request count completing within an interval.
+
+    The interval ``T`` fits ``floor(T / t_access)`` access rounds, so
+    the admission limit is ``S(floor(T / t_access))`` (paper §III-A1
+    with M chosen from the device service time).
+    """
+    if interval_ms <= 0 or access_time_ms <= 0:
+        raise ValueError("interval and access time must be positive")
+    rounds = int(interval_ms / access_time_ms + 1e-9)
+    return guarantee_capacity(rounds, replication)
+
+
+def guarantee_table(replication: int, max_accesses: int) -> list[tuple[int, int]]:
+    """``[(M, S(M))]`` rows for documentation and reports."""
+    return [(m, guarantee_capacity(m, replication))
+            for m in range(1, max_accesses + 1)]

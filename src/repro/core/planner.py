@@ -1,0 +1,120 @@
+"""SLA-driven configuration planner.
+
+The paper's conclusion stresses tunability: "utilization of the system
+can be tuned by adjusting the parameters".  The planner turns that
+around -- given an application's service-level objective (response-time
+target and sustained request rate) it proposes ``(N, c, M, T)``
+configurations whose deterministic guarantee meets the SLO, using only
+the guarantee algebra and the design catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.guarantees import guarantee_capacity
+from repro.designs.catalog import get_design
+from repro.flash.params import FlashParams, MSR_SSD_PARAMS
+
+__all__ = ["SLO", "Plan", "plan_configurations"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A service-level objective.
+
+    Attributes
+    ----------
+    response_ms:
+        Hard per-request response-time target.
+    requests_per_ms:
+        Sustained admitted request rate the system must support.
+    """
+
+    response_ms: float
+    requests_per_ms: float
+
+    def __post_init__(self):
+        if self.response_ms <= 0:
+            raise ValueError("response_ms must be positive")
+        if self.requests_per_ms <= 0:
+            raise ValueError("requests_per_ms must be positive")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One feasible configuration for an SLO."""
+
+    n_devices: int
+    replication: int
+    accesses: int
+    interval_ms: float
+    capacity_per_interval: int
+    throughput_per_ms: float
+    storage_overhead: int
+
+    @property
+    def design_name(self) -> str:
+        return f"({self.n_devices},{self.replication},1)"
+
+    def describe(self) -> str:
+        return (f"{self.design_name} M={self.accesses} "
+                f"T={self.interval_ms:.3f}ms: admits "
+                f"S={self.capacity_per_interval}/interval "
+                f"({self.throughput_per_ms:.1f} req/ms), "
+                f"{self.storage_overhead}x storage")
+
+
+def _design_exists(n: int, c: int) -> bool:
+    try:
+        get_design(n, c)
+        return True
+    except (ValueError, RecursionError):
+        return False
+
+
+def plan_configurations(
+    slo: SLO,
+    device_counts: Sequence[int] = (7, 9, 13, 15, 19, 21, 25),
+    replications: Sequence[int] = (2, 3),
+    params: Optional[FlashParams] = None,
+    max_plans: int = 10,
+) -> List[Plan]:
+    """Enumerate configurations meeting ``slo``, cheapest first.
+
+    A configuration ``(N, c, M)`` is feasible when
+
+    * an ``(N, c, 1)`` design exists in the catalog,
+    * ``M`` service times fit the response target
+      (``M * read_ms <= response_ms``), the interval being
+      ``T = M * read_ms``,
+    * the admitted throughput ``S(M) / T`` covers the requested rate,
+      where additionally ``S`` cannot exceed ``N * M`` (devices are the
+      physical bound).
+
+    Results are sorted by total storage cost ``N * c``, then ``c``.
+    """
+    read_ms = (params or MSR_SSD_PARAMS).read_ms
+    plans: List[Plan] = []
+    max_m = max(1, int(slo.response_ms / read_ms + 1e-9))
+    for n in sorted(device_counts):
+        for c in replications:
+            if c > n or not _design_exists(n, c):
+                continue
+            for m in range(1, max_m + 1):
+                interval = m * read_ms
+                s = min(guarantee_capacity(m, c), n * m)
+                throughput = s / interval
+                if throughput >= slo.requests_per_ms:
+                    plans.append(Plan(
+                        n_devices=n, replication=c, accesses=m,
+                        interval_ms=interval,
+                        capacity_per_interval=s,
+                        throughput_per_ms=throughput,
+                        storage_overhead=c,
+                    ))
+                    break  # smallest M suffices for this (N, c)
+    plans.sort(key=lambda p: (p.n_devices * p.replication,
+                              p.replication, p.accesses))
+    return plans[:max_plans]

@@ -1,0 +1,126 @@
+"""Deployment self-check: verify a configuration end to end.
+
+Before trusting guarantees in production, an operator wants evidence
+that *this* configuration actually delivers them.  ``self_check`` runs
+a battery over a :class:`~repro.core.qos.QoSFlashArray`:
+
+1. **design audit** -- pairwise balance (λ = 1) of the design in use;
+2. **guarantee probe** -- random batches at the admission limit ``S``
+   must schedule within ``M`` accesses (the theorem, spot-checked);
+3. **timing probe** -- a short simulated run must complete every
+   request within the guarantee;
+4. **capacity sanity** -- the admission ceiling must not exceed what
+   the devices can physically serve.
+
+Each check returns a :class:`CheckResult`; the battery passes only if
+all do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["CheckResult", "SelfCheckReport", "self_check"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+@dataclass(frozen=True)
+class SelfCheckReport:
+    """All check outcomes for one configuration."""
+
+    checks: List[CheckResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        lines = []
+        for c in self.checks:
+            mark = "PASS" if c.passed else "FAIL"
+            lines.append(f"[{mark}] {c.name}: {c.detail}")
+        verdict = "ALL CHECKS PASSED" if self.passed else \
+            "SELF-CHECK FAILED"
+        return "\n".join(lines + [verdict])
+
+
+def self_check(qos, trials: int = 200, seed: int = 0) -> SelfCheckReport:
+    """Run the deployment battery on ``qos``.
+
+    Parameters
+    ----------
+    qos:
+        A :class:`~repro.core.qos.QoSFlashArray` (possibly degraded).
+    trials:
+        Random guarantee probes.
+    """
+    from repro.designs.verify import verify_design
+    from repro.retrieval.maxflow import is_retrievable_in
+    from repro.traces.synthetic import synthetic_trace
+
+    checks: List[CheckResult] = []
+
+    # 1. design audit
+    try:
+        verify_design(qos.design)
+        checks.append(CheckResult(
+            "design pairwise balance", True,
+            f"{qos.design.name or 'design'}: every device pair in at "
+            f"most one block"))
+    except ValueError as exc:
+        checks.append(CheckResult("design pairwise balance", False,
+                                  str(exc)))
+
+    # 2. guarantee probe: any S buckets retrievable in M accesses
+    rng = np.random.default_rng(seed)
+    s = qos.capacity_per_interval
+    m = qos.accesses
+    alloc = qos.allocation
+    failures = 0
+    probe_size = min(s, alloc.n_buckets)
+    for _ in range(trials):
+        picks = rng.choice(alloc.n_buckets, size=probe_size,
+                           replace=False)
+        cands = [alloc.devices_for(int(b)) for b in picks]
+        if not is_retrievable_in(cands, alloc.n_devices, m):
+            failures += 1
+    checks.append(CheckResult(
+        "guarantee probe", failures == 0,
+        f"{trials} random batches of {probe_size} buckets vs "
+        f"M={m}: {failures} failures"))
+
+    # 3. timing probe through the simulator
+    if probe_size >= 1:
+        trace = synthetic_trace(probe_size, qos.interval_ms,
+                                n_blocks_pool=alloc.n_buckets,
+                                total_requests=probe_size * 20,
+                                seed=seed)
+        report = qos.run_online(trace.arrival_ms, trace.block)
+        ok = report.guarantee_met and report.overall.pct_delayed == 0.0
+        checks.append(CheckResult(
+            "timing probe", ok,
+            f"max response {report.max_response_ms:.6f} ms vs "
+            f"guarantee {report.guarantee_ms:.6f} ms, "
+            f"{report.pct_delayed:.1f}% delayed"))
+
+    # 4. capacity sanity
+    physical = alloc.n_devices * m
+    checks.append(CheckResult(
+        "capacity sanity", s <= physical,
+        f"admission S={s} vs physical ceiling N*M={physical}"))
+
+    return SelfCheckReport(checks)

@@ -1,0 +1,93 @@
+"""Multi-tenant admission: per-application budget enforcement.
+
+Paper §III-A admits whole *applications* by declared request size; the
+system-level limit ``S`` is then partitioned among them.  This module
+enforces both levels per interval:
+
+* the system admits at most ``S`` requests,
+* each application admits at most its declared size,
+
+so one tenant bursting cannot consume another tenant's guarantee --
+the isolation property implicit in the paper's Table I walkthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.guarantees import guarantee_capacity
+
+__all__ = ["TenantAdmission", "TenantDecision"]
+
+
+@dataclass(frozen=True)
+class TenantDecision:
+    """Outcome of one tenant-aware admission query."""
+
+    admitted: bool
+    #: which budget refused ("" when admitted; "app" or "system")
+    refused_by: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class TenantAdmission:
+    """Two-level (system + per-application) interval budgets.
+
+    Parameters
+    ----------
+    budgets:
+        Declared request size per application name.
+    replication, accesses:
+        System capacity parameters; ``S = (c-1)M^2 + cM``.
+    strict:
+        When True (default) the combined declared sizes must fit the
+        system limit, mirroring the paper's admission of applications.
+    """
+
+    def __init__(self, budgets: Dict[str, int], replication: int,
+                 accesses: int = 1, strict: bool = True):
+        if any(b < 0 for b in budgets.values()):
+            raise ValueError("budgets must be >= 0")
+        self.limit = guarantee_capacity(accesses, replication)
+        total = sum(budgets.values())
+        if strict and total > self.limit:
+            raise ValueError(
+                f"declared sizes total {total}, exceeding the system "
+                f"capacity S = {self.limit}")
+        self.budgets = dict(budgets)
+        self._system_count = 0
+        self._app_counts: Dict[str, int] = {a: 0 for a in budgets}
+
+    @property
+    def system_count(self) -> int:
+        return self._system_count
+
+    def app_count(self, app: str) -> int:
+        return self._app_counts.get(app, 0)
+
+    def start_interval(self) -> None:
+        """Reset all counters at an interval boundary."""
+        self._system_count = 0
+        for app in self._app_counts:
+            self._app_counts[app] = 0
+
+    def offer(self, app: str, n_requests: int = 1) -> TenantDecision:
+        """Offer ``n_requests`` from ``app`` for the current interval.
+
+        Unknown applications are refused outright (they were never
+        admitted to the system).
+        """
+        if n_requests < 0:
+            raise ValueError("n_requests must be >= 0")
+        if app not in self.budgets:
+            return TenantDecision(False, refused_by="app")
+        if self._app_counts[app] + n_requests > self.budgets[app]:
+            return TenantDecision(False, refused_by="app")
+        if self._system_count + n_requests > self.limit:
+            return TenantDecision(False, refused_by="system")
+        self._app_counts[app] += n_requests
+        self._system_count += n_requests
+        return TenantDecision(True)

@@ -1,0 +1,38 @@
+"""Combinatorial block designs for replicated declustering.
+
+The paper's allocation strategy is *design-theoretic*: data buckets are
+assigned to devices using the blocks of an ``(N, c, 1)`` balanced
+incomplete block design, where ``N`` is the number of devices, ``c``
+the replication factor, and the final ``1`` means every device pair
+appears together in exactly (or at most) one design block.
+
+This package builds those designs from scratch:
+
+* :class:`~repro.designs.block_design.BlockDesign` -- immutable design
+  value type,
+* :mod:`~repro.designs.verify` -- pairwise-balance verification,
+* :mod:`~repro.designs.steiner` -- Bose construction of Steiner triple
+  systems (``N ≡ 3 (mod 6)``),
+* :mod:`~repro.designs.difference` -- cyclic difference-family search
+  (covers ``N ≡ 1 (mod 6)`` triples and small ``c = 4`` designs),
+* :mod:`~repro.designs.rotations` -- rotation closure producing the
+  ``N(N-1)/(c-1)`` ordered design blocks used for bucket placement,
+* :mod:`~repro.designs.catalog` -- verified designs including the
+  paper's ``(9,3,1)`` (Figure 2) and ``(13,3,1)``.
+"""
+
+from repro.designs.block_design import BlockDesign
+from repro.designs.catalog import design_9_3_1, design_13_3_1, get_design
+from repro.designs.rotations import rotate_block, rotation_closure
+from repro.designs.verify import pair_coverage, verify_design
+
+__all__ = [
+    "BlockDesign",
+    "design_9_3_1",
+    "design_13_3_1",
+    "get_design",
+    "pair_coverage",
+    "rotate_block",
+    "rotation_closure",
+    "verify_design",
+]

@@ -1,0 +1,106 @@
+"""The :class:`BlockDesign` value type.
+
+A design is a collection of *blocks* (ordered tuples of distinct device
+indices) over the point set ``{0, .., n_points-1}``.  Block order and
+the order of points inside a block are significant downstream: the
+``j``-th point of a block is the device holding the ``j``-th copy of a
+bucket, and rotations permute that copy order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+__all__ = ["BlockDesign"]
+
+Block = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BlockDesign:
+    """An ``(n_points, block_size, index)`` block design.
+
+    Parameters
+    ----------
+    n_points:
+        Number of points (devices), labelled ``0 .. n_points-1``.
+    blocks:
+        Ordered tuple of blocks; each block an ordered tuple of
+        ``block_size`` distinct points.
+
+    Notes
+    -----
+    Construction validates structural invariants (sizes, ranges,
+    distinctness).  The *pairwise balance* property (every point pair in
+    at most one block -- ``lambda = 1``) is checked separately by
+    :func:`repro.designs.verify.verify_design` because some useful
+    allocation baselines are expressed as designs that deliberately
+    violate it.
+    """
+
+    n_points: int
+    blocks: Tuple[Block, ...]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.n_points < 1:
+            raise ValueError(f"n_points must be >= 1, got {self.n_points}")
+        if not self.blocks:
+            raise ValueError("a design needs at least one block")
+        size = len(self.blocks[0])
+        norm = []
+        for blk in self.blocks:
+            blk = tuple(int(p) for p in blk)
+            if len(blk) != size:
+                raise ValueError(
+                    f"inconsistent block sizes: {len(blk)} vs {size}")
+            if len(set(blk)) != len(blk):
+                raise ValueError(f"block {blk} repeats a point")
+            for p in blk:
+                if not 0 <= p < self.n_points:
+                    raise ValueError(
+                        f"point {p} out of range [0, {self.n_points})")
+            norm.append(blk)
+        object.__setattr__(self, "blocks", tuple(norm))
+
+    # -- basic quantities --------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Points per block (the replication factor ``c``)."""
+        return len(self.blocks[0])
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def replication(self) -> int:
+        """Alias for :attr:`block_size` in storage terminology."""
+        return self.block_size
+
+    def points_of(self, block_index: int) -> Block:
+        """Ordered points of the block at ``block_index``."""
+        return self.blocks[block_index]
+
+    def blocks_through(self, point: int) -> Tuple[int, ...]:
+        """Indices of all blocks containing ``point``."""
+        return tuple(i for i, blk in enumerate(self.blocks) if point in blk)
+
+    def replica_count(self, point: int) -> int:
+        """How many blocks contain ``point`` (the point's degree)."""
+        return sum(1 for blk in self.blocks if point in blk)
+
+    def as_sets(self) -> Tuple[frozenset, ...]:
+        """Blocks as frozensets (order-insensitive view)."""
+        return tuple(frozenset(blk) for blk in self.blocks)
+
+    def __iter__(self) -> Iterable[Block]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __str__(self) -> str:
+        label = self.name or f"({self.n_points},{self.block_size},?)"
+        return f"BlockDesign {label} with {self.n_blocks} blocks"

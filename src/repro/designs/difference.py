@@ -1,0 +1,148 @@
+"""Cyclic difference families and their development into designs.
+
+A ``(v, k, 1)`` *difference family* is a set of base blocks in ``Z_v``
+whose pairwise differences cover every non-zero residue exactly once.
+Developing each base block through all ``v`` translations yields a
+cyclic ``(v, k, 1)`` design.  This gives, e.g., the paper's
+``(13, 3, 1)`` design from the classical base blocks
+``{0,1,4}, {0,2,7}`` and the Fano plane ``(7,3,1)`` from ``{0,1,3}``.
+
+For small parameters not in the table below, :func:`find_difference_family`
+performs a backtracking search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.designs.block_design import BlockDesign
+from repro.designs.verify import verify_design
+
+__all__ = [
+    "develop",
+    "find_difference_family",
+    "cyclic_design",
+    "KNOWN_FAMILIES",
+]
+
+# Classical (v, k, 1) difference families.  Each entry maps
+# (v, k) -> tuple of base blocks.  The k=3 entries are the standard
+# Netto-style families; (13, 4) is the Singer difference set of the
+# projective plane PG(2, 3).
+KNOWN_FAMILIES: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {
+    (7, 3): ((0, 1, 3),),
+    (13, 3): ((0, 1, 4), (0, 2, 7)),
+    (19, 3): ((0, 1, 5), (0, 2, 8), (0, 3, 10)),
+    (13, 4): ((0, 1, 3, 9),),
+    (21, 5): ((0, 1, 6, 8, 18),),
+}
+
+
+def _differences(block: Sequence[int], v: int) -> List[int]:
+    """All ordered non-zero differences of a block modulo ``v``."""
+    out = []
+    for i, a in enumerate(block):
+        for j, b in enumerate(block):
+            if i != j:
+                out.append((a - b) % v)
+    return out
+
+
+def family_is_valid(base_blocks: Sequence[Sequence[int]], v: int) -> bool:
+    """Check that ``base_blocks`` form a (v, k, 1) difference family."""
+    seen: set[int] = set()
+    for blk in base_blocks:
+        for d in _differences(blk, v):
+            if d == 0 or d in seen:
+                return False
+            seen.add(d)
+    return len(seen) == v - 1
+
+
+def develop(base_blocks: Sequence[Sequence[int]], v: int,
+            name: str = "") -> BlockDesign:
+    """Develop base blocks through ``Z_v`` into a cyclic design.
+
+    Each base block ``B`` contributes the blocks ``B + t (mod v)`` for
+    every ``t in Z_v``.
+    """
+    blocks: List[Tuple[int, ...]] = []
+    for base in base_blocks:
+        for t in range(v):
+            blocks.append(tuple((x + t) % v for x in base))
+    k = len(base_blocks[0])
+    return BlockDesign(v, tuple(blocks), name=name or f"cyclic({v},{k},1)")
+
+
+def find_difference_family(v: int, k: int) -> Optional[
+        Tuple[Tuple[int, ...], ...]]:
+    """Backtracking search for a ``(v, k, 1)`` difference family.
+
+    Returns the family (base blocks each starting with 0) or ``None``
+    if the search space is exhausted.  Intended for small parameters;
+    the known classical families are returned without search.
+    """
+    if (v, k) in KNOWN_FAMILIES:
+        return KNOWN_FAMILIES[(v, k)]
+    pair_diffs = k * (k - 1)
+    if (v - 1) % pair_diffs != 0:
+        return None
+    n_blocks = (v - 1) // pair_diffs
+    used = [False] * v  # used[d] for non-zero differences
+    blocks: List[Tuple[int, ...]] = []
+
+    def block_diffs(block: Sequence[int]) -> Optional[List[int]]:
+        diffs = _differences(block, v)
+        if len(set(diffs)) != len(diffs):
+            return None
+        if any(used[d] for d in diffs):
+            return None
+        return diffs
+
+    def search(min_start: int) -> bool:
+        if len(blocks) == n_blocks:
+            return True
+
+        def extend(partial: List[int], lo: int) -> bool:
+            if len(partial) == k:
+                diffs = block_diffs(partial)
+                if diffs is None:
+                    return False
+                for d in diffs:
+                    used[d] = True
+                blocks.append(tuple(partial))
+                if search(partial[1]):
+                    return True
+                blocks.pop()
+                for d in diffs:
+                    used[d] = False
+                return False
+            for x in range(lo, v):
+                # prune: the difference x - previous must be unused
+                partial.append(x)
+                if extend(partial, x + 1):
+                    return True
+                partial.pop()
+            return False
+
+        return extend([0], min_start)
+
+    if search(1):
+        return tuple(blocks)
+    return None
+
+
+def cyclic_design(v: int, k: int) -> BlockDesign:
+    """Build a cyclic ``(v, k, 1)`` design via a difference family.
+
+    Raises
+    ------
+    ValueError
+        If no family is known or found.
+    """
+    family = find_difference_family(v, k)
+    if family is None:
+        raise ValueError(f"no ({v},{k},1) difference family found")
+    design = develop(family, v, name=f"({v},{k},1)-cyclic")
+    verify_design(design)
+    return design

@@ -1,0 +1,106 @@
+"""Projective and affine planes over prime fields.
+
+These extend the catalog beyond triple systems to larger replication
+factors:
+
+* the projective plane ``PG(2, q)`` is a ``(q^2+q+1, q+1, 1)`` design
+  -- e.g. (7,3,1), (13,4,1), (21,5,1), (31,6,1);
+* the affine plane ``AG(2, q)`` is a ``(q^2, q, 1)`` design -- e.g.
+  (9,3,1), (25,5,1), (49,7,1).
+
+Both come from coordinates over ``GF(q)``; this module implements the
+prime case ``q = p`` (arithmetic mod p), which covers every array size
+the experiments use.  Constructions are verified on first use.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.designs.block_design import BlockDesign
+from repro.designs.verify import verify_design
+
+__all__ = ["projective_plane", "affine_plane", "is_prime"]
+
+
+def is_prime(n: int) -> bool:
+    """Trial-division primality (adequate for plane orders)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def _require_prime(q: int) -> None:
+    if not is_prime(q):
+        raise ValueError(
+            f"plane order must be prime (got {q}); prime-power orders "
+            f"are not implemented")
+
+
+@lru_cache(maxsize=None)
+def projective_plane(q: int) -> BlockDesign:
+    """``PG(2, q)``: points = projective triples, lines = blocks.
+
+    Points are equivalence classes of non-zero ``(x, y, z)`` over
+    ``GF(q)`` under scaling; we normalise to representatives
+    ``(1, y, z)``, ``(0, 1, z)``, ``(0, 0, 1)`` giving
+    ``q^2 + q + 1`` points.  A line ``[a, b, c]`` contains the points
+    with ``ax + by + cz = 0 (mod q)``; lines are in bijection with
+    points (duality), each containing ``q + 1`` points.
+    """
+    _require_prime(q)
+    reps: List[Tuple[int, int, int]] = []
+    for y in range(q):
+        for z in range(q):
+            reps.append((1, y, z))
+    for z in range(q):
+        reps.append((0, 1, z))
+    reps.append((0, 0, 1))
+    index = {rep: i for i, rep in enumerate(reps)}
+
+    blocks: List[Tuple[int, ...]] = []
+    for a, b, c in reps:  # lines use the same representative set
+        members = [index[(x, y, z)] for (x, y, z) in reps
+                   if (a * x + b * y + c * z) % q == 0]
+        blocks.append(tuple(members))
+    design = BlockDesign(len(reps), tuple(blocks), name=f"PG(2,{q})")
+    verify_design(design)
+    if any(len(blk) != q + 1 for blk in blocks):  # pragma: no cover
+        raise AssertionError("projective plane line size mismatch")
+    return design
+
+
+@lru_cache(maxsize=None)
+def affine_plane(q: int) -> BlockDesign:
+    """``AG(2, q)``: points = ``GF(q)^2``, blocks = affine lines.
+
+    ``q^2`` points, ``q^2 + q`` lines of ``q`` points each; every point
+    pair lies on exactly one line, so this is a ``(q^2, q, 1)`` design.
+    Lines: ``y = mx + b`` for each slope ``m`` and intercept ``b``,
+    plus the vertical lines ``x = a``.
+    """
+    _require_prime(q)
+
+    def pt(x: int, y: int) -> int:
+        return x * q + y
+
+    blocks: List[Tuple[int, ...]] = []
+    for m in range(q):
+        for b in range(q):
+            blocks.append(tuple(pt(x, (m * x + b) % q)
+                                for x in range(q)))
+    for a in range(q):
+        blocks.append(tuple(pt(a, y) for y in range(q)))
+    design = BlockDesign(q * q, tuple(blocks), name=f"AG(2,{q})")
+    verify_design(design)
+    return design

@@ -1,0 +1,59 @@
+"""Rotation closure of design blocks.
+
+Paper §II-B4: "Rotations of the design blocks can also be used to assign
+buckets to devices in order to support more buckets.  Rotation of the
+design block (0,1,2) produces the design blocks (1,2,0) and (2,0,1)."
+
+Rotating a block does not change *which* devices hold a bucket, but it
+changes the copy order -- in particular the primary (first-copy) device,
+which drives the initial mapping of the design-theoretic retrieval
+algorithm.  A ``(N, c, 1)`` Steiner design with all rotations supports
+``N(N-1)/(c-1)`` buckets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.designs.block_design import BlockDesign
+
+__all__ = ["rotate_block", "rotation_closure", "supported_buckets"]
+
+Block = Tuple[int, ...]
+
+
+def rotate_block(block: Block, shift: int) -> Block:
+    """Cyclically rotate ``block`` left by ``shift`` positions."""
+    n = len(block)
+    shift %= n
+    return block[shift:] + block[:shift]
+
+
+def rotation_closure(design: BlockDesign) -> BlockDesign:
+    """Expand a design with all rotations of each block.
+
+    Ordering: for each rotation shift ``r`` (0 first) the blocks appear
+    in their original design order, i.e. the first ``n_blocks`` entries
+    are the unrotated design.  This mirrors the paper's bucket
+    numbering, where buckets beyond the base design reuse device sets
+    with shifted copy order.
+    """
+    blocks: List[Block] = []
+    for shift in range(design.block_size):
+        for blk in design.blocks:
+            blocks.append(rotate_block(blk, shift))
+    return BlockDesign(design.n_points, tuple(blocks),
+                       name=f"{design.name}+rotations" if design.name else "")
+
+
+def supported_buckets(n_points: int, block_size: int) -> int:
+    """Bucket count supported with rotations: ``N(N-1)/(c-1)``.
+
+    For the paper's (9,3,1): ``9*8/2 = 36``.
+    """
+    num = n_points * (n_points - 1)
+    den = block_size - 1
+    if num % den != 0:
+        raise ValueError(
+            f"N(N-1)={num} not divisible by c-1={den}")
+    return num // den

@@ -1,0 +1,71 @@
+"""Verification of design properties.
+
+The QoS guarantee ``S = (c-1)M^2 + cM`` (paper §II-B2) rests on the
+*pairwise balance* of the allocation: every pair of devices co-occurs in
+at most one design block, so any two buckets share at most one device.
+These checks are used by the catalog constructors (fail-fast on a bad
+construction) and by property-based tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Tuple
+
+from repro.designs.block_design import BlockDesign
+
+__all__ = ["pair_coverage", "verify_design", "is_steiner"]
+
+
+def pair_coverage(design: BlockDesign) -> Dict[FrozenSet[int], int]:
+    """Count, for every point pair, how many blocks contain it."""
+    counts: Dict[FrozenSet[int], int] = {}
+    for blk in design.blocks:
+        for a, b in combinations(sorted(blk), 2):
+            key = frozenset((a, b))
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def verify_design(design: BlockDesign, max_index: int = 1) -> None:
+    """Check that no point pair appears in more than ``max_index`` blocks.
+
+    Raises
+    ------
+    ValueError
+        Naming the first offending pair, if the property fails.
+    """
+    for pair, count in pair_coverage(design).items():
+        if count > max_index:
+            a, b = sorted(pair)
+            raise ValueError(
+                f"pair ({a},{b}) appears in {count} blocks "
+                f"(allowed {max_index}) in {design}")
+
+
+def is_steiner(design: BlockDesign) -> bool:
+    """True if *every* point pair appears in exactly one block.
+
+    A design with this property is a Steiner system ``S(2, c, N)``; its
+    block count is then necessarily ``N(N-1) / (c(c-1))``.
+    """
+    coverage = pair_coverage(design)
+    n = design.n_points
+    expected_pairs = n * (n - 1) // 2
+    if len(coverage) != expected_pairs:
+        return False
+    return all(count == 1 for count in coverage.values())
+
+
+def steiner_block_count(n_points: int, block_size: int) -> int:
+    """Block count of a Steiner system ``S(2, block_size, n_points)``."""
+    num = n_points * (n_points - 1)
+    den = block_size * (block_size - 1)
+    if num % den != 0:
+        raise ValueError(
+            f"no Steiner system S(2,{block_size},{n_points}) "
+            f"(divisibility fails)")
+    return num // den
+
+
+__all__.append("steiner_block_count")

@@ -1,0 +1,53 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` returning a structured result with a
+``render()`` text table and the paper's reference values alongside the
+measured ones.  The benchmark suite under ``benchmarks/`` wraps these
+runners; ``python -m repro.experiments`` runs them from the shell.
+
+=========  =====================================================
+ Runner     Paper artefact
+=========  =====================================================
+ table2     Table II  -- DTR vs OLR access counts
+ table3     Table III -- allocation-scheme response times
+ table4     Table IV  -- FIM time and memory
+ fig4       Figure 4  -- optimal retrieval probabilities
+ fig6       Figure 6  -- trace statistics
+ fig8       Figure 8  -- Exchange deterministic QoS (online)
+ fig9       Figure 9  -- TPC-E deterministic QoS (online)
+ fig10      Figure 10 -- statistical QoS vs epsilon
+ fig11      Figure 11 -- FIM match percentage
+ fig12      Figure 12 -- online vs design-theoretic delay
+ ablations  design-choice studies (not a paper artefact)
+=========  =====================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    walkthrough,
+    fig4,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "ablations",
+    "walkthrough",
+    "fig4",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table2",
+    "table3",
+    "table4",
+]

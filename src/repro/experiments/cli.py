@@ -1,0 +1,126 @@
+"""Command-line entry point: ``python -m repro.experiments`` or
+``repro-experiments``.
+
+Runs one or all experiment runners and prints their text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    fig4,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = ["main", "RUNNERS"]
+
+RUNNERS: Dict[str, Callable] = {
+    "table2": lambda fast: table2.run(samples=500 if fast else 4000),
+    "table3": lambda fast: table3.run(
+        total_requests=1000 if fast else 10_000),
+    "table4": lambda fast: table4.run(scale=0.3 if fast else 1.0),
+    "fig4": lambda fast: fig4.run(trials=300 if fast else 3000),
+    "fig6": lambda fast: fig6.run(scale=0.2 if fast else 0.5),
+    "fig8": lambda fast: fig8.run(scale=0.2 if fast else 0.5,
+                                  n_intervals=8 if fast else 24),
+    "fig9": lambda fast: fig9.run(scale=0.2 if fast else 0.5),
+    "fig10": lambda fast: fig10.run(scale=0.15 if fast else 0.4,
+                                    n_intervals=6 if fast else 16),
+    "fig11": lambda fast: fig11.run(scale=0.2 if fast else 0.5,
+                                    n_intervals=8 if fast else 24),
+    "fig12": lambda fast: fig12.run(scale=0.15 if fast else 0.4,
+                                    n_intervals=6 if fast else 12),
+}
+
+
+#: numeric columns worth charting per figure experiment
+CHART_COLUMNS: Dict[str, List[str]] = {
+    "fig4": ["P_k (measured)"],
+    "fig6": ["total reads", "max req/s"],
+    "fig8": ["QoS avg", "orig avg", "% delayed"],
+    "fig9": ["QoS avg", "orig avg", "% delayed"],
+    "fig11": ["% matched"],
+    "fig12": ["online delay", "design-theoretic delay"],
+}
+
+
+def _chart(name: str, result) -> str:
+    """Sparkline view of a figure experiment's numeric columns."""
+    from repro.experiments.plotting import series_chart
+
+    columns = CHART_COLUMNS.get(name)
+    if not columns:
+        return ""
+    rows = [r for r in result.rows
+            if all(isinstance(r[result.headers.index(c)],
+                              (int, float)) for c in columns)]
+    if not rows:
+        return ""
+    x = [rows[0][0], rows[-1][0]] if rows else []
+    series = {c: [float(r[result.headers.index(c)]) for r in rows]
+              for c in columns}
+    return series_chart([r[0] for r in rows], series,
+                        title=f"[chart] {result.name}")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*RUNNERS, "ablations", "all"],
+                        default=["all"],
+                        help="which artefacts to regenerate")
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller workloads for a quick look")
+    parser.add_argument("--chart", action="store_true",
+                        help="append ASCII sparkline charts to figures")
+    parser.add_argument("--out", metavar="DIR",
+                        help="also save each rendering to DIR/<name>.txt")
+    args = parser.parse_args(argv)
+    out_dir = None
+    if args.out:
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, result) -> None:
+        text = result.render()
+        print(text)
+        if args.chart:
+            chart = _chart(name, result)
+            if chart:
+                print()
+                print(chart)
+                text += "\n\n" + chart
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+
+    wanted = args.experiments or ["all"]
+    if "all" in wanted:
+        wanted = [*RUNNERS, "ablations"]
+    for name in wanted:
+        if name == "ablations":
+            for i, result in enumerate(ablations.run()):
+                emit(f"ablation_{i}", result)
+            continue
+        emit(name, RUNNERS[name](args.fast))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Figure 12 -- retrieval-algorithm delay comparison (§V-G).
+
+The same workloads played with online retrieval (bottom line) and with
+interval-aligned design-theoretic retrieval (top line); the filled gap
+is the alignment penalty: the batch algorithm moves mid-interval
+arrivals to the next interval boundary, adding delay the online
+algorithm avoids.  Paper: online saves ~0.12 ms (Exchange) and
+~0.17 ms (TPC-E) of average delay.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Sequence
+
+from repro.experiments.common import ExperimentResult, play_workload
+from repro.traces.exchange import exchange_like_trace
+from repro.traces.records import Trace
+from repro.traces.tpce import tpce_like_trace
+
+__all__ = ["run", "run_workload"]
+
+
+def _per_part_delays(parts: Sequence[Trace], n_devices: int,
+                     mode: str) -> List[float]:
+    """Mean *extra* latency per part: everything beyond one service time.
+
+    For the online algorithm this is the conflict/budget wait; for the
+    interval-aligned design-theoretic algorithm it additionally
+    contains the alignment to the next interval boundary -- exactly the
+    penalty Figure 12 visualises.
+    """
+    run_ = play_workload(parts, n_devices=n_devices, epsilon=0.0,
+                         mode=mode)
+    service = run_.report.guarantee_ms
+    sums = [0.0] * len(parts)
+    counts = [0] * len(parts)
+    for pr in run_.report.requests:
+        part = run_.part_of_request[pr.index]
+        extra = (pr.io.completed_at - pr.io.arrival) - service
+        sums[part] += max(0.0, extra)
+        counts[part] += 1
+    return [s / c if c else 0.0 for s, c in zip(sums, counts)]
+
+
+def run_workload(parts: Sequence[Trace], n_devices: int,
+                 label: str) -> List[List[object]]:
+    """Per-interval average delay: online vs design-theoretic."""
+    online = _per_part_delays(parts, n_devices, "online")
+    batch = _per_part_delays(parts, n_devices, "batch")
+    rows: List[List[object]] = []
+    for i, (o, b) in enumerate(zip(online, batch)):
+        rows.append([label, i, round(o, 4), round(b, 4),
+                     round(b - o, 4)])
+    mean_gap = statistics.mean(b - o for o, b in zip(online, batch))
+    rows.append([label, "mean", "", "", round(mean_gap, 4)])
+    return rows
+
+
+def run(scale: float = 0.4, n_intervals: int = 12,
+        seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 12 for both workloads."""
+    exch = exchange_like_trace(scale=scale, seed=seed,
+                               n_intervals=n_intervals)
+    tpce = tpce_like_trace(scale=scale, seed=seed)
+    rows = (run_workload(exch, 9, "exchange")
+            + run_workload(tpce, 13, "tpce"))
+    return ExperimentResult(
+        name="Figure 12 -- avg delay: online vs design-theoretic",
+        headers=["workload", "interval", "online delay",
+                 "design-theoretic delay", "gap"],
+        rows=rows,
+        notes=("Paper shape: online strictly below design-theoretic; "
+               "gap ~0.12 ms (Exchange), ~0.17 ms (TPC-E) at the "
+               "paper's contention level."),
+    )

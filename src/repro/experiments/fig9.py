@@ -1,0 +1,32 @@
+"""Figure 9 -- TPC-E deterministic QoS with online retrieval (§V-D).
+
+Same structure as Figure 8, on the TPC-E-like workload with the
+(13,3,1) design.  Paper shape: QoS avg and max pinned at 0.132507 ms;
+original trace average close but above the guarantee (paper: 0.135145
+ms mean), original max clearly above in every interval; delayed
+requests ~2-3 % with ~0.03 ms average delay.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig8 import run_parts
+from repro.traces.tpce import tpce_like_trace
+
+__all__ = ["run", "PAPER_NOTES"]
+
+PAPER_NOTES = (
+    "Paper shape: QoS avg/max = 0.132507 ms everywhere; original avg "
+    "slightly above (0.135145 ms mean), original max clearly above; "
+    "~2-3% delayed, ~0.03 ms average delay."
+)
+
+
+def run(scale: float = 0.5, seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 9 on the TPC-E-like workload."""
+    parts = tpce_like_trace(scale=scale, seed=seed)
+    result = run_parts(parts, n_devices=13,
+                       title="Figure 9 -- TPC-E deterministic QoS "
+                             "(online retrieval)")
+    result.notes = PAPER_NOTES
+    return result

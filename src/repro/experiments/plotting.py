@@ -1,0 +1,72 @@
+"""ASCII rendering of experiment series.
+
+The environment has no plotting stack, so the figure experiments render
+as text: a compact unicode bar chart per series and sparklines for
+interval traces.  Used by ``repro-experiments`` output and handy in
+notebooks/CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["bar_chart", "sparkline", "series_chart"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_BAR = "█"
+
+
+def _scale(values: Sequence[float], levels: int) -> List[int]:
+    lo = min(values)
+    hi = max(values)
+    if hi - lo < 1e-12:
+        return [0 for _ in values]
+    return [int((v - lo) / (hi - lo) * (levels - 1) + 1e-9)
+            for v in values]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline (min..max auto-scaled)."""
+    if not values:
+        return ""
+    return "".join(_SPARK[i] for i in _scale(values, len(_SPARK)))
+
+
+def bar_chart(labels: Sequence[object], values: Sequence[float],
+              width: int = 40, title: str = "",
+              fmt: str = "{:.4g}") -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return title
+    peak = max(values)
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = _BAR * (int(value / peak * width + 1e-9) if peak > 0
+                      else 0)
+        lines.append(f"{str(label).rjust(label_w)} | "
+                     f"{bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def series_chart(x: Sequence[object],
+                 series: dict,
+                 width: int = 60, title: str = "") -> str:
+    """Multiple named series as aligned sparklines with ranges.
+
+    ``series`` maps name -> values (each aligned with ``x``).
+    """
+    lines = [title] if title else []
+    if x:
+        lines.append(f"x: {x[0]} .. {x[-1]}  ({len(x)} points)")
+    name_w = max((len(n) for n in series), default=0)
+    for name, values in series.items():
+        if len(values) != len(x):
+            raise ValueError(f"series {name!r} misaligned with x")
+        if values:
+            lines.append(
+                f"{name.rjust(name_w)} {sparkline(values)} "
+                f"[{min(values):.4g} .. {max(values):.4g}]")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Table II -- comparison of retrieval algorithms on the (9,3,1) design.
+
+For each request-set size ``s = 1..6`` the paper lists the access
+counts of design-theoretic retrieval (DTR) and the online algorithm
+(OLR).  DTR values are the deterministic guarantee
+``M(s) = min{M : s <= (c-1)M^2 + cM}``; OLR entries read "1 or 2" where
+the online greedy's outcome depends on the actual set.
+
+We reproduce the table empirically: for each ``s`` we enumerate (or
+sample, for large spaces) request sets of ``s`` *distinct* design
+blocks of the rotated (9,3,1) design and collect the set of observed
+access counts for both algorithms, plus the theoretical DTR guarantee.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Set
+
+import numpy as np
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.core.guarantees import required_accesses
+from repro.experiments.common import ExperimentResult
+from repro.retrieval.design_theoretic import design_theoretic_retrieval
+from repro.retrieval.online import online_access_count
+
+__all__ = ["run", "PAPER_TABLE2"]
+
+#: The paper's Table II: s -> (DTR, OLR) strings.
+PAPER_TABLE2 = {
+    1: ("1", "1"),
+    2: ("1", "1"),
+    3: ("1", "1"),
+    4: ("1", "1 or 2"),
+    5: ("1", "1 or 2"),
+    6: ("2", "2"),
+}
+
+
+def _format(values: Set[int]) -> str:
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return str(ordered[0])
+    return " or ".join(str(v) for v in ordered)
+
+
+def run(max_size: int = 6, samples: int = 4000,
+        seed: int = 0) -> ExperimentResult:
+    """Regenerate Table II.
+
+    For ``s <= 3`` all combinations are enumerated; larger sizes use
+    ``samples`` random distinct sets.
+    """
+    alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+    blocks = [alloc.devices_for(b) for b in range(alloc.n_buckets)]
+    rng = np.random.default_rng(seed)
+    rows: List[List[object]] = []
+    for s in range(1, max_size + 1):
+        dtr_seen: Set[int] = set()
+        olr_seen: Set[int] = set()
+        if s <= 3:
+            pools = combinations(range(alloc.n_buckets), s)
+            batches = (list(c) for c in pools)
+        else:
+            batches = (
+                list(rng.choice(alloc.n_buckets, size=s, replace=False))
+                for _ in range(samples))
+        guarantee = required_accesses(s, alloc.replication)
+        for batch in batches:
+            cands = [blocks[b] for b in batch]
+            dtr = design_theoretic_retrieval(
+                cands, alloc.n_devices, guarantee_level=True,
+                replication=alloc.replication)
+            dtr_seen.add(dtr.accesses)
+            olr_seen.add(online_access_count(cands, alloc.n_devices))
+        paper_dtr, paper_olr = PAPER_TABLE2.get(s, ("?", "?"))
+        rows.append([s, paper_dtr, _format(dtr_seen),
+                     paper_olr, _format(olr_seen), guarantee])
+    return ExperimentResult(
+        name="Table II -- comparison of retrieval algorithms (9,3,1)",
+        headers=["s", "DTR (paper)", "DTR (measured)",
+                 "OLR (paper)", "OLR (measured)", "guarantee M(s)"],
+        rows=rows,
+        notes=("DTR runs at the guarantee level (interval semantics); "
+               "OLR is the arrival-order greedy.  '1 or 2' = outcome "
+               "depends on the actual request set."),
+    )

@@ -1,0 +1,76 @@
+"""Table III -- response times of the allocation schemes (§V-C).
+
+Three synthetic workloads (5 blocks / 0.133 ms, 14 / 0.266 ms,
+27 / 0.399 ms; 10 000 requests each, blocks drawn from the 36-bucket
+pool) run against RAID-1 mirrored, RAID-1 chained and the (9,3,1)
+design-theoretic allocation.  The paper's headline: only the
+design-theoretic scheme keeps every response inside the interval
+(max <= M * 0.132507 ms); RAID-1 mirrored collapses as the request
+size grows; chained sits in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.allocation.base import AllocationScheme
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.allocation.raid1 import Raid1Chained, Raid1Mirrored
+from repro.experiments.common import ExperimentResult
+from repro.flash.driver import BatchTracePlayer
+from repro.traces.synthetic import TABLE3_WORKLOADS, synthetic_trace
+
+__all__ = ["run", "schemes", "PAPER_NOTES"]
+
+PAPER_NOTES = (
+    "Paper shape: (9,3,1) max response == M*0.132507 in every row "
+    "(guarantee met); RAID-1 mirrored worst and degrading with request "
+    "size; RAID-1 chained in between; both baselines exceed the "
+    "interval on max response."
+)
+
+
+def schemes(n_devices: int = 9, replication: int = 3,
+            ) -> Dict[str, tuple]:
+    """The three Table III schemes (Figure 7) with their drivers.
+
+    The RAID baselines run the plain greedy I/O driver (least-loaded
+    replica, no remapping) -- the smart retrieval is the proposed
+    framework's contribution; the design-theoretic scheme uses the
+    §III-C combined retrieval.
+    """
+    return {
+        "RAID-1 Mirrored": (Raid1Mirrored(n_devices, replication),
+                            "greedy"),
+        "RAID-1 Chained": (Raid1Chained(n_devices, replication),
+                           "greedy"),
+        "(9,3,1) Design-theoretic": (
+            DesignTheoreticAllocation.from_parameters(
+                n_devices, replication), "combined"),
+    }
+
+
+def run(total_requests: int = 10_000, seed: int = 0,
+        n_devices: int = 9, replication: int = 3) -> ExperimentResult:
+    """Regenerate Table III (avg / std / max response per scheme)."""
+    rows: List[List[object]] = []
+    for row_idx, (reqs, interval) in enumerate(TABLE3_WORKLOADS):
+        trace = synthetic_trace(reqs, interval,
+                                total_requests=total_requests, seed=seed)
+        for name, (alloc, mode) in schemes(n_devices,
+                                           replication).items():
+            player = BatchTracePlayer(alloc, interval, retrieval=mode)
+            series, _ = player.play(trace.arrival_ms, trace.block)
+            st = series.overall()
+            guarantee = (row_idx + 1) * 0.132507
+            rows.append([reqs, interval, name,
+                         round(st.avg, 6), round(st.std, 6),
+                         round(st.max, 6),
+                         "yes" if st.max <= guarantee + 1e-9 else "NO"])
+    return ExperimentResult(
+        name="Table III -- comparison of allocation schemes (ms)",
+        headers=["req size", "interval", "scheme", "avg", "std", "max",
+                 "within guarantee"],
+        rows=rows,
+        notes=PAPER_NOTES,
+    )

@@ -1,0 +1,84 @@
+"""The paper's worked example as a reproducible artefact.
+
+Covers the illustrative figures of §III:
+
+* **Table I** -- three applications joining at T0..T3 and the
+  admission decisions;
+* **Figure 3** -- nine non-conflicting block requests retrieved in a
+  single access;
+* **Figure 5** -- retrieval of each period's requests, including the
+  T3 remapping (block (0,1,2) to device 2, block (1,3,8) to device 3).
+
+Everything is computed by the actual framework code, so this doubles as
+an end-to-end acceptance check of the §III machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.applications import (
+    Application,
+    ApplicationAdmission,
+    table1_scenario,
+)
+from repro.experiments.common import ExperimentResult
+from repro.retrieval.maxflow import maxflow_retrieval
+from repro.retrieval.policy import combined_retrieval
+
+__all__ = ["run", "FIG3_REQUESTS"]
+
+#: The nine non-conflicting requests of Figure 3.
+FIG3_REQUESTS = (
+    (0, 1, 2), (1, 2, 0), (2, 0, 1), (3, 8, 1), (4, 8, 0),
+    (5, 7, 0), (6, 0, 3), (7, 0, 5), (8, 1, 3),
+)
+
+
+def run() -> ExperimentResult:
+    """Regenerate the §III walkthrough (Table I + Figures 3 and 5)."""
+    rows: List[List[object]] = []
+
+    # --- Table I admission --------------------------------------------
+    admission = ApplicationAdmission(replication=3, accesses=1)
+    for name, size, period in (("app1", 2, 0), ("app2", 2, 1),
+                               ("app3", 1, 2)):
+        ok = admission.admit(Application(name, size), period=period)
+        rows.append(["admission", f"T{period}", name,
+                     f"size {size}", "admitted" if ok else "rejected",
+                     f"total {admission.total_request_size}"])
+    late = admission.admit(Application("app4", 1))
+    rows.append(["admission", "-", "app4", "size 1",
+                 "admitted" if late else "rejected", "system full"])
+
+    # --- Figure 5 retrieval per period ---------------------------------
+    for period, requests in table1_scenario().items():
+        cands = [r.devices for r in requests]
+        schedule = combined_retrieval(cands, 9)
+        devices = ",".join(str(d) for d in schedule.assignment)
+        remapped = sum(1 for r, d in zip(requests, schedule.assignment)
+                       if d != r.devices[0])
+        rows.append(["figure5", f"T{period}",
+                     f"{len(requests)} requests",
+                     f"{schedule.accesses} access(es)",
+                     f"devices [{devices}]",
+                     f"{remapped} remapped"])
+
+    # --- Figure 3: nine non-conflicting requests -----------------------
+    schedule = maxflow_retrieval(list(FIG3_REQUESTS), 9)
+    rows.append(["figure3", "-", "9 requests",
+                 f"{schedule.accesses} access(es)",
+                 "all devices distinct"
+                 if len(set(schedule.assignment)) == 9 else "CONFLICT",
+                 ""])
+
+    return ExperimentResult(
+        name="Walkthrough -- paper §III worked example",
+        headers=["artefact", "period", "subject", "result", "detail",
+                 "note"],
+        rows=rows,
+        notes="Paper: apps 1-3 admitted filling S=5, app4 refused; "
+              "T0-T2 retrieve in 1 access without remapping, T3 in 1 "
+              "access after 2 remappings; Figure 3's nine requests fit "
+              "one access.",
+    )

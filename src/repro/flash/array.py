@@ -1,0 +1,116 @@
+"""The flash array: N modules behind a dispatching controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.flash.metrics import ResponseStats
+from repro.flash.module import FlashModule
+from repro.flash.params import FlashParams
+from repro.sim import Environment, Event
+
+__all__ = ["IORequest", "FlashArray"]
+
+
+@dataclass
+class IORequest:
+    """One block-level I/O request travelling through the array.
+
+    Attributes
+    ----------
+    issued_at:
+        When the I/O driver sent the request (response time reference
+        point; see paper §V-C1).
+    arrival:
+        Original application arrival time; ``issued_at - arrival`` is
+        the admission/alignment delay.
+    bucket:
+        Data bucket (block) identifier.
+    """
+
+    arrival: float
+    bucket: int
+    is_read: bool = True
+    n_blocks: int = 1
+    app: str = ""
+    issued_at: float = 0.0
+    #: scheduling priority: lower is served first on priority-queue
+    #: modules (0 = foreground, higher = background)
+    priority: int = 0
+    device: int = -1
+    enqueued_at: float = 0.0
+    started_at: float = 0.0
+    completed_at: float = 0.0
+    done: Optional[Event] = None
+
+    @property
+    def response_ms(self) -> float:
+        """I/O driver response time (issue -> completion)."""
+        return self.completed_at - self.issued_at
+
+    @property
+    def delay_ms(self) -> float:
+        """Admission / alignment delay before issue."""
+        return self.issued_at - self.arrival
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end latency seen by the application."""
+        return self.completed_at - self.arrival
+
+
+class FlashArray:
+    """``n_modules`` flash modules sharing a simulation environment.
+
+    The array is deliberately policy-free: *which* module serves a
+    request is decided by the retrieval layer; the array provides the
+    queueing and timing substrate plus response accounting.
+    """
+
+    def __init__(self, env: Environment, n_modules: int,
+                 params: Optional[FlashParams] = None,
+                 ftl_factory=None, priority_queues: bool = False,
+                 module_factory=None):
+        if n_modules < 1:
+            raise ValueError("need at least one module")
+        self.env = env
+        self.params = params or FlashParams()
+        if module_factory is not None:
+            # custom module type (channel-level geometry, HDD, ...);
+            # must be interface-compatible with FlashModule
+            self.modules = [module_factory(env, i)
+                            for i in range(n_modules)]
+        else:
+            self.modules = [
+                FlashModule(env, i, self.params,
+                            ftl=ftl_factory() if ftl_factory else None,
+                            priority_queue=priority_queues)
+                for i in range(n_modules)]
+        self.stats = ResponseStats()
+
+    @property
+    def n_modules(self) -> int:
+        return len(self.modules)
+
+    def issue(self, request: IORequest, device: int) -> Event:
+        """Issue ``request`` to ``device``; returns its completion event.
+
+        Sets ``issued_at`` to the current simulation time and hooks the
+        completion into the array's response statistics.
+        """
+        if not 0 <= device < self.n_modules:
+            raise IndexError(f"device {device} out of range")
+        request.issued_at = self.env.now
+        request.done = self.env.event()
+        request.done.add_callback(self._on_complete)
+        self.modules[device].submit(request)
+        return request.done
+
+    def _on_complete(self, event: Event) -> None:
+        request: IORequest = event.value
+        self.stats.record(request.response_ms, request.delay_ms)
+
+    def queue_depths(self) -> List[int]:
+        """Snapshot of per-module queue depths."""
+        return [m.queue_depth for m in self.modules]

@@ -1,0 +1,501 @@
+"""Trace players: feed block-request traces through the flash array.
+
+Two drivers mirror the paper's two retrieval modes:
+
+* :class:`BatchTracePlayer` -- interval-based design-theoretic
+  retrieval (§III-C, used for Table III): requests are aligned to
+  interval boundaries, each interval's batch is scheduled as a whole,
+  and every request is issued at the interval start.
+* :class:`OnlineTracePlayer` -- online retrieval (§IV-B, used for
+  Figures 8-10 and 12): requests are served as they arrive, FCFS,
+  with admission control deciding between *serve now*, *delay until a
+  replica is idle* (deterministic QoS), *queue on the earliest-finish
+  replica* (statistical QoS with ``Q < ε``), or *delay to the next
+  interval* (budget overflow).
+
+Both drivers execute the actual service through the DES flash array, so
+reported response times come from simulated queueing, not closed-form
+shortcuts; the online driver keeps a busy-until mirror only to make
+placement decisions (service times are deterministic, so the mirror is
+exact and is cross-checked by tests against the DES outcome).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.allocation.base import AllocationScheme
+from repro.core.admission import DeterministicAdmission, StatisticalAdmission
+from repro.flash.array import FlashArray, IORequest
+from repro.flash.metrics import IntervalSeries
+from repro.retrieval.design_theoretic import design_theoretic_retrieval
+from repro.retrieval.policy import combined_retrieval
+from repro.sim import Environment
+
+__all__ = ["BatchTracePlayer", "OnlineTracePlayer", "PlayedRequest"]
+
+
+@dataclass
+class PlayedRequest:
+    """Bookkeeping for one request after a play-through."""
+
+    io: IORequest
+    interval: int
+    delayed: bool
+    #: index of the request in the caller's input arrays
+    index: int = -1
+    #: True when admission rejected the request outright (reject
+    #: policy); the request was never served
+    rejected: bool = False
+
+    @property
+    def response_ms(self) -> float:
+        return self.io.response_ms
+
+    @property
+    def delay_ms(self) -> float:
+        return self.io.delay_ms
+
+
+def _group_by_interval(arrivals: Sequence[float], interval_ms: float,
+                       ) -> Dict[int, List[int]]:
+    groups: Dict[int, List[int]] = {}
+    for i, t in enumerate(arrivals):
+        idx = int(t / interval_ms + 1e-9)
+        groups.setdefault(idx, []).append(i)
+    return groups
+
+
+class BatchTracePlayer:
+    """Interval-aligned playback with batch (design-theoretic) retrieval.
+
+    Parameters
+    ----------
+    allocation:
+        Bucket -> replica devices mapping.
+    interval_ms:
+        The QoS interval ``T``.
+    retrieval:
+        ``"combined"`` (DTR + max-flow fallback, §III-C, default) or
+        ``"guarantee"`` (plain DTR targeting the guarantee level
+        ``M(b)``, the Table II semantics).
+    """
+
+    def __init__(self, allocation: AllocationScheme, interval_ms: float,
+                 retrieval: str = "combined",
+                 params=None, module_factory=None):
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        if retrieval not in ("combined", "guarantee", "greedy"):
+            raise ValueError(f"unknown retrieval mode {retrieval!r}")
+        self.allocation = allocation
+        self.interval_ms = interval_ms
+        self.retrieval = retrieval
+        self.params = params
+        #: optional custom module constructor (e.g. HDDModule for the
+        #: flash-vs-HDD motivation ablation)
+        self.module_factory = module_factory
+
+    def _schedule(self, candidates, carry):
+        """Device assignment for one interval batch.
+
+        ``carry[d]`` is the backlog on device ``d`` in service-time
+        units at the batch instant; all modes are queue-aware so one
+        slow interval does not silently cascade into the next.
+        """
+        n = self.allocation.n_devices
+        if self.retrieval == "greedy":
+            # The baseline I/O driver: arrival-order, least-loaded
+            # replica (counting backlog).  No remapping, no max-flow.
+            loads = list(carry)
+            assignment = []
+            for cands in candidates:
+                best = min(cands, key=lambda d: loads[d])
+                loads[best] += 1
+                assignment.append(best)
+            from repro.retrieval.schedule import RetrievalSchedule
+            return RetrievalSchedule(tuple(assignment), n)
+        if self.retrieval == "guarantee" and all(c <= 0 for c in carry):
+            return design_theoretic_retrieval(
+                candidates, n, guarantee_level=True,
+                replication=self.allocation.replication)
+        if all(c <= 0 for c in carry):
+            return combined_retrieval(candidates, n)
+        from repro.retrieval.maxflow import maxflow_retrieval_with_carry
+        return maxflow_retrieval_with_carry(candidates, n, carry)
+
+    def play(self, arrivals: Sequence[float], buckets: Sequence[int],
+             reads: Optional[Sequence[bool]] = None,
+             ) -> Tuple[IntervalSeries, List[PlayedRequest]]:
+        """Play a trace; returns per-interval stats and per-request detail.
+
+        ``arrivals[i]`` is the arrival time (ms) of a request for
+        ``buckets[i]``.  Requests arriving inside an interval are issued
+        at the *next* interval boundary (the alignment rule of §IV);
+        requests arriving exactly at a boundary belong to the interval
+        that starts there.
+
+        The batch player is read-only (as are all the paper's batch
+        experiments); mixed read/write traces go through
+        :class:`OnlineTracePlayer`.
+        """
+        if len(arrivals) != len(buckets):
+            raise ValueError("arrivals and buckets must align")
+        if reads is not None and not all(reads):
+            raise ValueError("BatchTracePlayer is read-only; use "
+                             "OnlineTracePlayer for writes")
+        env = Environment()
+        array = FlashArray(env, self.allocation.n_devices, self.params,
+                           module_factory=self.module_factory)
+        groups = _group_by_interval(arrivals, self.interval_ms)
+        played: List[PlayedRequest] = []
+        service = array.params.read_ms
+        busy_until = [0.0] * self.allocation.n_devices
+
+        def run():
+            for idx in sorted(groups):
+                member = groups[idx]
+                start = idx * self.interval_ms
+                # Alignment: mid-interval arrivals wait for the next
+                # boundary.  Boundary-aligned arrivals go at their own.
+                batch_time = start
+                if any(arrivals[i] > start + 1e-9 for i in member):
+                    batch_time = (idx + 1) * self.interval_ms
+                if batch_time > env.now:
+                    yield env.timeout(batch_time - env.now)
+                cands = [self.allocation.devices_for(int(buckets[i]))
+                         for i in member]
+                carry = [max(0.0, b - batch_time) / service
+                         for b in busy_until]
+                schedule = self._schedule(cands, carry)
+                for i, dev in zip(member, schedule.assignment):
+                    io = IORequest(arrival=float(arrivals[i]),
+                                   bucket=int(buckets[i]))
+                    array.issue(io, dev)
+                    busy_until[dev] = max(busy_until[dev],
+                                          batch_time) + service
+                    played.append(PlayedRequest(
+                        io=io, interval=idx, index=i,
+                        delayed=io.issued_at > io.arrival + 1e-9))
+
+        env.process(run())
+        env.run()
+
+        series = IntervalSeries()
+        for pr in played:
+            series.record(pr.interval, pr.io.response_ms,
+                          pr.io.delay_ms if pr.delayed else 0.0)
+        return series, played
+
+
+class OnlineTracePlayer:
+    """Online FCFS playback with admission control (§IV-B, §V-D/E).
+
+    Parameters
+    ----------
+    allocation:
+        Bucket -> replica devices mapping.
+    interval_ms:
+        The QoS interval ``T`` (admission budget granularity and the
+        response-time guarantee).
+    epsilon:
+        ``0`` for deterministic QoS; ``> 0`` enables statistical
+        admission, which requires ``probabilities``.
+    probabilities:
+        Sampled ``{k: P_k}`` table (statistical mode only).
+    accesses:
+        Access budget ``M`` per interval (default 1, as in the paper's
+        real-trace experiments where ``T`` fits one access).
+    """
+
+    def __init__(self, allocation: AllocationScheme, interval_ms: float,
+                 epsilon: float = 0.0,
+                 probabilities: Optional[Dict[int, float]] = None,
+                 accesses: int = 1, params=None,
+                 ftl_factory=None,
+                 tenant_budgets: Optional[Dict[str, int]] = None,
+                 overflow: str = "delay",
+                 module_factory=None):
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        if epsilon > 0 and probabilities is None:
+            raise ValueError("statistical mode requires probabilities")
+        if overflow not in ("delay", "reject"):
+            raise ValueError(f"unknown overflow policy {overflow!r}")
+        self.allocation = allocation
+        self.interval_ms = interval_ms
+        self.epsilon = epsilon
+        self.probabilities = probabilities or {}
+        self.accesses = accesses
+        self.params = params
+        self.ftl_factory = ftl_factory
+        #: optional per-application budgets (paper §III-A); when set,
+        #: play() requires the aligned ``apps`` argument and enforces
+        #: both the system limit and each tenant's declared size.
+        self.tenant_budgets = tenant_budgets
+        #: what happens to budget overflow: "delay" pushes the request
+        #: to the next interval (paper's choice in §V-D, since
+        #: cancelling may break applications); "reject" drops it --
+        #: "it can either be rejected or delayed" (§III-A1).
+        self.overflow = overflow
+        #: optional custom module constructor (e.g. HDDModule).  NOTE:
+        #: the busy-until mirror assumes deterministic service times;
+        #: with variable-latency modules the mirror is only a
+        #: heuristic and the deterministic guarantee does not hold --
+        #: which is the point of the HDD counterfactual.
+        self.module_factory = module_factory
+
+    def _make_admission(self):
+        if self.epsilon > 0:
+            return StatisticalAdmission(
+                self.probabilities, self.epsilon,
+                self.allocation.replication, self.accesses)
+        return DeterministicAdmission(self.allocation.replication,
+                                      self.accesses)
+
+    def play(self, arrivals: Sequence[float], buckets: Sequence[int],
+             reads: Optional[Sequence[bool]] = None,
+             apps: Optional[Sequence[str]] = None,
+             ) -> Tuple[IntervalSeries, List[PlayedRequest]]:
+        """Play a trace online; returns per-interval stats and detail.
+
+        ``reads[i]`` False marks a write: it is applied to *every* live
+        replica (replication consistency), counts ``c`` units against
+        the interval budget, and completes when the slowest replica
+        finishes.  With ``ftl_factory`` set, garbage-collection erases
+        stall the affected module, which is exactly the read/write
+        interference the write ablation measures.
+
+        ``apps[i]`` names the issuing application; required when the
+        player was built with ``tenant_budgets`` and used to enforce
+        each tenant's declared per-interval request size on top of the
+        system limit.
+        """
+        if len(arrivals) != len(buckets):
+            raise ValueError("arrivals and buckets must align")
+        if reads is not None and len(reads) != len(buckets):
+            raise ValueError("reads must align with buckets")
+        if self.tenant_budgets is not None:
+            if apps is None or len(apps) != len(buckets):
+                raise ValueError(
+                    "tenant budgets require an aligned apps sequence")
+        is_read = ([True] * len(buckets) if reads is None
+                   else [bool(r) for r in reads])
+        env = Environment()
+        array = FlashArray(env, self.allocation.n_devices, self.params,
+                           ftl_factory=self.ftl_factory,
+                           module_factory=self.module_factory)
+        admission = self._make_admission()
+        tenant = None
+        if self.tenant_budgets is not None:
+            from repro.core.tenancy import TenantAdmission
+
+            tenant = TenantAdmission(self.tenant_budgets,
+                                     self.allocation.replication,
+                                     self.accesses)
+        interval_ms = self.interval_ms
+        service = array.params.read_ms
+        busy_until = [0.0] * self.allocation.n_devices
+        played: List[PlayedRequest] = []
+
+        # Pending heap: (effective_time, seq, original_index)
+        heap: List[Tuple[float, int, int]] = []
+        for seq, t in enumerate(arrivals):
+            heapq.heappush(heap, (float(t), seq, seq))
+        seq_counter = len(arrivals)
+        current_interval = -1
+
+        def interval_of(t: float) -> int:
+            return int(t / interval_ms + 1e-9)
+
+        def run():
+            nonlocal seq_counter, current_interval
+            while heap:
+                t_eff = heap[0][0]
+                if t_eff > env.now:
+                    yield env.timeout(t_eff - env.now)
+                t = env.now
+                # Roll the admission window forward.
+                idx = interval_of(t)
+                while current_interval < idx:
+                    admission.start_interval()
+                    if tenant is not None:
+                        tenant.start_interval()
+                    current_interval += 1
+                # Gather the batch of simultaneous arrivals.
+                batch: List[int] = []
+                while heap and heap[0][0] <= t + 1e-12:
+                    _, _, orig = heapq.heappop(heap)
+                    batch.append(orig)
+                admitted: List[int] = []
+                admitted_writes: List[int] = []
+                for orig in batch:
+                    cost = 1 if is_read[orig] else \
+                        self.allocation.replication
+                    if tenant is not None:
+                        granted = bool(tenant.offer(apps[orig], cost))
+                    else:
+                        granted = bool(admission.offer(cost))
+                    if granted:
+                        if is_read[orig]:
+                            admitted.append(orig)
+                        else:
+                            admitted_writes.append(orig)
+                    elif self.overflow == "reject":
+                        io = IORequest(
+                            arrival=float(arrivals[orig]),
+                            bucket=int(buckets[orig]),
+                            is_read=is_read[orig])
+                        played.append(PlayedRequest(
+                            io=io, interval=idx, index=orig,
+                            delayed=False, rejected=True))
+                    else:
+                        # Budget overflow: delay to the next interval.
+                        next_start = (idx + 1) * interval_ms
+                        heapq.heappush(
+                            heap, (next_start, seq_counter, orig))
+                        seq_counter += 1
+                if admitted:
+                    self._dispatch(admitted, t, idx, arrivals, buckets,
+                                   busy_until, service, array, played,
+                                   admission)
+                for orig in admitted_writes:
+                    self._issue_write(orig, t, idx, arrivals, buckets,
+                                      busy_until, array, played,
+                                      admission)
+
+        env.process(run())
+        env.run()
+
+        series = IntervalSeries()
+        for pr in played:
+            if pr.rejected:
+                continue
+            series.record(pr.interval, pr.io.response_ms,
+                          pr.io.delay_ms if pr.delayed else 0.0)
+        return series, played
+
+    # -- placement ---------------------------------------------------------
+    def _dispatch(self, admitted: List[int], t: float, idx: int,
+                  arrivals, buckets, busy_until: List[float],
+                  service: float, array: FlashArray,
+                  played: List[PlayedRequest], admission) -> None:
+        """Place an admitted batch of simultaneous requests."""
+        cands = [self.allocation.devices_for(int(buckets[i]))
+                 for i in admitted]
+        if len(admitted) > 1:
+            # Simultaneous arrivals are scheduled together (§IV-B).
+            schedule = combined_retrieval(cands, self.allocation.n_devices)
+            chosen = list(schedule.assignment)
+        else:
+            chosen = [self._pick(cands[0], t, busy_until)]
+        for orig, dev in zip(admitted, chosen):
+            self._issue_one(orig, dev, t, idx, arrivals, buckets,
+                            busy_until, service, array, played,
+                            admission)
+
+    def _pick(self, candidates: Sequence[int], t: float,
+              busy_until: List[float]) -> int:
+        for d in candidates:
+            if busy_until[d] <= t + 1e-12:
+                return d
+        return min(candidates, key=lambda d: busy_until[d])
+
+    def _issue_one(self, orig: int, dev: int, t: float, idx: int,
+                   arrivals, buckets, busy_until: List[float],
+                   service: float, array: FlashArray,
+                   played: List[PlayedRequest], admission) -> None:
+        io = IORequest(arrival=float(arrivals[orig]),
+                       bucket=int(buckets[orig]))
+        wait = busy_until[dev] - t
+        guarantee = self.accesses * service
+        # A queued request still meets the guarantee while
+        # wait + service <= M * service; only waits beyond that are
+        # QoS-relevant conflicts.  (With M = 1 any wait conflicts,
+        # which is the paper's real-trace setting.)
+        conflict = wait + service > guarantee + 1e-12
+        admit_queued = False
+        if conflict and self.epsilon > 0:
+            # Statistical QoS: knowingly violate the guarantee for this
+            # request (it queues) as long as the violation mass Q stays
+            # below epsilon (see StatisticalAdmission.offer_conflict).
+            admit_queued = bool(admission.offer_conflict())
+        if conflict and not admit_queued:
+            # Deterministic QoS (or epsilon budget exhausted): hold the
+            # request until the device is idle, then issue -- response
+            # time stays one service time and the wait is accounted as
+            # admission delay (Fig 8c/d).
+            issue_at = busy_until[dev]
+            delayed = True
+        else:
+            # Serve now; within-guarantee queueing (or an admitted
+            # conflict) absorbs the wait into the response (Fig 10b).
+            issue_at = t
+            delayed = io.arrival + 1e-9 < t  # delayed by budget earlier
+        busy_until[dev] = max(busy_until[dev], issue_at) + service
+        array.env.process(
+            self._issue_process(array, io, dev, issue_at))
+        played.append(PlayedRequest(io=io, interval=idx, index=orig,
+                                    delayed=delayed))
+
+    @staticmethod
+    def _issue_process(array: FlashArray, io: IORequest, dev: int,
+                       issue_at: float):
+        if issue_at > array.env.now:
+            yield array.env.timeout(issue_at - array.env.now)
+        done = array.issue(io, dev)
+        yield done
+
+    # -- writes --------------------------------------------------------------
+    def _issue_write(self, orig: int, t: float, idx: int,
+                     arrivals, buckets, busy_until: List[float],
+                     array: FlashArray, played: List[PlayedRequest],
+                     admission) -> None:
+        """Apply a write to every live replica of its bucket.
+
+        The logical request completes when the slowest replica does;
+        conflict policy mirrors the read path (deterministic QoS waits
+        for all replicas to go idle, statistical QoS may queue).
+        """
+        devices = self.allocation.devices_for(int(buckets[orig]))
+        write_service = array.params.write_ms
+        read_service = array.params.read_ms
+        master = IORequest(arrival=float(arrivals[orig]),
+                           bucket=int(buckets[orig]), is_read=False)
+        guarantee = self.accesses * read_service
+        worst_wait = max(busy_until[d] - t for d in devices)
+        conflict = worst_wait + write_service > \
+            max(guarantee, write_service) + 1e-12
+        admit_queued = False
+        if conflict and self.epsilon > 0:
+            admit_queued = bool(admission.offer_conflict())
+        if conflict and not admit_queued:
+            issue_at = max(busy_until[d] for d in devices)
+            delayed = True
+        else:
+            issue_at = t
+            delayed = master.arrival + 1e-9 < t
+        for d in devices:
+            busy_until[d] = max(busy_until[d], issue_at) + write_service
+        array.env.process(
+            self._write_process(array, master, devices, issue_at))
+        played.append(PlayedRequest(io=master, interval=idx, index=orig,
+                                    delayed=delayed))
+
+    @staticmethod
+    def _write_process(array: FlashArray, master: IORequest,
+                       devices, issue_at: float):
+        from repro.sim import AllOf
+
+        if issue_at > array.env.now:
+            yield array.env.timeout(issue_at - array.env.now)
+        master.issued_at = array.env.now
+        events = []
+        for d in devices:
+            replica = IORequest(arrival=master.arrival,
+                                bucket=master.bucket, is_read=False)
+            events.append(array.issue(replica, d))
+        yield AllOf(array.env, events)
+        master.completed_at = array.env.now

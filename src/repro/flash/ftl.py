@@ -1,0 +1,162 @@
+"""A minimal page-mapped flash translation layer.
+
+The paper's experiments are read-only, but a credible flash-array
+substrate needs the write path: logical pages map to physical pages,
+overwrites invalidate and remap, and exhausted erase blocks are
+garbage-collected.  The extension benchmarks use this to measure how
+background writes would erode the read-latency guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.flash.params import FlashParams
+
+__all__ = ["PageMappedFTL", "FTLStats"]
+
+
+@dataclass
+class FTLStats:
+    """Counters exposed for wear/amplification analysis."""
+
+    host_writes: int = 0
+    flash_writes: int = 0
+    erases: int = 0
+    gc_moves: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        return (self.flash_writes / self.host_writes
+                if self.host_writes else 0.0)
+
+
+class PageMappedFTL:
+    """Page-level mapping with greedy (min-valid) garbage collection.
+
+    Parameters
+    ----------
+    params:
+        Geometry source (``pages_per_block``, ``n_blocks``).
+    gc_threshold:
+        Trigger GC when free blocks drop to this count.
+    """
+
+    def __init__(self, params: Optional[FlashParams] = None,
+                 gc_threshold: int = 2):
+        self.params = params or FlashParams()
+        if gc_threshold < 1:
+            raise ValueError("gc_threshold must be >= 1")
+        self.gc_threshold = gc_threshold
+        ppb = self.params.pages_per_block
+        nb = self.params.n_blocks
+        self.capacity_pages = ppb * nb
+        # map: logical page -> physical page (block * ppb + offset)
+        self.mapping: Dict[int, int] = {}
+        self.reverse: Dict[int, int] = {}
+        self.valid: List[int] = [0] * nb        # valid pages per block
+        self.write_ptr: List[int] = [0] * nb     # next free offset
+        self.free_blocks: List[int] = list(range(nb - 1, -1, -1))
+        self.active: int = self.free_blocks.pop()
+        self.stats = FTLStats()
+
+    # -- host interface ----------------------------------------------------
+    def read(self, logical: int) -> Optional[int]:
+        """Physical page for ``logical``, or None if never written."""
+        return self.mapping.get(logical)
+
+    def write(self, logical: int) -> int:
+        """Write ``logical``; returns the physical page used."""
+        self.stats.host_writes += 1
+        return self._program(logical, host=True)
+
+    # -- internals ----------------------------------------------------------
+    def _program(self, logical: int, host: bool) -> int:
+        ppb = self.params.pages_per_block
+        old = self.mapping.get(logical)
+        if old is not None:
+            self.valid[old // ppb] -= 1
+            del self.reverse[old]
+        if self.write_ptr[self.active] >= ppb:
+            self._advance_active()
+        phys = self._place(logical, self.active)
+        self.stats.flash_writes += 1
+        if not host:
+            self.stats.gc_moves += 1
+        return phys
+
+    def _place(self, logical: int, block: int) -> int:
+        """Append ``logical`` to ``block``'s next free page slot."""
+        ppb = self.params.pages_per_block
+        phys = block * ppb + self.write_ptr[block]
+        self.write_ptr[block] += 1
+        self.valid[block] += 1
+        self.mapping[logical] = phys
+        self.reverse[phys] = logical
+        return phys
+
+    def _advance_active(self) -> None:
+        if len(self.free_blocks) > self.gc_threshold:
+            self.active = self.free_blocks.pop()
+            return
+        dest = self._collect()
+        ppb = self.params.pages_per_block
+        if dest is not None and self.write_ptr[dest] < ppb:
+            # continue writing into the compaction destination
+            self.active = dest
+            return
+        if self.free_blocks:
+            self.active = self.free_blocks.pop()
+            return
+        raise RuntimeError(  # pragma: no cover - guarded by _collect
+            "FTL out of space: all blocks full of valid data")
+
+    def _victim(self) -> int:
+        ppb = self.params.pages_per_block
+        best, best_valid = -1, ppb + 1
+        for blk in range(self.params.n_blocks):
+            if blk == self.active or self.write_ptr[blk] < ppb:
+                continue
+            if self.valid[blk] < best_valid:
+                best, best_valid = blk, self.valid[blk]
+        return best
+
+    def _collect(self) -> Optional[int]:
+        """Compact one victim into a fresh destination block.
+
+        The destination comes from the free list, so garbage collection
+        never touches the (possibly full) active block; the erased
+        victim rejoins the free list, keeping the free count constant
+        while reclaiming the victim's invalid pages as slack in the
+        destination.  Returns the destination block, which the caller
+        may adopt as the new active block.
+        """
+        victim = self._victim()
+        if victim < 0 or not self.free_blocks:
+            return None
+        ppb = self.params.pages_per_block
+        if self.valid[victim] >= ppb:
+            raise RuntimeError("FTL out of space: coldest block is "
+                               "entirely valid data")
+        dest = self.free_blocks.pop()
+        movers = [self.reverse[p]
+                  for p in range(victim * ppb, (victim + 1) * ppb)
+                  if p in self.reverse]
+        for logical in movers:
+            old = self.mapping[logical]
+            self.valid[old // ppb] -= 1
+            del self.reverse[old]
+            self._place(logical, dest)
+            self.stats.flash_writes += 1
+            self.stats.gc_moves += 1
+        self.valid[victim] = 0
+        self.write_ptr[victim] = 0
+        self.free_blocks.insert(0, victim)
+        self.stats.erases += 1
+        return dest
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of capacity holding valid data."""
+        return len(self.mapping) / self.capacity_pages

@@ -1,0 +1,134 @@
+"""I/O-driver response-time accounting.
+
+The paper compares allocation schemes "with respect to their I/O driver
+response times, which is defined as the time between sending the I/O
+request and receiving the corresponding response" (§V-C1).  This module
+accumulates those samples and reports the avg / std / max rows of
+Table III as well as per-interval series for Figures 8-10 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ResponseStats", "IntervalSeries"]
+
+
+@dataclass
+class ResponseStats:
+    """Streaming response-time statistics.
+
+    Samples are recorded via :meth:`record`; summary statistics use
+    numpy over the collected array (simplicity first; the sample counts
+    in this project are modest).
+    """
+
+    samples: List[float] = field(default_factory=list)
+    delays: List[float] = field(default_factory=list)
+    n_delayed: int = 0
+    n_total: int = 0
+
+    def record(self, response_ms: float, delay_ms: float = 0.0) -> None:
+        """Record one completed request.
+
+        Parameters
+        ----------
+        response_ms:
+            Time from (re)issue to completion.
+        delay_ms:
+            Admission delay before issue; > 0 marks the request as
+            *delayed* for the Figure 8(c,d) accounting.
+        """
+        self.samples.append(response_ms)
+        self.n_total += 1
+        if delay_ms > 0:
+            self.delays.append(delay_ms)
+            self.n_delayed += 1
+
+    # -- summary ---------------------------------------------------------
+    def _arr(self) -> np.ndarray:
+        return np.asarray(self.samples, dtype=np.float64)
+
+    @property
+    def avg(self) -> float:
+        return float(self._arr().mean()) if self.samples else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(self._arr().std()) if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(self._arr().max()) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Response-time percentile ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(self._arr(), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def avg_delay(self) -> float:
+        """Mean delay over *delayed* requests only (paper Fig 8c)."""
+        return (float(np.mean(self.delays)) if self.delays else 0.0)
+
+    @property
+    def pct_delayed(self) -> float:
+        """Percentage of requests that were delayed (paper Fig 8d)."""
+        return 100.0 * self.n_delayed / self.n_total if self.n_total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The Table III row for this run."""
+        return {"avg": self.avg, "std": self.std, "max": self.max,
+                "avg_delay": self.avg_delay,
+                "pct_delayed": self.pct_delayed, "n": float(self.n_total)}
+
+
+class IntervalSeries:
+    """Per-interval response statistics (Figures 8-12 series).
+
+    Each completed request is attributed to an interval index; the
+    series then exposes aligned per-interval arrays.
+    """
+
+    def __init__(self):
+        self._stats: Dict[int, ResponseStats] = {}
+
+    def record(self, interval: int, response_ms: float,
+               delay_ms: float = 0.0) -> None:
+        self._stats.setdefault(interval, ResponseStats()).record(
+            response_ms, delay_ms)
+
+    def intervals(self) -> List[int]:
+        return sorted(self._stats)
+
+    def stats(self, interval: int) -> ResponseStats:
+        return self._stats.setdefault(interval, ResponseStats())
+
+    def series(self, attr: str) -> Tuple[List[int], List[float]]:
+        """``(interval_indices, values)`` for a ResponseStats attribute."""
+        idx = self.intervals()
+        return idx, [getattr(self._stats[i], attr) for i in idx]
+
+    def overall(self) -> ResponseStats:
+        """Merge all intervals into one summary."""
+        merged = ResponseStats()
+        for st in self._stats.values():
+            merged.samples.extend(st.samples)
+            merged.delays.extend(st.delays)
+            merged.n_delayed += st.n_delayed
+            merged.n_total += st.n_total
+        return merged

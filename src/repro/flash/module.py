@@ -1,0 +1,91 @@
+"""One flash module: a FCFS service queue on the DES kernel.
+
+A :class:`FlashModule` runs a service loop as a simulation process:
+requests enter an unbounded FIFO queue and are served one at a time,
+each occupying the module for its deterministic service time.  This is
+exactly the contention model behind the paper's DiskSim runs -- flash
+has no positional delays, so a module is a constant-rate server.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.flash.params import FlashParams
+from repro.sim import Environment, Store
+from repro.sim.resources import PriorityStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.flash.array import IORequest
+
+__all__ = ["FlashModule"]
+
+
+class FlashModule:
+    """A single flash module with its own controller queue.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    module_id:
+        Device index inside the array.
+    params:
+        Timing parameters; defaults to the paper's MSR SSD constants.
+    """
+
+    def __init__(self, env: Environment, module_id: int,
+                 params: Optional[FlashParams] = None,
+                 ftl=None, priority_queue: bool = False):
+        self.env = env
+        self.module_id = module_id
+        self.params = params or FlashParams()
+        #: optional :class:`repro.flash.ftl.PageMappedFTL`; when set,
+        #: writes run through the mapping layer and garbage-collection
+        #: erase time stalls the module (read/write interference).
+        self.ftl = ftl
+        #: with a priority queue, lower ``IORequest.priority`` values
+        #: are served first (background work yields to foreground)
+        self.queue = PriorityStore(env) if priority_queue else Store(env)
+        self.busy = False
+        self.n_served = 0
+        self.busy_time = 0.0
+        env.process(self._service_loop())
+
+    def submit(self, request: "IORequest") -> None:
+        """Enqueue ``request`` for service on this module."""
+        request.device = self.module_id
+        request.enqueued_at = self.env.now
+        if isinstance(self.queue, PriorityStore):
+            self.queue.put(request, priority=request.priority)
+        else:
+            self.queue.put(request)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting (not counting the one in service)."""
+        return len(self.queue)
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent serving."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+    def _service_loop(self):
+        while True:
+            request = yield self.queue.get()
+            self.busy = True
+            request.started_at = self.env.now
+            service = self.params.service_ms(request.is_read,
+                                             request.n_blocks)
+            if self.ftl is not None and not request.is_read:
+                erases_before = self.ftl.stats.erases
+                for j in range(request.n_blocks):
+                    self.ftl.write(request.bucket + j)
+                service += (self.ftl.stats.erases - erases_before) \
+                    * self.params.block_erase_ms
+            yield self.env.timeout(service)
+            self.busy = False
+            self.busy_time += service
+            self.n_served += 1
+            request.completed_at = self.env.now
+            request.done.succeed(request)

@@ -1,0 +1,19 @@
+"""Flow networks and maximum-flow algorithms.
+
+The optimal retrieval schedule of replicated data (paper §III-C,
+following Altiparmak & Tosun's max-flow formulation) reduces to a
+bipartite feasibility question answered by maximum flow.  This package
+provides the from-scratch substrate:
+
+* :class:`~repro.graph.flownet.FlowNetwork` -- a compact adjacency-list
+  flow network with residual edges,
+* :func:`~repro.graph.dinic.max_flow` -- Dinic's algorithm,
+* :mod:`~repro.graph.matching` -- bipartite assignment helpers built on
+  top of the flow solver.
+"""
+
+from repro.graph.dinic import max_flow
+from repro.graph.flownet import FlowNetwork
+from repro.graph.matching import bounded_degree_assignment
+
+__all__ = ["FlowNetwork", "max_flow", "bounded_degree_assignment"]

@@ -1,0 +1,93 @@
+"""Dinic's maximum-flow algorithm.
+
+Dinic's algorithm alternates breadth-first construction of the level
+graph with depth-first blocking flows.  On the unit-capacity bipartite
+networks produced by the retrieval scheduler it runs in
+``O(E * sqrt(V))``, comfortably inside the paper's ``O(b^3)`` bound for
+a request batch of ``b`` blocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.graph.flownet import FlowNetwork
+
+__all__ = ["max_flow"]
+
+_INF = float("inf")
+
+
+def _bfs_levels(net: FlowNetwork, source: int, sink: int,
+                levels: List[int]) -> bool:
+    """Build the BFS level graph; return True if the sink is reachable."""
+    for i in range(len(levels)):
+        levels[i] = -1
+    levels[source] = 0
+    q = deque([source])
+    while q:
+        u = q.popleft()
+        for _, v, cap in net.edges_from(u):
+            if cap > 0 and levels[v] < 0:
+                levels[v] = levels[u] + 1
+                q.append(v)
+    return levels[sink] >= 0
+
+
+def _dfs_block(net: FlowNetwork, u: int, sink: int, pushed: float,
+               levels: List[int], iters: List[int]) -> float:
+    """Send up to ``pushed`` units from ``u`` toward the sink."""
+    if u == sink:
+        return pushed
+    head = net._head[u]
+    to = net._to
+    cap = net._cap
+    while iters[u] < len(head):
+        idx = head[iters[u]]
+        v = to[idx]
+        if cap[idx] > 0 and levels[v] == levels[u] + 1:
+            sent = _dfs_block(net, v, sink, min(pushed, cap[idx]),
+                              levels, iters)
+            if sent > 0:
+                cap[idx] -= sent
+                cap[idx ^ 1] += sent
+                return sent
+        iters[u] += 1
+    return 0
+
+
+def max_flow(net: FlowNetwork, source: int, sink: int,
+             limit: float = _INF) -> int:
+    """Compute the maximum ``source -> sink`` flow in ``net``.
+
+    Parameters
+    ----------
+    net:
+        The network; its residual capacities are mutated in place (use
+        :meth:`FlowNetwork.reset_flow` to solve again from scratch).
+    source, sink:
+        Terminal nodes; must differ.
+    limit:
+        Optional early-exit bound: stop once this much flow is routed.
+        Useful for pure feasibility questions.
+
+    Returns
+    -------
+    int
+        The value of the flow found (== max flow unless ``limit`` hit).
+    """
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    net._check_node(source)
+    net._check_node(sink)
+    levels = [-1] * net.n_nodes
+    total = 0
+    while total < limit and _bfs_levels(net, source, sink, levels):
+        iters = [0] * net.n_nodes
+        while total < limit:
+            sent = _dfs_block(net, source, sink, limit - total, levels, iters)
+            if sent <= 0:
+                break
+            total += sent
+    return int(total)

@@ -1,0 +1,116 @@
+"""Lightweight capacitated bipartite matching (Kuhn augmenting paths).
+
+The retrieval feasibility question -- *can these requests be assigned
+to replica devices with at most M per device?* -- is asked millions of
+times by the ``P_k`` sampler (Figure 4) and the admission machinery.
+Building a :class:`~repro.graph.flownet.FlowNetwork` per query dominates
+the profile, so this module answers it directly on the candidate lists:
+a greedy least-loaded seed followed by Kuhn-style augmenting searches
+for the leftovers.  It computes exactly the same answer as the Dinic
+formulation (the test-suite cross-checks them on random instances) at a
+fraction of the constant cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["capacitated_assignment", "capacitated_feasible"]
+
+
+def capacitated_assignment(candidates: Sequence[Sequence[int]],
+                           n_bins: int,
+                           capacity: int,
+                           ) -> Optional[List[int]]:
+    """Assign items to candidate bins with at most ``capacity`` per bin.
+
+    Returns the assignment list or ``None`` when infeasible.  Exact:
+    augmenting paths make the greedy seed lossless.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    n_items = len(candidates)
+    if n_items == 0:
+        return []
+    if capacity == 0:
+        return None
+
+    loads = [0] * n_bins
+    assignment: List[int] = [-1] * n_items
+    items_in_bin: List[List[int]] = [[] for _ in range(n_bins)]
+    pending: List[int] = []
+
+    # Greedy seed: least-loaded candidate bin (fast path resolves the
+    # overwhelming majority of items).
+    for i, cands in enumerate(candidates):
+        best, best_load = -1, capacity
+        for b in cands:
+            if loads[b] < best_load:
+                best, best_load = b, loads[b]
+        if best >= 0:
+            assignment[i] = best
+            loads[best] += 1
+            items_in_bin[best].append(i)
+        else:
+            pending.append(i)
+
+    if not pending:
+        return assignment
+
+    # Augment each leftover item: find a chain item -> bin -> resident
+    # item -> other bin ... ending at a bin with spare capacity.
+    visited_bin = [0] * n_bins
+    stamp = 0
+
+    def augment(i: int) -> bool:
+        for b in candidates[i]:
+            if visited_bin[b] == stamp:
+                continue
+            visited_bin[b] = stamp
+            if loads[b] < capacity:
+                _place(i, b)
+                return True
+            for resident in list(items_in_bin[b]):
+                if augment_from(resident):
+                    # resident moved away; slot freed
+                    _place(i, b)
+                    return True
+        return False
+
+    def augment_from(i: int) -> bool:
+        current = assignment[i]
+        for b in candidates[i]:
+            if b == current or visited_bin[b] == stamp:
+                continue
+            visited_bin[b] = stamp
+            if loads[b] < capacity:
+                _move(i, b)
+                return True
+            for resident in list(items_in_bin[b]):
+                if augment_from(resident):
+                    _move(i, b)
+                    return True
+        return False
+
+    def _place(i: int, b: int) -> None:
+        assignment[i] = b
+        loads[b] += 1
+        items_in_bin[b].append(i)
+
+    def _move(i: int, b: int) -> None:
+        old = assignment[i]
+        items_in_bin[old].remove(i)
+        loads[old] -= 1
+        _place(i, b)
+
+    for i in pending:
+        stamp += 1
+        if not augment(i):
+            return None
+    return assignment
+
+
+def capacitated_feasible(candidates: Sequence[Sequence[int]],
+                         n_bins: int, capacity: int) -> bool:
+    """Feasibility-only variant of :func:`capacitated_assignment`."""
+    return capacitated_assignment(candidates, n_bins, capacity) is not None

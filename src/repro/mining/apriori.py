@@ -1,0 +1,105 @@
+"""Apriori (Agrawal & Srikant, 1996) -- level-wise itemset mining.
+
+The algorithm family the paper uses through Bodon's
+``fim_apriori-lowmem``.  Level ``k`` candidates are joins of frequent
+``(k-1)``-itemsets whose every ``(k-1)``-subset is frequent; support is
+counted in one pass per level.
+
+The implementation is memory-lean in the same spirit as the paper's
+"lowmem" variant: candidate counting uses per-transaction intersection
+against the frequent-item vocabulary rather than materialising a
+candidate hash tree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from repro.mining.itemsets import ItemsetCounts
+
+__all__ = ["apriori"]
+
+Transaction = FrozenSet[int]
+
+
+def _frequent_items(transactions: Sequence[Transaction],
+                    min_support: int) -> Dict[FrozenSet[int], int]:
+    counts: Dict[int, int] = defaultdict(int)
+    for t in transactions:
+        for item in t:
+            counts[item] += 1
+    return {frozenset((i,)): c for i, c in counts.items()
+            if c >= min_support}
+
+
+def _candidates(level: List[FrozenSet[int]], k: int) -> Set[FrozenSet[int]]:
+    """Join step + prune step for level ``k``."""
+    prev = set(level)
+    out: Set[FrozenSet[int]] = set()
+    # Join: two (k-1)-sets sharing k-2 items.
+    by_prefix: Dict[FrozenSet[int], List[FrozenSet[int]]] = defaultdict(list)
+    for s in level:
+        items = sorted(s)
+        by_prefix[frozenset(items[:-1])].append(s)
+    for group in by_prefix.values():
+        for a, b in combinations(group, 2):
+            cand = a | b
+            if len(cand) != k:
+                continue
+            # Prune: every (k-1)-subset must be frequent.
+            if all(frozenset(sub) in prev
+                   for sub in combinations(cand, k - 1)):
+                out.add(cand)
+    return out
+
+
+def apriori(transactions: Sequence[Transaction], min_support: int = 1,
+            max_size: int = 2) -> ItemsetCounts:
+    """Mine frequent itemsets up to ``max_size`` items.
+
+    Parameters
+    ----------
+    transactions:
+        The transaction database (iterables of hashable ints).
+    min_support:
+        Minimum absolute support (paper Table IV uses 1 and 3).
+    max_size:
+        Largest itemset size; the paper's matcher needs ``2``.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    txns = [frozenset(t) for t in transactions]
+    result: Dict[FrozenSet[int], int] = {}
+    level_counts = _frequent_items(txns, min_support)
+    result.update(level_counts)
+    k = 2
+    while k <= max_size and level_counts:
+        cands = _candidates(list(level_counts), k)
+        if not cands:
+            break
+        counts: Dict[FrozenSet[int], int] = defaultdict(int)
+        vocab = set()
+        for s in level_counts:
+            vocab |= s
+        for t in txns:
+            items = t & vocab
+            if len(items) < k:
+                continue
+            if k == 2:
+                for pair in combinations(sorted(items), 2):
+                    fp = frozenset(pair)
+                    if fp in cands:
+                        counts[fp] += 1
+            else:
+                for cand in cands:
+                    if cand <= items:
+                        counts[cand] += 1
+        level_counts = {s: c for s, c in counts.items()
+                        if c >= min_support}
+        result.update(level_counts)
+        k += 1
+    return ItemsetCounts(result, len(txns), min_support)

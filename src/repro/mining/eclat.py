@@ -1,0 +1,61 @@
+"""Eclat (Zaki, 2000) -- vertical tid-list itemset mining.
+
+Each item carries the set of transaction ids containing it; the support
+of an itemset is the size of the intersection of its items' tid-lists.
+The search is a depth-first walk over the prefix tree of frequent
+itemsets, intersecting as it descends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.mining.itemsets import ItemsetCounts
+
+__all__ = ["eclat"]
+
+Transaction = FrozenSet[int]
+
+
+def eclat(transactions: Sequence[Transaction], min_support: int = 1,
+          max_size: int = 2) -> ItemsetCounts:
+    """Mine frequent itemsets up to ``max_size`` items (vertical layout).
+
+    Produces exactly the same itemsets and supports as
+    :func:`repro.mining.apriori.apriori`.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    txns = [frozenset(t) for t in transactions]
+
+    tidlists: Dict[int, Set[int]] = {}
+    for tid, t in enumerate(txns):
+        for item in t:
+            tidlists.setdefault(item, set()).add(tid)
+
+    result: Dict[FrozenSet[int], int] = {}
+    frequent_items: List[Tuple[int, Set[int]]] = sorted(
+        ((item, tids) for item, tids in tidlists.items()
+         if len(tids) >= min_support),
+        key=lambda kv: kv[0])
+    for item, tids in frequent_items:
+        result[frozenset((item,))] = len(tids)
+
+    def descend(prefix: Tuple[int, ...], prefix_tids: Set[int],
+                tail: List[Tuple[int, Set[int]]]) -> None:
+        if len(prefix) >= max_size:
+            return
+        for i, (item, tids) in enumerate(tail):
+            inter = prefix_tids & tids
+            if len(inter) < min_support:
+                continue
+            new_prefix = prefix + (item,)
+            result[frozenset(new_prefix)] = len(inter)
+            descend(new_prefix, inter, tail[i + 1:])
+
+    for i, (item, tids) in enumerate(frequent_items):
+        descend((item,), tids, frequent_items[i + 1:])
+
+    return ItemsetCounts(result, len(txns), min_support)

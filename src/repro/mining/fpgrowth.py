@@ -1,0 +1,117 @@
+"""FP-growth (Han, Pei & Yin, 2000) -- pattern growth without candidates.
+
+Transactions are compressed into an FP-tree (items ordered by
+descending frequency share prefixes); frequent itemsets are mined by
+recursively building conditional trees, never generating candidate
+sets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.mining.itemsets import ItemsetCounts
+
+__all__ = ["fpgrowth"]
+
+Transaction = FrozenSet[int]
+
+
+class _Node:
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: Optional[int], parent: Optional["_Node"]):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[int, "_Node"] = {}
+        self.link: Optional["_Node"] = None
+
+
+class _Tree:
+    def __init__(self):
+        self.root = _Node(None, None)
+        self.heads: Dict[int, _Node] = {}
+        self.tails: Dict[int, _Node] = {}
+
+    def insert(self, items: Sequence[int], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item, node)
+                node.children[item] = child
+                if item in self.tails:
+                    self.tails[item].link = child
+                else:
+                    self.heads[item] = child
+                self.tails[item] = child
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: int) -> List[Tuple[List[int], int]]:
+        """Conditional pattern base of ``item``."""
+        paths = []
+        node = self.heads.get(item)
+        while node is not None:
+            path: List[int] = []
+            up = node.parent
+            while up is not None and up.item is not None:
+                path.append(up.item)
+                up = up.parent
+            if path:
+                paths.append((path[::-1], node.count))
+            node = node.link
+        return paths
+
+
+def _build(weighted: Sequence[Tuple[Sequence[int], int]],
+           min_support: int) -> Tuple[_Tree, Dict[int, int]]:
+    counts: Dict[int, int] = defaultdict(int)
+    for items, w in weighted:
+        for item in items:
+            counts[item] += w
+    frequent = {i: c for i, c in counts.items() if c >= min_support}
+    order = {item: (-c, item) for item, c in frequent.items()}
+    tree = _Tree()
+    for items, w in weighted:
+        kept = sorted((i for i in items if i in frequent),
+                      key=order.__getitem__)
+        if kept:
+            tree.insert(kept, w)
+    return tree, frequent
+
+
+def _mine(tree: _Tree, frequent: Dict[int, int], suffix: Tuple[int, ...],
+          min_support: int, max_size: int,
+          result: Dict[FrozenSet[int], int]) -> None:
+    for item, support in sorted(frequent.items()):
+        itemset = frozenset(suffix + (item,))
+        result[itemset] = support
+        if len(itemset) >= max_size:
+            continue
+        base = tree.prefix_paths(item)
+        subtree, sub_frequent = _build(base, min_support)
+        if sub_frequent:
+            _mine(subtree, sub_frequent, tuple(sorted(itemset)),
+                  min_support, max_size, result)
+
+
+def fpgrowth(transactions: Sequence[Transaction], min_support: int = 1,
+             max_size: int = 2) -> ItemsetCounts:
+    """Mine frequent itemsets up to ``max_size`` items via FP-growth.
+
+    Produces exactly the same itemsets and supports as
+    :func:`repro.mining.apriori.apriori`.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    txns = [frozenset(t) for t in transactions]
+    weighted = [(sorted(t), 1) for t in txns]
+    tree, frequent = _build(weighted, min_support)
+    result: Dict[FrozenSet[int], int] = {}
+    _mine(tree, frequent, (), min_support, max_size, result)
+    return ItemsetCounts(result, len(txns), min_support)

@@ -1,0 +1,60 @@
+"""Shared itemset-mining types and the result container."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+__all__ = ["ItemsetCounts"]
+
+Itemset = FrozenSet[int]
+
+
+class ItemsetCounts:
+    """Frequent itemsets with their support counts.
+
+    A thin mapping ``frozenset -> count`` with convenience accessors
+    used by the matcher and the cross-algorithm equivalence tests.
+    """
+
+    def __init__(self, counts: Dict[Itemset, int],
+                 n_transactions: int, min_support: int):
+        self._counts = dict(counts)
+        self.n_transactions = n_transactions
+        self.min_support = min_support
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Absolute support of ``itemset`` (0 if not frequent)."""
+        return self._counts.get(frozenset(itemset), 0)
+
+    def of_size(self, k: int) -> Dict[Itemset, int]:
+        """Frequent itemsets with exactly ``k`` items."""
+        return {s: c for s, c in self._counts.items() if len(s) == k}
+
+    def pairs(self) -> List[Tuple[int, int, int]]:
+        """Size-2 itemsets as sorted ``(a, b, support)`` triples,
+        ordered by descending support (ties by items)."""
+        rows = [(min(s), max(s), c) for s, c in self.of_size(2).items()]
+        rows.sort(key=lambda r: (-r[2], r[0], r[1]))
+        return rows
+
+    def items(self):
+        return self._counts.items()
+
+    def as_dict(self) -> Dict[Itemset, int]:
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, itemset) -> bool:
+        return frozenset(itemset) in self._counts
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ItemsetCounts):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:
+        return (f"<ItemsetCounts {len(self)} itemsets over "
+                f"{self.n_transactions} transactions "
+                f"(min_support={self.min_support})>")

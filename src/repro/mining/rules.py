@@ -1,0 +1,99 @@
+"""Association rules from frequent itemsets (paper §IV-A).
+
+The paper describes FIM output in association-rule terms ("x customers
+who bought item1 also bought item2"); the matcher only needs the raw
+pairs, but rules carry direction and *confidence*, which the
+prefetching study uses: a rule ``A -> B`` with confidence 0.9 says 90 %
+of transactions containing A also contain B -- a strong prefetch hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.mining.itemsets import ItemsetCounts
+
+__all__ = ["AssociationRule", "derive_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A rule ``antecedent -> consequent`` with its statistics."""
+
+    antecedent: FrozenSet[int]
+    consequent: FrozenSet[int]
+    support: int
+    confidence: float
+
+    def __post_init__(self):
+        if self.antecedent & self.consequent:
+            raise ValueError("antecedent and consequent must be disjoint")
+        if not 0 <= self.confidence <= 1:
+            raise ValueError("confidence must be in [0, 1]")
+
+    def __str__(self) -> str:
+        lhs = ",".join(map(str, sorted(self.antecedent)))
+        rhs = ",".join(map(str, sorted(self.consequent)))
+        return (f"{{{lhs}}} -> {{{rhs}}} "
+                f"(supp={self.support}, conf={self.confidence:.2f})")
+
+
+def derive_rules(itemsets: ItemsetCounts,
+                 min_confidence: float = 0.5) -> List[AssociationRule]:
+    """All rules meeting ``min_confidence`` from mined itemsets.
+
+    For every frequent itemset ``I`` with |I| >= 2 and every non-empty
+    proper subset ``A``: confidence(``A -> I\\A``) = supp(I)/supp(A).
+    The antecedent's support must itself be present in the mined
+    result (guaranteed by anti-monotonicity when mining was complete).
+
+    Rules are returned sorted by descending confidence, then support.
+    """
+    if not 0 <= min_confidence <= 1:
+        raise ValueError("min_confidence must be in [0, 1]")
+    rules: List[AssociationRule] = []
+    for itemset, supp in itemsets.items():
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset)
+        for r in range(1, len(items)):
+            for antecedent in combinations(items, r):
+                a = frozenset(antecedent)
+                supp_a = itemsets.support(a)
+                if supp_a <= 0:
+                    continue
+                conf = supp / supp_a
+                if conf >= min_confidence:
+                    rules.append(AssociationRule(
+                        antecedent=a,
+                        consequent=itemset - a,
+                        support=supp,
+                        confidence=min(1.0, conf)))
+    rules.sort(key=lambda r: (-r.confidence, -r.support,
+                              tuple(sorted(r.antecedent))))
+    return rules
+
+
+def prefetch_table(rules: List[AssociationRule]) -> Dict[int, int]:
+    """Best single-block prefetch hint per trigger block.
+
+    Only single-antecedent, single-consequent rules participate; for
+    each trigger the highest-confidence rule wins.
+    """
+    best: Dict[int, Tuple[float, int, int]] = {}
+    for rule in rules:
+        if len(rule.antecedent) != 1 or len(rule.consequent) != 1:
+            continue
+        (a,) = rule.antecedent
+        (b,) = rule.consequent
+        current = best.get(a)
+        # prefer higher confidence, then support; lowest block id ties
+        candidate = (rule.confidence, rule.support, -b)
+        if current is None or candidate > current:
+            best[a] = candidate
+    return {a: -entry[2] for a, entry in best.items()}
+
+
+__all__.append("prefetch_table")

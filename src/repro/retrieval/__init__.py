@@ -1,0 +1,28 @@
+"""Retrieval scheduling of replicated block requests.
+
+Three algorithms from the paper:
+
+* **Design-theoretic retrieval** (§III-C): initial first-copy mapping
+  plus greedy remapping; ``O(b)`` and guaranteed optimal for request
+  sizes within the design guarantee ``S``.
+* **Max-flow retrieval** (§III-C, refs [14,15]): exact optimum via
+  Dinic's algorithm; used as the fallback when design-theoretic
+  retrieval exceeds the ``ceil(b/N)`` optimum.
+* **Online retrieval** (§IV-B): requests served as they arrive, FCFS,
+  preferring an idle replica device, else the earliest-finishing one.
+"""
+
+from repro.retrieval.design_theoretic import design_theoretic_retrieval
+from repro.retrieval.maxflow import maxflow_retrieval
+from repro.retrieval.online import OnlineRetriever
+from repro.retrieval.policy import combined_retrieval
+from repro.retrieval.schedule import RetrievalSchedule, optimal_accesses
+
+__all__ = [
+    "OnlineRetriever",
+    "RetrievalSchedule",
+    "combined_retrieval",
+    "design_theoretic_retrieval",
+    "maxflow_retrieval",
+    "optimal_accesses",
+]

@@ -1,0 +1,125 @@
+"""Optimal retrieval via maximum flow (paper §III-C, refs [14, 15]).
+
+Network: source -> request (capacity 1), request -> replica device
+(capacity 1), device -> sink (capacity ``M``).  A full flow of value
+``b`` exists iff the batch is retrievable in ``M`` accesses; the
+smallest such ``M`` (searched upward from ``ceil(b/N)``) is the optimal
+schedule, read off the saturated request->device edges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.kuhn import capacitated_assignment
+from repro.retrieval.schedule import RetrievalSchedule, optimal_accesses
+
+__all__ = ["maxflow_retrieval", "is_retrievable_in",
+           "maxflow_retrieval_with_carry"]
+
+
+def is_retrievable_in(candidates: Sequence[Sequence[int]], n_devices: int,
+                      accesses: int) -> bool:
+    """Feasibility: can the batch complete within ``accesses`` rounds?
+
+    Answered by the specialised capacitated matcher
+    (:mod:`repro.graph.kuhn`), which is an order of magnitude faster
+    than building a flow network per query -- this call sits on the
+    sampler's hot path.
+    """
+    return capacitated_assignment(
+        candidates, n_devices, accesses) is not None
+
+
+def maxflow_retrieval(candidates: Sequence[Sequence[int]],
+                      n_devices: int) -> RetrievalSchedule:
+    """Compute the minimum-access schedule exactly.
+
+    Runs in ``O(b^{1.5} c)`` per feasibility probe on these unit
+    networks -- inside the paper's ``O(b^3)`` bound -- with the number
+    of probes bounded by how far the optimum sits above ``ceil(b/N)``
+    (at most a couple of steps for design-based allocations).
+    """
+    b = len(candidates)
+    if b == 0:
+        return RetrievalSchedule((), n_devices)
+    m = optimal_accesses(b, n_devices)
+    while True:
+        assignment = capacitated_assignment(candidates, n_devices, m)
+        if assignment is not None:
+            return RetrievalSchedule(tuple(assignment), n_devices)
+        m += 1
+        if m > b:  # pragma: no cover - any non-empty candidates terminate
+            raise RuntimeError("retrieval search failed to terminate")
+
+
+def maxflow_retrieval_with_carry(candidates: Sequence[Sequence[int]],
+                                 n_devices: int,
+                                 carry: Sequence[float],
+                                 ) -> RetrievalSchedule:
+    """Minimum-makespan schedule when devices start with backlog.
+
+    ``carry[d]`` is the outstanding work on device ``d`` in units of
+    one service time (fractional allowed).  The search finds the
+    smallest round count ``M`` such that every request fits one of its
+    replica devices with ``assigned_d + ceil(carry_d) <= M``.
+
+    Used by the interval-batch driver so that an interval's schedule
+    does not pile new work onto devices still draining the previous
+    interval -- the queue-aware behaviour a real I/O driver shows.
+    """
+    import math
+
+    b = len(candidates)
+    if b == 0:
+        return RetrievalSchedule((), n_devices)
+    carry_units = [math.ceil(c - 1e-9) for c in carry]
+    if any(c < 0 for c in carry_units):
+        raise ValueError("carry must be non-negative")
+    if all(c == 0 for c in carry_units):
+        return maxflow_retrieval(candidates, n_devices)
+    m = optimal_accesses(b, n_devices)
+    while True:
+        # Per-device residual capacity at level m; devices with zero
+        # residual are removed from the candidate lists outright.
+        residual = [max(0, m - c) for c in carry_units]
+        pruned = [[d for d in cands if residual[d] > 0]
+                  for cands in candidates]
+        if all(p for p in pruned):
+            assignment = _variable_capacity_assignment(
+                pruned, n_devices, residual)
+            if assignment is not None:
+                return RetrievalSchedule(tuple(assignment), n_devices)
+        m += 1
+        if m > b + max(carry_units):  # pragma: no cover
+            raise RuntimeError("carry retrieval failed to terminate")
+
+
+def _variable_capacity_assignment(candidates, n_devices, capacities):
+    """Like bounded_degree_assignment but with per-bin capacities."""
+    from repro.graph.dinic import max_flow
+    from repro.graph.flownet import FlowNetwork
+
+    n_items = len(candidates)
+    source = 0
+    sink = 1 + n_items + n_devices
+    net = FlowNetwork(sink + 1)
+    item_edges = []
+    item_bins = []
+    for i, cands in enumerate(candidates):
+        bins = list(dict.fromkeys(cands))
+        net.add_edge(source, 1 + i, 1)
+        edges = [net.add_edge(1 + i, 1 + n_items + d, 1) for d in bins]
+        item_edges.append(edges)
+        item_bins.append(bins)
+    for d in range(n_devices):
+        net.add_edge(1 + n_items + d, sink, int(capacities[d]))
+    if max_flow(net, source, sink) < n_items:
+        return None
+    assignment = [-1] * n_items
+    for i in range(n_items):
+        for edge, d in zip(item_edges[i], item_bins[i]):
+            if net.flow_on(edge) > 0:
+                assignment[i] = d
+                break
+    return assignment

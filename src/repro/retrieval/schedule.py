@@ -1,0 +1,129 @@
+"""Retrieval schedule value type and shared helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["RetrievalSchedule", "optimal_accesses", "device_loads"]
+
+
+def optimal_accesses(n_requests: int, n_devices: int) -> int:
+    """The lower bound ``ceil(b / N)`` on parallel accesses (paper §II-B)."""
+    if n_requests < 0:
+        raise ValueError("request count must be >= 0")
+    if n_devices < 1:
+        raise ValueError("device count must be >= 1")
+    return -(-n_requests // n_devices)
+
+
+def device_loads(assignment: Sequence[int], n_devices: int) -> List[int]:
+    """Per-device request counts for an assignment vector."""
+    loads = [0] * n_devices
+    for d in assignment:
+        loads[d] += 1
+    return loads
+
+
+@dataclass(frozen=True)
+class RetrievalSchedule:
+    """The result of scheduling one batch of block requests.
+
+    Attributes
+    ----------
+    assignment:
+        ``assignment[i]`` is the device chosen for request ``i``.
+    n_devices:
+        Array size, for load computations.
+    """
+
+    assignment: Tuple[int, ...]
+    n_devices: int
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def accesses(self) -> int:
+        """Parallel access rounds = maximum per-device load."""
+        if not self.assignment:
+            return 0
+        return max(device_loads(self.assignment, self.n_devices))
+
+    @property
+    def is_optimal(self) -> bool:
+        """True if the schedule meets the ``ceil(b/N)`` bound."""
+        return self.accesses == optimal_accesses(
+            self.n_requests, self.n_devices)
+
+    def loads(self) -> List[int]:
+        """Per-device load vector."""
+        return device_loads(self.assignment, self.n_devices)
+
+    def rounds(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Group requests into access rounds.
+
+        Returns ``{round_index: [(request_index, device), ...]}`` where
+        each device appears at most once per round -- the parallel
+        retrieval timetable of the paper's Figure 5.
+        """
+        next_round = [0] * self.n_devices
+        table: Dict[int, List[Tuple[int, int]]] = {}
+        for i, d in enumerate(self.assignment):
+            r = next_round[d]
+            next_round[d] += 1
+            table.setdefault(r, []).append((i, d))
+        return table
+
+    def render_timeline(self, labels: Sequence[str] | None = None,
+                        ) -> str:
+        """Figure-5-style text timetable: devices x access rounds.
+
+        Each cell shows which request a device serves in that round
+        (``labels[i]`` if given, else the request index); ``.`` marks
+        an idle device.
+        """
+        if labels is not None and len(labels) != self.n_requests:
+            raise ValueError("labels must align with requests")
+        rounds = self.rounds()
+        n_rounds = len(rounds)
+        grid = [["." for _ in range(n_rounds)]
+                for _ in range(self.n_devices)]
+        for r, members in rounds.items():
+            for i, d in members:
+                grid[d][r] = labels[i] if labels else str(i)
+        width = max((len(c) for row in grid for c in row), default=1)
+        width = max(width, len(f"r{n_rounds - 1}") if n_rounds else 2)
+        header = "device | " + " ".join(
+            f"r{r}".rjust(width) for r in range(n_rounds))
+        lines = [header, "-" * len(header)]
+        for d, row in enumerate(grid):
+            lines.append(f"d{d:<5} | "
+                         + " ".join(c.rjust(width) for c in row))
+        return "\n".join(lines)
+
+
+def validate_schedule(schedule: "RetrievalSchedule",
+                      candidates: Sequence[Sequence[int]]) -> None:
+    """Raise ``ValueError`` unless ``schedule`` is a valid answer.
+
+    Checks cardinality, device ranges, and that every request landed
+    on one of its replica devices.  Used by the property tests and by
+    callers composing custom retrieval strategies.
+    """
+    if schedule.n_requests != len(candidates):
+        raise ValueError(
+            f"schedule covers {schedule.n_requests} requests, "
+            f"input has {len(candidates)}")
+    for i, (dev, cands) in enumerate(zip(schedule.assignment,
+                                         candidates)):
+        if not 0 <= dev < schedule.n_devices:
+            raise ValueError(f"request {i}: device {dev} out of range")
+        if dev not in cands:
+            raise ValueError(
+                f"request {i}: device {dev} is not a replica "
+                f"(candidates {tuple(cands)})")
+
+
+__all__.append("validate_schedule")

@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic discrete-event simulation (DES) library in the
+spirit of ``simpy`` (which is not available in this environment).  It
+provides:
+
+* :class:`~repro.sim.core.Environment` -- the event loop and clock,
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timeout` --
+  schedulable occurrences,
+* :class:`~repro.sim.process.Process` -- generator-based cooperative
+  processes,
+* :class:`~repro.sim.resources.Resource` and
+  :class:`~repro.sim.resources.Store` -- queueing primitives.
+
+Time is unit-agnostic; throughout this project the convention is
+**milliseconds** (matching DiskSim's reporting granularity).  Event
+ordering is fully deterministic: ties in time are broken by scheduling
+sequence number, so repeated runs of the same model produce identical
+traces.
+"""
+
+from repro.sim.core import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Interrupted, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupted",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

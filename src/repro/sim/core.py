@@ -1,0 +1,123 @@
+"""The simulation environment: clock and event loop.
+
+The :class:`Environment` owns a binary-heap event queue keyed by
+``(time, sequence)``.  The sequence number makes event ordering at equal
+timestamps deterministic (FIFO in scheduling order), which in turn makes
+every simulation in this project bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(5.0)
+    ...     return env.now
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> p.value
+    5.0
+    """
+
+    def __init__(self, initial_time: float = 0.0,
+                 trace: bool = False):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        #: when tracing, every processed event appends
+        #: ``(time, event_type_name)`` here -- a cheap debugging aid
+        #: for simulation models (see docs/architecture.md)
+        self.trace_log: Optional[List[Tuple[float, str]]] = \
+            [] if trace else None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` from a generator."""
+        return Process(self, generator)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Place a triggered event on the queue ``delay`` from now."""
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If the event queue is empty.
+        """
+        if not self._queue:
+            raise EmptySchedule()
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by Timeout ctor
+            raise RuntimeError("event scheduled in the past")
+        self._now = when
+        if self.trace_log is not None:
+            self.trace_log.append((when, type(event).__name__))
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given and the queue still holds later events,
+        the clock is advanced exactly to ``until``.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(
+                f"until ({until}) must not be before now ({self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,97 @@
+"""Generator-based cooperative processes.
+
+A :class:`Process` drives a Python generator: every value the generator
+yields must be an :class:`~repro.sim.events.Event`; the process sleeps
+until that event fires and is resumed with the event's value (or the
+event's exception is thrown into it).  A process is itself an event that
+fires when the generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event, Interrupted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.
+    generator:
+        A generator yielding :class:`Event` instances.  Its return value
+        becomes the process's event value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off on a zero-delay event so construction never runs user
+        # code re-entrantly.
+        boot = Event(env)
+        boot.succeed(None)
+        boot.add_callback(self._resume)
+        self._target = boot
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process.
+
+        The process must currently be waiting on an event; the event is
+        abandoned and the exception is raised at the ``yield``.
+        """
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self._target is None:  # pragma: no cover - defensive
+            raise RuntimeError("process has no wait target")
+        # Deliver asynchronously via a failed zero-delay event so that
+        # interrupt() is safe to call from within another process.
+        target, self._target = self._target, None
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        exc_event = Event(self.env)
+        exc_event.fail(Interrupted(cause))
+        exc_event.add_callback(self._resume)
+        self._target = exc_event
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        env = self.env
+        prev, env._active_process = env._active_process, self
+        try:
+            while True:
+                try:
+                    if event.ok:
+                        next_ev = self._generator.send(event.value)
+                    else:
+                        next_ev = self._generator.throw(event.value)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                if not isinstance(next_ev, Event):
+                    raise RuntimeError(
+                        f"process yielded non-event {next_ev!r}")
+                if next_ev.processed:
+                    # Already done: loop immediately with its outcome.
+                    event = next_ev
+                    continue
+                self._target = next_ev
+                next_ev.add_callback(self._resume)
+                return
+        finally:
+            env._active_process = prev

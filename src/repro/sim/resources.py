@@ -1,0 +1,168 @@
+"""Queueing primitives: capacity-limited resources and item stores.
+
+These follow the simpy idiom: ``request()``/``get()`` return events that
+a process yields on, and fire when the resource grants access.  Queues
+are strictly FIFO, keeping simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+__all__ = ["Resource", "Store", "PriorityStore"]
+
+
+class Request(Event):
+    """An outstanding claim on a :class:`Resource`.
+
+    Supports the context-manager protocol so processes can write::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` concurrent users and a FIFO queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim the resource; the returned event fires when granted."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(None)
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Release a granted (or cancel a queued) request."""
+        if req in self.users:
+            self.users.remove(req)
+            if self.queue:
+                nxt = self.queue.popleft()
+                self.users.append(nxt)
+                nxt.succeed(None)
+        else:
+            try:
+                self.queue.remove(req)
+            except ValueError:
+                pass  # releasing twice is a no-op
+
+
+class Store:
+    """An unbounded-or-bounded FIFO store of Python objects."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; fires immediately unless the store is full."""
+        ev = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; fires when one is available."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self.items.append(item)
+                put_ev.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class PriorityStore:
+    """A store serving lowest-priority-value items first.
+
+    ``put(item, priority)`` enqueues; ``get()`` returns the pending
+    item with the smallest priority, FIFO within equal priorities.
+    Unbounded (the flash modules that use it model device queues with
+    no admission of their own).
+    """
+
+    def __init__(self, env: "Environment"):
+        import heapq as _heapq
+
+        self.env = env
+        self._heapq = _heapq
+        self._items: list = []
+        self._seq = 0
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any, priority: int = 0) -> Event:
+        """Add ``item`` at ``priority`` (lower = served sooner)."""
+        ev = Event(self.env)
+        self._heapq.heappush(self._items,
+                             (priority, self._seq, item))
+        self._seq += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            _, _, head = self._heapq.heappop(self._items)
+            getter.succeed(head)
+        ev.succeed(None)
+        return ev
+
+    def get(self) -> Event:
+        """Remove the highest-priority (lowest value) pending item."""
+        ev = Event(self.env)
+        if self._items:
+            _, _, item = self._heapq.heappop(self._items)
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

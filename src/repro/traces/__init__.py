@@ -1,0 +1,44 @@
+"""Trace infrastructure: tables, I/O, statistics and workload models.
+
+The pandas-free substrate for everything the paper does with traces:
+
+* :class:`~repro.traces.records.Trace` -- a numpy-structured-array
+  table of block requests,
+* :mod:`~repro.traces.io` -- DiskSim-ASCII and CSV readers/writers,
+* :mod:`~repro.traces.intervals` -- interval splitting,
+* :mod:`~repro.traces.stats` -- the per-interval statistics of Fig 6,
+* :mod:`~repro.traces.synthetic` -- the synthetic workload generator
+  of §V-B1,
+* :mod:`~repro.traces.workload_model` -- the correlated statistical
+  workload model used to synthesise SNIA-like traces,
+* :mod:`~repro.traces.exchange` / :mod:`~repro.traces.tpce` -- the
+  Exchange-like and TPC-E-like parameterisations.
+"""
+
+from repro.traces.exchange import exchange_like_trace
+from repro.traces.intervals import split_intervals
+from repro.traces.io import (
+    read_csv,
+    read_disksim_ascii,
+    write_csv,
+    write_disksim_ascii,
+)
+from repro.traces.records import Trace
+from repro.traces.stats import interval_statistics
+from repro.traces.synthetic import synthetic_trace
+from repro.traces.tpce import tpce_like_trace
+from repro.traces.workload_model import CorrelatedWorkloadModel
+
+__all__ = [
+    "CorrelatedWorkloadModel",
+    "Trace",
+    "exchange_like_trace",
+    "interval_statistics",
+    "read_csv",
+    "read_disksim_ascii",
+    "split_intervals",
+    "synthetic_trace",
+    "tpce_like_trace",
+    "write_csv",
+    "write_disksim_ascii",
+]

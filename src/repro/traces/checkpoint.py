@@ -1,0 +1,103 @@
+"""Scientific checkpoint/restart workload.
+
+The paper's introduction lists "scientific applications with real time
+storage requirements" among the framework's motivating users.  The
+canonical HPC I/O pattern is *checkpoint/restart*: long compute phases
+with sparse reads, punctuated by synchronized bursts in which every
+rank dumps its state -- a pure write storm that stresses exactly the
+replica-consistent write path of the online driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.traces.records import Trace
+
+__all__ = ["CheckpointModel"]
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Generator of checkpoint/restart traces.
+
+    Attributes
+    ----------
+    n_ranks:
+        Parallel application ranks; each writes ``blocks_per_rank``
+        blocks per checkpoint.
+    checkpoint_period_ms:
+        Time between checkpoint storms.
+    n_checkpoints:
+        Storms in the trace.
+    blocks_per_rank:
+        State size per rank, in 8 KB blocks.
+    burst_span_ms:
+        How tightly a storm's writes cluster.
+    background_read_rate:
+        Poisson rate (req/ms) of compute-phase reads.
+    n_blocks:
+        Data-block universe for background reads.
+    seed:
+        RNG seed.
+    """
+
+    n_ranks: int = 8
+    checkpoint_period_ms: float = 20.0
+    n_checkpoints: int = 4
+    blocks_per_rank: int = 4
+    burst_span_ms: float = 0.5
+    background_read_rate: float = 2.0
+    n_blocks: int = 4096
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_ranks < 1 or self.n_checkpoints < 1:
+            raise ValueError("need at least one rank and checkpoint")
+        if self.checkpoint_period_ms <= 0 or self.burst_span_ms < 0:
+            raise ValueError("invalid timing parameters")
+        if self.background_read_rate < 0:
+            raise ValueError("read rate must be >= 0")
+
+    @property
+    def duration_ms(self) -> float:
+        return self.checkpoint_period_ms * self.n_checkpoints
+
+    def generate(self) -> Tuple[Trace, List[bool]]:
+        """Returns ``(trace, reads)`` aligned for the online player."""
+        rng = np.random.default_rng(self.seed)
+        arrivals: List[float] = []
+        blocks: List[int] = []
+        reads: List[bool] = []
+
+        # compute-phase background reads
+        n_bg = rng.poisson(self.background_read_rate
+                           * self.duration_ms)
+        for t in np.sort(rng.uniform(0, self.duration_ms, n_bg)):
+            arrivals.append(float(t))
+            blocks.append(int(rng.integers(0, self.n_blocks)))
+            reads.append(True)
+
+        # checkpoint storms: every rank writes its state region
+        for c in range(self.n_checkpoints):
+            t0 = (c + 1) * self.checkpoint_period_ms \
+                - self.burst_span_ms
+            for rank in range(self.n_ranks):
+                offsets = np.sort(
+                    rng.uniform(0, self.burst_span_ms,
+                                self.blocks_per_rank))
+                base = self.n_blocks + rank * self.blocks_per_rank
+                for j, off in enumerate(offsets):
+                    arrivals.append(float(t0 + off))
+                    blocks.append(base + j)
+                    reads.append(False)
+
+        order = np.argsort(np.asarray(arrivals), kind="stable")
+        trace = Trace.from_arrays(
+            np.asarray(arrivals)[order],
+            np.asarray(blocks, dtype=np.int64)[order],
+            is_read=np.asarray(reads, dtype=bool)[order])
+        return trace, [bool(trace.is_read[i]) for i in range(len(trace))]

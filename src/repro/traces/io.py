@@ -1,0 +1,116 @@
+"""Trace file formats.
+
+Two interchange formats:
+
+* **DiskSim ASCII** -- the 5-column format the paper's trace tool
+  produces for DiskSim: ``arrival devno blkno size flags`` per line
+  (arrival in ms, size in blocks, flags bit 0 set for reads).
+* **CSV** -- SNIA-IOTTA-style ``timestamp,device,block,size,op`` rows.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.traces.records import BLOCK_BYTES, TRACE_DTYPE, Trace
+
+__all__ = [
+    "write_disksim_ascii",
+    "read_disksim_ascii",
+    "write_csv",
+    "read_csv",
+]
+
+PathLike = Union[str, Path]
+
+#: DiskSim validation trace flag: bit 0 = read.
+_READ_FLAG = 1
+
+
+def _open(target: Union[PathLike, TextIO], mode: str):
+    if hasattr(target, "write") or hasattr(target, "read"):
+        return target, False
+    return open(target, mode), True
+
+
+def write_disksim_ascii(trace: Trace, target: Union[PathLike, TextIO]
+                        ) -> None:
+    """Write ``trace`` in DiskSim ASCII input format."""
+    fh, owned = _open(target, "w")
+    try:
+        for row in trace.data:
+            flags = _READ_FLAG if row["is_read"] else 0
+            size_blocks = max(1, int(row["size_bytes"]) // BLOCK_BYTES)
+            fh.write(f"{row['arrival_ms']:.6f} {row['device']} "
+                     f"{row['block']} {size_blocks} {flags}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_disksim_ascii(source: Union[PathLike, TextIO]) -> Trace:
+    """Read a DiskSim ASCII trace."""
+    fh, owned = _open(source, "r")
+    try:
+        rows = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise ValueError(
+                    f"line {lineno}: expected 5 fields, got {len(parts)}")
+            arrival, dev, blk, size, flags = parts
+            rows.append((float(arrival), int(dev), int(blk),
+                         int(size) * BLOCK_BYTES, bool(int(flags) & 1)))
+        data = np.array(rows, dtype=TRACE_DTYPE) if rows else \
+            np.zeros(0, dtype=TRACE_DTYPE)
+        return Trace(data)
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_csv(trace: Trace, target: Union[PathLike, TextIO]) -> None:
+    """Write ``trace`` as SNIA-style CSV with a header line."""
+    fh, owned = _open(target, "w")
+    try:
+        fh.write("timestamp_ms,device,block,size_bytes,op\n")
+        for row in trace.data:
+            op = "R" if row["is_read"] else "W"
+            fh.write(f"{row['arrival_ms']:.6f},{row['device']},"
+                     f"{row['block']},{row['size_bytes']},{op}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_csv(source: Union[PathLike, TextIO]) -> Trace:
+    """Read a SNIA-style CSV trace (header optional)."""
+    fh, owned = _open(source, "r")
+    try:
+        rows = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if lineno == 1 and line.lower().startswith("timestamp"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 5:
+                raise ValueError(
+                    f"line {lineno}: expected 5 fields, got {len(parts)}")
+            ts, dev, blk, size, op = parts
+            rows.append((float(ts), int(dev), int(blk), int(size),
+                         op.strip().upper().startswith("R")))
+        data = np.array(rows, dtype=TRACE_DTYPE) if rows else \
+            np.zeros(0, dtype=TRACE_DTYPE)
+        return Trace(data)
+    finally:
+        if owned:
+            fh.close()

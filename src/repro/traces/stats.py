@@ -1,0 +1,126 @@
+"""Per-interval trace statistics (paper Figure 6).
+
+For each trace interval the paper plots the maximum and average number
+of read requests per second and the total read count.  The per-second
+maximum uses one-second sub-windows inside the interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.traces.records import Trace
+
+__all__ = ["IntervalStats", "interval_statistics", "burstiness"]
+
+
+@dataclass(frozen=True)
+class IntervalStats:
+    """Statistics of one trace interval."""
+
+    index: int
+    start_ms: float
+    end_ms: float
+    total_requests: int
+    avg_req_per_sec: float
+    max_req_per_sec: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+def _window_counts(arrivals_ms: np.ndarray, start_ms: float,
+                   end_ms: float, window_ms: float) -> np.ndarray:
+    """Histogram of request counts over ``window_ms`` sub-windows."""
+    n_win = max(1, int(np.ceil((end_ms - start_ms) / window_ms - 1e-9)))
+    edges = start_ms + window_ms * np.arange(n_win + 1)
+    counts, _ = np.histogram(arrivals_ms, bins=edges)
+    return counts
+
+
+def interval_statistics(intervals: Sequence[Trace],
+                        boundaries_ms: Sequence[float] | None = None,
+                        interval_ms: float | None = None,
+                        rate_window_ms: float = 1000.0,
+                        ) -> List[IntervalStats]:
+    """Figure-6 statistics for a list of interval traces.
+
+    Provide either equal ``interval_ms`` windows or explicit
+    ``boundaries_ms`` end times (matching
+    :func:`repro.traces.intervals.split_at`).
+
+    ``rate_window_ms`` is the sub-window over which the peak rate is
+    measured -- 1 s for real traces (the paper's "maximum requests per
+    second"), proportionally smaller for time-scaled synthetic traces.
+    """
+    if (boundaries_ms is None) == (interval_ms is None):
+        raise ValueError("provide exactly one of boundaries_ms/interval_ms")
+    if rate_window_ms <= 0:
+        raise ValueError("rate_window_ms must be positive")
+    out: List[IntervalStats] = []
+    prev = 0.0
+    win_sec = rate_window_ms / 1000.0
+    for i, part in enumerate(intervals):
+        if interval_ms is not None:
+            start, end = i * interval_ms, (i + 1) * interval_ms
+        else:
+            start, end = prev, float(boundaries_ms[i])
+            prev = end
+        arr = part.arrival_ms
+        total = len(part)
+        dur_sec = (end - start) / 1000.0
+        avg = total / dur_sec if dur_sec > 0 else 0.0
+        mx = (float(_window_counts(arr, start, end,
+                                   rate_window_ms).max()) / win_sec
+              if total else 0.0)
+        out.append(IntervalStats(index=i, start_ms=start, end_ms=end,
+                                 total_requests=total,
+                                 avg_req_per_sec=avg, max_req_per_sec=mx))
+    return out
+
+
+@dataclass(frozen=True)
+class BurstinessStats:
+    """Arrival burstiness measures over fixed counting windows.
+
+    * ``index_of_dispersion``: variance/mean of per-window counts --
+      1 for Poisson, > 1 for bursty, < 1 for regular (e.g. streaming)
+      arrivals.
+    * ``peak_to_mean``: max window count over mean window count.
+    * ``cv_interarrival``: coefficient of variation of inter-arrival
+      gaps -- 1 for Poisson, 0 for perfectly periodic.
+    """
+
+    index_of_dispersion: float
+    peak_to_mean: float
+    cv_interarrival: float
+
+
+def burstiness(trace: Trace, window_ms: float) -> BurstinessStats:
+    """Burstiness of a trace's arrival process.
+
+    Used to calibrate the synthetic workload models against target
+    contention levels (DESIGN.md scaling note) and as a sanity check
+    that generated traces have the intended temporal texture.
+    """
+    if window_ms <= 0:
+        raise ValueError("window_ms must be positive")
+    arr = np.sort(np.asarray(trace.arrival_ms, dtype=np.float64))
+    if len(arr) < 2:
+        return BurstinessStats(0.0, 0.0, 0.0)
+    span = arr[-1] - arr[0]
+    n_win = max(1, int(np.ceil(span / window_ms - 1e-9)) or 1)
+    edges = arr[0] + window_ms * np.arange(n_win + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    mean = counts.mean()
+    iod = float(counts.var() / mean) if mean > 0 else 0.0
+    p2m = float(counts.max() / mean) if mean > 0 else 0.0
+    gaps = np.diff(arr)
+    gap_mean = gaps.mean()
+    cv = float(gaps.std() / gap_mean) if gap_mean > 0 else 0.0
+    return BurstinessStats(index_of_dispersion=iod,
+                           peak_to_mean=p2m, cv_interarrival=cv)

@@ -1,0 +1,76 @@
+"""Synthetic workload generation (paper §V-B1).
+
+"We have developed a trace generation tool that ... requires the number
+of devices, interval duration, and the number of blocks to be requested
+for each interval, and produces the trace by randomly selecting the
+blocks to be requested from the available design blocks."
+
+All requests in an interval arrive exactly at the interval start, as in
+the paper's Table III experiments (5 blocks / 0.133 ms,
+14 / 0.266 ms, 27 / 0.399 ms, 10 000 requests each).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.traces.records import Trace
+
+__all__ = ["synthetic_trace", "table3_trace"]
+
+
+def synthetic_trace(requests_per_interval: int, interval_ms: float,
+                    n_blocks_pool: int = 36,
+                    total_requests: int = 10_000,
+                    replace: bool = False,
+                    seed: int = 0) -> Trace:
+    """Generate the §V-B1 synthetic trace.
+
+    Parameters
+    ----------
+    requests_per_interval:
+        Blocks requested at each interval start.
+    interval_ms:
+        Interval duration ``T``.
+    n_blocks_pool:
+        Pool of available design blocks (paper: 36 for (9,3,1)).
+    total_requests:
+        Total request count (paper: 10 000); the last interval may be
+        short.
+    replace:
+        Sample blocks with replacement inside an interval.  The default
+        (False) keeps each interval's blocks distinct so that the
+        design-theoretic guarantee statement applies verbatim.
+    seed:
+        RNG seed.
+    """
+    if requests_per_interval < 1:
+        raise ValueError("requests_per_interval must be >= 1")
+    if not replace and requests_per_interval > n_blocks_pool:
+        raise ValueError("cannot draw more distinct blocks than the pool")
+    rng = np.random.default_rng(seed)
+    arrivals, blocks = [], []
+    t = 0.0
+    remaining = total_requests
+    while remaining > 0:
+        k = min(requests_per_interval, remaining)
+        picks = rng.choice(n_blocks_pool, size=k, replace=replace)
+        arrivals.extend([t] * k)
+        blocks.extend(int(b) for b in picks)
+        remaining -= k
+        t += interval_ms
+    return Trace.from_arrays(arrivals, blocks)
+
+
+#: The three Table III workloads: (requests per interval, interval ms).
+TABLE3_WORKLOADS = ((5, 0.133), (14, 0.266), (27, 0.399))
+
+
+def table3_trace(row: int, seed: int = 0,
+                 total_requests: int = 10_000) -> Trace:
+    """One of the three Table III traces by row index (0, 1, 2)."""
+    reqs, interval = TABLE3_WORKLOADS[row]
+    return synthetic_trace(reqs, interval, total_requests=total_requests,
+                           seed=seed)

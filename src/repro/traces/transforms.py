@@ -1,0 +1,81 @@
+"""Trace transforms: scaling, sampling, merging, clipping.
+
+The utilities behind DESIGN.md's scaling note: real traces are orders
+of magnitude larger than laptop experiments want, and the properties
+the experiments consume survive principled shrinking -- *time scaling*
+preserves per-service-time contention, *downsampling* preserves the
+block population, *merging* composes multi-tenant workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.traces.records import TRACE_DTYPE, Trace
+
+__all__ = ["time_scale", "downsample", "merge", "clip",
+           "remap_blocks"]
+
+
+def time_scale(trace: Trace, factor: float) -> Trace:
+    """Multiply all arrival times by ``factor``.
+
+    ``factor < 1`` compresses the trace (higher request rate),
+    ``> 1`` stretches it.  Blocks and sizes are untouched.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    data = trace.data.copy()
+    data["arrival_ms"] *= factor
+    return Trace(data)
+
+
+def downsample(trace: Trace, fraction: float, seed: int = 0) -> Trace:
+    """Keep a uniform random ``fraction`` of requests.
+
+    Sampling is per-request and order-preserving; use it to thin a
+    trace while keeping its temporal shape and block population.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    if fraction == 1.0 or len(trace) == 0:
+        return Trace(trace.data.copy())
+    rng = np.random.default_rng(seed)
+    mask = rng.random(len(trace)) < fraction
+    return trace.filter(mask)
+
+
+def merge(traces: Sequence[Trace]) -> Trace:
+    """Interleave several traces into one arrival-sorted stream."""
+    return Trace.concat(traces).sorted()
+
+
+def clip(trace: Trace, start_ms: float = 0.0,
+         end_ms: Optional[float] = None,
+         rebase: bool = True) -> Trace:
+    """Cut out ``[start_ms, end_ms)`` and optionally rebase to t=0."""
+    if end_ms is not None and end_ms <= start_ms:
+        raise ValueError("end_ms must exceed start_ms")
+    end = end_ms if end_ms is not None else float("inf")
+    a = trace.arrival_ms
+    out = trace.filter((a >= start_ms) & (a < end))
+    if rebase and len(out):
+        out = out.shifted(-start_ms)
+    return out
+
+
+def remap_blocks(trace: Trace, modulo: int,
+                 offset: int = 0) -> Trace:
+    """Fold block numbers into ``[offset, offset + modulo)``.
+
+    The quick-and-dirty alternative to FIM matching (§IV-A's
+    ``dataBlockNumber % numberOfDesignBlocks`` fallback applied up
+    front), useful for feeding arbitrary traces to a fixed design.
+    """
+    if modulo < 1:
+        raise ValueError("modulo must be >= 1")
+    data = trace.data.copy()
+    data["block"] = data["block"] % modulo + offset
+    return Trace(data)

@@ -1,0 +1,119 @@
+"""Unit tests for degraded-mode allocation and QoS under failures."""
+
+import numpy as np
+import pytest
+
+from repro import QoSFlashArray
+from repro.allocation.degraded import (
+    DataUnavailableError,
+    DegradedAllocation,
+    degraded_capacity,
+)
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.allocation.raid1 import Raid1Mirrored
+from repro.retrieval.maxflow import maxflow_retrieval
+from repro.traces.synthetic import synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def base():
+    return DesignTheoreticAllocation.from_parameters(9, 3)
+
+
+class TestDegradedCapacity:
+    def test_healthy_matches_guarantee(self):
+        assert degraded_capacity(1, 3, 0) == 5
+        assert degraded_capacity(2, 3, 0) == 14
+
+    def test_one_failure_drops_to_two_copy(self):
+        assert degraded_capacity(1, 3, 1) == 3
+        assert degraded_capacity(2, 3, 1) == 8
+
+    def test_two_failures_single_copy(self):
+        assert degraded_capacity(1, 3, 2) == 1
+        assert degraded_capacity(3, 3, 2) == 3
+
+    def test_all_copies_lost(self):
+        assert degraded_capacity(1, 3, 3) == 0
+        assert degraded_capacity(1, 3, 5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            degraded_capacity(1, 3, -1)
+
+
+class TestDegradedAllocation:
+    def test_filters_failed_devices(self, base):
+        deg = DegradedAllocation(base, {0})
+        for b in range(36):
+            devs = deg.devices_for(b)
+            assert 0 not in devs
+            healthy = base.devices_for(b)
+            assert set(devs) == set(healthy) - {0}
+
+    def test_effective_replication(self, base):
+        assert DegradedAllocation(base, set()).replication == 3
+        assert DegradedAllocation(base, {1}).replication == 2
+        assert DegradedAllocation(base, {1, 2}).replication == 1
+
+    def test_out_of_range_failure_rejected(self, base):
+        with pytest.raises(ValueError):
+            DegradedAllocation(base, {99})
+
+    def test_data_unavailable_when_all_replicas_fail(self, base):
+        devs = base.devices_for(0)
+        deg = DegradedAllocation(base, set(devs))
+        with pytest.raises(DataUnavailableError):
+            deg.devices_for(0)
+        # other buckets sharing at most one device still resolve
+        assert deg.devices_for(1)
+
+    def test_validate_passes(self, base):
+        DegradedAllocation(base, {3}).validate()
+
+    def test_degraded_guarantee_measurable(self, base):
+        # with one failure, any 3 distinct buckets retrieve in 1 access
+        deg = DegradedAllocation(base, {4})
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            picks = rng.choice(36, size=3, replace=False)
+            cands = [deg.devices_for(int(b)) for b in picks]
+            assert maxflow_retrieval(cands, 9).accesses == 1
+
+    def test_wraps_any_scheme(self):
+        deg = DegradedAllocation(Raid1Mirrored(9, 3), {0})
+        assert 0 not in deg.devices_for(0)
+
+
+class TestQoSFailureHandling:
+    def test_fail_and_repair_cycle(self):
+        qos = QoSFlashArray()
+        assert qos.capacity_per_interval == 5
+        qos.fail_device(2)
+        assert qos.capacity_per_interval == 3
+        assert qos.failed_devices == frozenset({2})
+        qos.fail_device(5)
+        assert qos.capacity_per_interval == 1
+        qos.repair_device(2)
+        qos.repair_device(5)
+        assert qos.capacity_per_interval == 5
+
+    def test_fail_device_validation(self):
+        qos = QoSFlashArray()
+        with pytest.raises(ValueError):
+            qos.fail_device(42)
+
+    def test_degraded_run_meets_degraded_guarantee(self):
+        qos = QoSFlashArray()
+        qos.fail_device(0)
+        trace = synthetic_trace(3, 0.133, total_requests=300, seed=5)
+        report = qos.run_online(trace.arrival_ms, trace.block)
+        assert report.guarantee_met
+        assert report.max_response_ms == pytest.approx(0.132507)
+
+    def test_failed_device_never_used(self):
+        qos = QoSFlashArray()
+        qos.fail_device(3)
+        trace = synthetic_trace(3, 0.133, total_requests=150, seed=6)
+        report = qos.run_online(trace.arrival_ms, trace.block)
+        assert all(r.io.device != 3 for r in report.requests)

@@ -1,0 +1,210 @@
+"""Unit tests for all allocation schemes."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.allocation import (
+    DependentPeriodicAllocation,
+    DesignTheoreticAllocation,
+    OrthogonalAllocation,
+    PartitionedAllocation,
+    Raid1Chained,
+    Raid1Mirrored,
+    RandomDuplicateAllocation,
+)
+from repro.designs.catalog import design_9_3_1
+
+ALL_SCHEMES = [
+    lambda: DesignTheoreticAllocation.from_parameters(9, 3),
+    lambda: Raid1Mirrored(9, 3),
+    lambda: Raid1Chained(9, 3),
+    lambda: RandomDuplicateAllocation(9, 3, n_buckets=36, seed=1),
+    lambda: PartitionedAllocation(9, 3),
+    lambda: DependentPeriodicAllocation(9, 3),
+    lambda: OrthogonalAllocation(9),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEMES)
+def test_structural_validity(factory):
+    alloc = factory()
+    alloc.validate()
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEMES)
+def test_bucket_wrapping(factory):
+    alloc = factory()
+    assert alloc.devices_for(alloc.n_buckets) == alloc.devices_for(0)
+    assert (alloc.devices_for(alloc.n_buckets + 3)
+            == alloc.devices_for(3))
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEMES)
+def test_primary_is_first_device(factory):
+    alloc = factory()
+    for b in range(min(alloc.n_buckets, 20)):
+        assert alloc.primary(b) == alloc.devices_for(b)[0]
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEMES)
+def test_layout_consistency(factory):
+    alloc = factory()
+    layout = alloc.layout()
+    # every bucket appears exactly `replication` times across devices
+    counts = {}
+    for buckets in layout.values():
+        for b in buckets:
+            counts[b] = counts.get(b, 0) + 1
+    assert all(c == alloc.replication for c in counts.values())
+    assert len(counts) == alloc.n_buckets
+
+
+class TestDesignTheoretic:
+    def test_uses_fig2_blocks(self):
+        alloc = DesignTheoreticAllocation(design_9_3_1())
+        assert alloc.devices_for(0) == (0, 1, 2)
+        assert alloc.devices_for(1) == (0, 3, 6)
+
+    def test_rotated_buckets(self):
+        alloc = DesignTheoreticAllocation(design_9_3_1())
+        assert alloc.n_buckets == 36
+        assert alloc.devices_for(12) == (1, 2, 0)   # rotation of bucket 0
+
+    def test_without_rotations(self):
+        alloc = DesignTheoreticAllocation(design_9_3_1(),
+                                          use_rotations=False)
+        assert alloc.n_buckets == 12
+
+    def test_guarantee_values(self):
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        assert alloc.guarantee(1) == 5
+        assert alloc.guarantee(2) == 14
+        assert alloc.guarantee(3) == 27
+
+    def test_pairwise_balance_of_buckets(self):
+        # any two buckets share at most one device (rotations may share
+        # all three -- only for the same base block)
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        for a, b in combinations(range(12), 2):
+            sa = set(alloc.devices_for(a))
+            sb = set(alloc.devices_for(b))
+            assert len(sa & sb) <= 1
+
+
+class TestRaid1Mirrored:
+    def test_fig7_layout(self):
+        alloc = Raid1Mirrored(9, 3)
+        # b0 -> d0,d1,d2 ; b1 -> d3,d4,d5 ; b2 -> d6,d7,d8 ; b3 wraps
+        assert set(alloc.devices_for(0)) == {0, 1, 2}
+        assert set(alloc.devices_for(1)) == {3, 4, 5}
+        assert set(alloc.devices_for(2)) == {6, 7, 8}
+        assert set(alloc.devices_for(3)) == {0, 1, 2}
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError):
+            Raid1Mirrored(10, 3)
+
+    def test_rotations_change_primary_not_group(self):
+        alloc = Raid1Mirrored(9, 3)
+        base = alloc.devices_for(0)
+        rot = alloc.devices_for(alloc.base_buckets)
+        assert set(base) == set(rot)
+        assert base[0] != rot[0]
+
+    def test_supports_36_buckets(self):
+        assert Raid1Mirrored(9, 3).n_buckets == 36
+
+
+class TestRaid1Chained:
+    def test_fig7_layout(self):
+        alloc = Raid1Chained(9, 3)
+        assert alloc.devices_for(0) == (0, 1, 2)
+        assert alloc.devices_for(7) == (7, 8, 0)
+        assert alloc.devices_for(8) == (8, 0, 1)
+
+    def test_replication_bound(self):
+        with pytest.raises(ValueError):
+            Raid1Chained(3, 4)
+
+    def test_supports_36_buckets(self):
+        assert Raid1Chained(9, 3).n_buckets == 36
+
+
+class TestRDA:
+    def test_deterministic_by_seed(self):
+        a = RandomDuplicateAllocation(9, 3, n_buckets=20, seed=5)
+        b = RandomDuplicateAllocation(9, 3, n_buckets=20, seed=5)
+        assert all(a.devices_for(i) == b.devices_for(i)
+                   for i in range(20))
+
+    def test_different_seeds_differ(self):
+        a = RandomDuplicateAllocation(9, 3, n_buckets=50, seed=1)
+        b = RandomDuplicateAllocation(9, 3, n_buckets=50, seed=2)
+        assert any(a.devices_for(i) != b.devices_for(i)
+                   for i in range(50))
+
+    def test_replication_bound(self):
+        with pytest.raises(ValueError):
+            RandomDuplicateAllocation(2, 3)
+
+
+class TestPartitioned:
+    def test_replicas_stay_in_group(self):
+        alloc = PartitionedAllocation(9, 3, group_size=3)
+        for b in range(alloc.n_buckets):
+            devs = alloc.devices_for(b)
+            groups = {d // 3 for d in devs}
+            assert len(groups) == 1
+
+    def test_group_size_must_divide(self):
+        with pytest.raises(ValueError):
+            PartitionedAllocation(9, 3, group_size=4)
+
+    def test_replication_within_group(self):
+        with pytest.raises(ValueError):
+            PartitionedAllocation(9, 4, group_size=3)
+
+    def test_primaries_round_robin(self):
+        alloc = PartitionedAllocation(9, 3)
+        assert [alloc.primary(b) for b in range(9)] == list(range(9))
+
+
+class TestPeriodic:
+    def test_shift_applied(self):
+        alloc = DependentPeriodicAllocation(9, 3, shift=2)
+        assert alloc.devices_for(0) == (0, 2, 4)
+        assert alloc.devices_for(1) == (1, 3, 5)
+
+    def test_degenerate_shift_rejected(self):
+        # shift 3 on 6 devices collapses copies 0 and 2 onto device 0
+        with pytest.raises(ValueError):
+            DependentPeriodicAllocation(6, 3, shift=3)
+        with pytest.raises(ValueError):
+            DependentPeriodicAllocation(9, 3, shift=0)
+
+    def test_auto_shift_valid(self):
+        alloc = DependentPeriodicAllocation(9, 3)
+        alloc.validate()
+
+
+class TestOrthogonal:
+    def test_each_pair_once(self):
+        alloc = OrthogonalAllocation(9)
+        seen = set()
+        for b in range(alloc.n_buckets):
+            pair = frozenset(alloc.devices_for(b))
+            assert pair not in seen
+            seen.add(pair)
+        assert len(seen) == 36
+
+    def test_guarantee_sqrt(self):
+        assert OrthogonalAllocation.guarantee(3) == 2
+        assert OrthogonalAllocation.guarantee(8) == 3
+        assert OrthogonalAllocation.guarantee(15) == 4
+        assert OrthogonalAllocation.guarantee(16) == 4
+        assert OrthogonalAllocation.guarantee(0) == 0
+
+    def test_needs_two_devices(self):
+        with pytest.raises(ValueError):
+            OrthogonalAllocation(1)

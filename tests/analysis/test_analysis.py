@@ -1,0 +1,112 @@
+"""Unit tests for the analytical models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CapacityModel, ConflictModel
+from repro.flash.params import MSR_SSD_PARAMS
+
+READ = MSR_SSD_PARAMS.read_ms
+
+
+class TestConflictModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConflictModel(0, 3, READ)
+        with pytest.raises(ValueError):
+            ConflictModel(9, 0, READ)
+        with pytest.raises(ValueError):
+            ConflictModel(9, 3, 0.0)
+        with pytest.raises(ValueError):
+            ConflictModel(9, 3, READ).utilisation(-1.0)
+
+    def test_utilisation_linear_in_rate(self):
+        m = ConflictModel(9, 3, READ)
+        assert m.utilisation(9 / READ) == pytest.approx(1.0)
+        assert m.utilisation(4.5 / READ) == pytest.approx(0.5)
+
+    def test_p_delayed_monotone_and_bounded(self):
+        m = ConflictModel(9, 3, READ)
+        ps = [m.p_delayed(r) for r in (1.0, 5.0, 20.0, 50.0, 1000.0)]
+        assert ps == sorted(ps)
+        assert all(0 <= p <= 1 for p in ps)
+        assert m.p_delayed(1000.0) == 1.0  # clamped at saturation
+
+    def test_more_replicas_fewer_conflicts(self):
+        p2 = ConflictModel(9, 2, READ).p_delayed(20.0)
+        p3 = ConflictModel(9, 3, READ).p_delayed(20.0)
+        assert p3 < p2
+
+    def test_mean_delay_below_one_service(self):
+        m = ConflictModel(9, 3, READ)
+        assert 0 < m.mean_delay_ms() < READ
+
+    def test_predict_keys(self):
+        m = ConflictModel(9, 3, READ)
+        out = m.predict(10.0)
+        assert set(out) == {"utilisation", "p_delayed",
+                            "mean_delay_ms", "max_stable_rate"}
+
+    def test_against_simulation_poisson(self):
+        """Model tracks simulated delayed%% within a small factor."""
+        from repro.allocation import DesignTheoreticAllocation
+        from repro.flash.driver import OnlineTracePlayer
+
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        model = ConflictModel(9, 3, READ)
+        rng = np.random.default_rng(3)
+        for rate in (10.0, 20.0):
+            n = int(rate * 150)
+            arrivals = np.sort(rng.uniform(0, 150.0, n))
+            buckets = rng.integers(0, 36, n)
+            series, _ = OnlineTracePlayer(alloc, 0.133).play(
+                list(arrivals), list(buckets))
+            sim = series.overall().pct_delayed / 100.0
+            pred = model.p_delayed(rate)
+            assert pred / 5 <= sim <= pred * 5, (rate, sim, pred)
+
+
+class TestCapacityModel:
+    @pytest.fixture
+    def cap(self):
+        return CapacityModel(9, 3, 1, 0.133, READ)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityModel(0, 3, 1, 0.133, READ)
+        with pytest.raises(ValueError):
+            CapacityModel(9, 3, 1, 0.0, READ)
+
+    def test_admission_limit(self, cap):
+        assert cap.admission_limit == 5
+        assert cap.admission_rate == pytest.approx(5 / 0.133)
+
+    def test_physical_rate(self, cap):
+        assert cap.physical_rate == pytest.approx(9 / READ)
+
+    def test_admission_binds_at_m1(self, cap):
+        # S(1)=5 per 0.133 ms < 9 devices per service time
+        assert cap.admission_bound_binding
+        assert cap.sustainable_rate == cap.admission_rate
+
+    def test_utilisation_at(self, cap):
+        assert cap.utilisation_at(cap.sustainable_rate) == \
+            pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            cap.utilisation_at(-1.0)
+
+    def test_write_cost(self, cap):
+        assert cap.write_cost(0.0) == 1.0
+        assert cap.write_cost(1.0) == 3.0
+        assert cap.write_cost(0.5) == 2.0
+        with pytest.raises(ValueError):
+            cap.write_cost(1.5)
+
+    def test_mixed_rate_decreases_with_writes(self, cap):
+        w_ms = MSR_SSD_PARAMS.write_ms
+        r0 = cap.sustainable_rate_mixed(0.0, w_ms)
+        r5 = cap.sustainable_rate_mixed(0.5, w_ms)
+        assert r0 == pytest.approx(cap.physical_rate)
+        assert r5 < r0
+        with pytest.raises(ValueError):
+            cap.sustainable_rate_mixed(0.1, 0.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the adaptive epsilon controller."""
+
+import statistics
+
+import pytest
+
+from repro.core.adaptive import AdaptiveEpsilonController
+from repro.experiments.common import play_workload
+from repro.traces.exchange import exchange_like_trace
+
+
+class TestControllerMechanics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveEpsilonController(-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveEpsilonController(2.0, epsilon0=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveEpsilonController(2.0, gain=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveEpsilonController(2.0, epsilon_bounds=(0.1, 0.01))
+        ctrl = AdaptiveEpsilonController(2.0)
+        with pytest.raises(ValueError):
+            ctrl.update(-1.0)
+
+    def test_increase_when_over_target(self):
+        ctrl = AdaptiveEpsilonController(2.0, epsilon0=0.001, gain=0.5)
+        new = ctrl.update(5.0)
+        assert new == pytest.approx(0.0015)
+
+    def test_decrease_when_under_target(self):
+        ctrl = AdaptiveEpsilonController(2.0, epsilon0=0.0015, gain=0.5)
+        new = ctrl.update(0.0)
+        assert new == pytest.approx(0.001)
+
+    def test_hold_at_target(self):
+        ctrl = AdaptiveEpsilonController(2.0, epsilon0=0.001)
+        assert ctrl.update(2.0) == 0.001
+
+    def test_bounds_clamp(self):
+        ctrl = AdaptiveEpsilonController(2.0, epsilon0=0.4, gain=10.0,
+                                         epsilon_bounds=(1e-6, 0.5))
+        assert ctrl.update(50.0) == 0.5
+        ctrl2 = AdaptiveEpsilonController(2.0, epsilon0=2e-6,
+                                          gain=10.0,
+                                          epsilon_bounds=(1e-6, 0.5))
+        assert ctrl2.update(0.0) == 1e-6
+
+
+class TestDrive:
+    @pytest.fixture(scope="class")
+    def parts(self):
+        return exchange_like_trace(scale=0.3, seed=1, n_intervals=10)
+
+    def test_trajectory_shapes(self, parts):
+        ctrl = AdaptiveEpsilonController(2.0, epsilon0=1e-4, gain=0.6)
+        res = ctrl.drive(parts, n_devices=9)
+        assert len(res.epsilons) == len(parts)
+        assert len(res.delayed_pct) == len(parts)
+        assert res.final_epsilon == ctrl.epsilon or \
+            res.final_epsilon == res.epsilons[-1]
+        lo, hi = ctrl.bounds
+        assert all(lo <= e <= hi for e in res.epsilons)
+
+    def test_steers_toward_target(self, parts):
+        target = 2.0
+        ctrl = AdaptiveEpsilonController(target, epsilon0=1e-4,
+                                         gain=0.6)
+        res = ctrl.drive(parts, n_devices=9)
+        adaptive_err = abs(
+            statistics.mean(res.delayed_pct[2:]) - target)
+        # compare against sticking with deterministic QoS (eps = 0)
+        det = [play_workload([p], n_devices=9,
+                             epsilon=0.0).report.pct_delayed
+               for p in parts]
+        det_err = abs(statistics.mean(det[2:]) - target)
+        assert adaptive_err <= det_err + 0.5
+
+    def test_converged_helper(self):
+        from repro.core.adaptive import AdaptiveRunResult
+
+        res = AdaptiveRunResult([0.1], [2.4], [0.13])
+        assert res.converged(2.0, tolerance=0.5)
+        assert not res.converged(2.0, tolerance=0.1)

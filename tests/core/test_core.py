@@ -1,0 +1,259 @@
+"""Unit tests for guarantees, admission control, sampling, applications."""
+
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.core import (
+    Application,
+    DeterministicAdmission,
+    OptimalRetrievalSampler,
+    StatisticalAdmission,
+    guarantee_capacity,
+    max_admissible,
+    required_accesses,
+    table1_scenario,
+)
+from repro.core.applications import ApplicationAdmission, BlockRequest
+from repro.core.guarantees import guarantee_table
+
+
+class TestGuarantees:
+    def test_paper_values_c3(self):
+        # §V-C: 5 blocks in 1 access, 14 in 2, 27 in 3
+        assert guarantee_capacity(1, 3) == 5
+        assert guarantee_capacity(2, 3) == 14
+        assert guarantee_capacity(3, 3) == 27
+
+    def test_paper_example_c2(self):
+        # §II-B3: c=2 gives 3, 8, 15
+        assert [guarantee_capacity(m, 2) for m in (1, 2, 3)] == [3, 8, 15]
+
+    def test_zero_accesses(self):
+        assert guarantee_capacity(0, 3) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            guarantee_capacity(-1, 3)
+        with pytest.raises(ValueError):
+            guarantee_capacity(1, 0)
+        with pytest.raises(ValueError):
+            required_accesses(-1, 3)
+
+    def test_required_accesses_inverse(self):
+        for c in (2, 3, 4):
+            for b in range(0, 200):
+                m = required_accesses(b, c)
+                if b == 0:
+                    assert m == 0
+                else:
+                    assert guarantee_capacity(m, c) >= b
+                    assert guarantee_capacity(m - 1, c) < b
+
+    def test_no_replication_degenerate(self):
+        assert required_accesses(7, 1) == 7
+
+    def test_max_admissible(self):
+        # T = 0.133 fits one 0.132507 access -> S = 5
+        assert max_admissible(0.133, 0.132507, 3) == 5
+        assert max_admissible(0.266, 0.132507, 3) == 14
+        with pytest.raises(ValueError):
+            max_admissible(0.0, 0.1, 3)
+
+    def test_guarantee_table(self):
+        assert guarantee_table(3, 3) == [(1, 5), (2, 14), (3, 27)]
+
+
+class TestDeterministicAdmission:
+    def test_limit_is_guarantee(self):
+        adm = DeterministicAdmission(replication=3, accesses=1)
+        assert adm.limit == 5
+
+    def test_admits_up_to_limit(self):
+        adm = DeterministicAdmission(3, 1)
+        for _ in range(5):
+            assert adm.offer(1)
+        assert not adm.offer(1)
+        assert adm.interval_count == 5
+
+    def test_batch_offer(self):
+        adm = DeterministicAdmission(3, 1)
+        assert adm.offer(4)
+        assert not adm.offer(2)  # would exceed
+        assert adm.offer(1)
+
+    def test_interval_reset(self):
+        adm = DeterministicAdmission(3, 1)
+        adm.offer(5)
+        adm.start_interval()
+        assert adm.interval_count == 0
+        assert adm.offer(5)
+
+    def test_validation(self):
+        adm = DeterministicAdmission(3, 1)
+        with pytest.raises(ValueError):
+            adm.offer(-1)
+
+    def test_decision_truthiness(self):
+        adm = DeterministicAdmission(3, 1)
+        assert bool(adm.offer(1)) is True
+        adm.offer(4)
+        assert bool(adm.offer(1)) is False
+
+
+class TestStatisticalAdmission:
+    PROBS = {6: 0.99, 7: 0.98, 8: 0.95, 9: 0.75}
+
+    def _adm(self, eps):
+        return StatisticalAdmission(self.PROBS, eps, replication=3,
+                                    accesses=1)
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            self._adm(-0.1)
+        with pytest.raises(ValueError):
+            self._adm(1.5)
+
+    def test_within_limit_always_admitted(self):
+        adm = self._adm(0.0)
+        for _ in range(5):
+            assert adm.offer(1)
+
+    def test_epsilon_zero_is_deterministic(self):
+        adm = self._adm(0.0)
+        adm.offer(5)
+        assert not adm.offer(1)
+
+    def test_p_k_semantics(self):
+        adm = self._adm(0.1)
+        assert adm.p_k(3) == 1.0      # within limit
+        assert adm.p_k(6) == 0.99
+        assert adm.p_k(40) == 0.0     # unknown -> conservative
+
+    def test_overflow_admitted_when_q_small(self):
+        adm = self._adm(0.05)
+        # build history: many small intervals
+        for _ in range(100):
+            adm.start_interval()
+            adm.offer(2)
+        adm.start_interval()
+        adm.offer(5)
+        dec = adm.offer(1)  # k = 6, (1 - P_6) = 0.01 over ~100 intervals
+        assert dec.admitted
+        assert dec.q < 0.05
+
+    def test_overflow_rejected_when_q_large(self):
+        adm = self._adm(0.0001)
+        for _ in range(10):
+            adm.start_interval()
+            adm.offer(2)
+        adm.start_interval()
+        adm.offer(5)
+        assert not adm.offer(1)
+
+    def test_conflict_budget_self_limits(self):
+        adm = self._adm(0.25)
+        for _ in range(100):
+            adm.start_interval()
+            adm.offer(1)
+        granted = sum(bool(adm.offer_conflict()) for _ in range(60))
+        # ~25% of 100 intervals worth of violations, not all 60
+        assert 15 <= granted <= 30
+
+    def test_histogram_counts_interval_sizes(self):
+        adm = self._adm(0.5)
+        adm.start_interval()
+        adm.offer(3)
+        adm.start_interval()   # records size 3
+        q_small = adm.violation_probability(3)
+        q_big = adm.violation_probability(9)
+        assert q_big > q_small
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def sampler(self):
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        return OptimalRetrievalSampler(alloc, trials=400, seed=0)
+
+    def test_small_sizes_certain(self, sampler):
+        for k in (0, 1, 2, 3):
+            assert sampler.probability(k) == 1.0
+
+    def test_fig4_shape(self, sampler):
+        # P drops toward k = 9, snaps back to 1 at k = 10
+        p8 = sampler.probability(8)
+        p9 = sampler.probability(9)
+        p10 = sampler.probability(10)
+        assert p9 < p8
+        assert p9 < 0.9
+        assert p10 == 1.0
+
+    def test_fig4_paper_points(self, sampler):
+        assert sampler.probability(9) == pytest.approx(0.75, abs=0.1)
+        assert sampler.probability(8) == pytest.approx(0.95, abs=0.07)
+
+    def test_cache_and_curve(self, sampler):
+        assert sampler.probability(7) == sampler.probability(7)
+        curve = sampler.curve([5, 6])
+        assert set(curve) == {5, 6}
+
+    def test_table_covers_default_range(self, sampler):
+        table = sampler.table()
+        assert set(table) == set(range(1, 19))
+
+    def test_validation(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.probability(-1)
+        with pytest.raises(ValueError):
+            OptimalRetrievalSampler(sampler.allocation, trials=0)
+
+
+class TestApplications:
+    def test_block_request_validation(self):
+        with pytest.raises(ValueError):
+            BlockRequest(devices=(0, 0, 1))
+        assert BlockRequest(devices=(3, 1, 2)).primary == 3
+
+    def test_application_validation(self):
+        with pytest.raises(ValueError):
+            Application("x", -1)
+
+    def test_table1_admission_walkthrough(self):
+        # §III-A: app1(2) at T0, app2(2) at T1, app3(1) at T2 -> full
+        adm = ApplicationAdmission(replication=3, accesses=1)
+        assert adm.admit(Application("app1", 2), period=0)
+        assert adm.admit(Application("app2", 2), period=1)
+        assert adm.admit(Application("app3", 1), period=2)
+        assert adm.total_request_size == 5
+        assert adm.remaining == 0
+        assert not adm.admit(Application("app4", 1))
+
+    def test_leave_frees_budget(self):
+        adm = ApplicationAdmission(3, 1)
+        adm.admit(Application("a", 5))
+        adm.leave("a")
+        assert adm.admit(Application("b", 5))
+
+    def test_duplicate_admit_rejected(self):
+        adm = ApplicationAdmission(3, 1)
+        adm.admit(Application("a", 1))
+        with pytest.raises(ValueError):
+            adm.admit(Application("a", 1))
+
+    def test_validate_period_against_declared(self):
+        adm = ApplicationAdmission(3, 1)
+        adm.admit(Application("app1", 2))
+        adm.validate_period([BlockRequest((0, 3, 6), app="app1")])
+        with pytest.raises(ValueError):
+            adm.validate_period(
+                [BlockRequest((0, 3, 6), app="app1")] * 3)
+        with pytest.raises(ValueError):
+            adm.validate_period([BlockRequest((0, 3, 6), app="ghost")])
+
+    def test_table1_scenario_contents(self):
+        scenario = table1_scenario()
+        assert set(scenario) == {0, 1, 2, 3}
+        assert scenario[0][0].devices == (0, 3, 6)
+        assert len(scenario[3]) == 4
+        # per-period request sizes within declared budgets
+        assert all(len(reqs) <= 5 for reqs in scenario.values())

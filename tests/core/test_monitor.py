@@ -1,0 +1,96 @@
+"""Unit tests for the SLA monitor and percentile metrics."""
+
+import pytest
+
+from repro import QoSFlashArray
+from repro.core.monitor import SLAMonitor, SLAViolation
+from repro.flash.metrics import ResponseStats
+from repro.traces.synthetic import synthetic_trace
+
+G = 0.132507
+
+
+class TestPercentiles:
+    def test_response_percentiles(self):
+        st = ResponseStats()
+        for v in range(1, 101):
+            st.record(float(v))
+        assert st.p50 == pytest.approx(50.5)
+        assert st.percentile(0) == 1.0
+        assert st.percentile(100) == 100.0
+        assert st.p99 > st.p50
+
+    def test_empty_and_validation(self):
+        st = ResponseStats()
+        assert st.p50 == 0.0
+        with pytest.raises(ValueError):
+            st.percentile(101)
+
+
+class TestSLAMonitor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLAMonitor(0.0)
+        with pytest.raises(ValueError):
+            SLAMonitor(G, window=0)
+        with pytest.raises(ValueError):
+            SLAMonitor(G, target_compliance=0.0)
+
+    def test_compliant_stream(self):
+        mon = SLAMonitor(G)
+        for i in range(50):
+            mon.observe(i * 0.2, G)
+        assert mon.in_compliance
+        assert mon.lifetime_compliance == 1.0
+        assert mon.n_violations == 0
+        assert mon.first_violation() is None
+
+    def test_violation_recorded_with_detail(self):
+        mon = SLAMonitor(G)
+        mon.observe(1.0, G)
+        mon.observe(2.0, 2 * G)
+        assert mon.n_violations == 1
+        v = mon.first_violation()
+        assert isinstance(v, SLAViolation)
+        assert v.at_ms == 2.0
+        assert v.excess_ms == pytest.approx(G)
+
+    def test_window_slides(self):
+        mon = SLAMonitor(G, window=10)
+        for i in range(10):
+            mon.observe(i, 2 * G)   # all bad
+        assert mon.windowed_compliance == 0.0
+        for i in range(10):
+            mon.observe(10 + i, G)  # all good: window recovers
+        assert mon.windowed_compliance == 1.0
+        assert mon.lifetime_compliance == pytest.approx(0.5)
+
+    def test_three_nines_target(self):
+        mon = SLAMonitor(G, window=1000, target_compliance=0.999)
+        for i in range(999):
+            mon.observe(i, G)
+        mon.observe(999, 2 * G)
+        assert mon.windowed_compliance == pytest.approx(0.999)
+        assert mon.in_compliance
+        mon.observe(1000, 2 * G)
+        assert not mon.in_compliance
+
+    def test_windowed_percentile(self):
+        mon = SLAMonitor(G, window=100)
+        for v in range(1, 101):
+            mon.observe(v, float(v))
+        assert mon.windowed_percentile(50) == pytest.approx(50.5)
+        with pytest.raises(ValueError):
+            mon.windowed_percentile(-1)
+
+    def test_observe_report_integration(self):
+        qos = QoSFlashArray(interval_ms=0.133)
+        trace = synthetic_trace(5, 0.133, total_requests=200, seed=0)
+        report = qos.run_online(trace.arrival_ms, trace.block)
+        mon = SLAMonitor(qos.guarantee_ms)
+        mon.observe_report(report)
+        assert mon.n_observed == 200
+        assert mon.in_compliance
+        s = mon.summary()
+        assert s["violations"] == 0
+        assert s["p99_ms"] == pytest.approx(G)

@@ -1,0 +1,77 @@
+"""Unit tests for the repro-qos command-line tool."""
+
+import pytest
+
+from repro.core.cli import main as qos_main
+from repro.traces.cli import main as trace_main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "work.trace"
+    trace_main(["generate", "synthetic", str(path), "--total", "100",
+                "--requests-per-interval", "4"])
+    return path
+
+
+class TestRun:
+    def test_within_guarantee_exits_zero(self, trace_file, capsys):
+        rc = qos_main(["run", str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "guarantee" in out
+        assert "met" in out
+        assert "0.132507" in out
+
+    def test_batch_mode(self, trace_file, capsys):
+        rc = qos_main(["run", str(trace_file), "--batch"])
+        assert rc == 0
+        assert "met" in capsys.readouterr().out
+
+    def test_csv_input(self, tmp_path, capsys):
+        path = tmp_path / "work.csv"
+        trace_main(["generate", "synthetic", str(path), "--total",
+                    "60", "--requests-per-interval", "3"])
+        assert qos_main(["run", str(path)]) == 0
+
+    def test_custom_array(self, trace_file, capsys):
+        rc = qos_main(["run", str(trace_file), "--devices", "13",
+                       "--replication", "3"])
+        assert rc == 0
+        assert "(13,3,1)" in capsys.readouterr().out
+
+    def test_fim_pipeline(self, tmp_path, capsys):
+        path = tmp_path / "ex.csv"
+        trace_main(["generate", "exchange", str(path), "--scale",
+                    "0.05", "--intervals", "3"])
+        rc = qos_main(["run", str(path), "--fim",
+                       "--fim-interval-ms", "60"])
+        assert rc == 0
+        assert "met" in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_feasible_slo(self, capsys):
+        rc = qos_main(["plan", "--response-ms", "0.4", "--rate", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "M=2" in out
+
+    def test_infeasible_slo(self, capsys):
+        rc = qos_main(["plan", "--response-ms", "0.14", "--rate",
+                       "100000"])
+        assert rc == 1
+        assert "no configuration" in capsys.readouterr().out
+
+    def test_max_plans(self, capsys):
+        qos_main(["plan", "--response-ms", "0.4", "--rate", "10",
+                  "--max-plans", "2"])
+        lines = [ln for ln in capsys.readouterr().out.splitlines()
+                 if ln.startswith("  (")]
+        assert len(lines) <= 2
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            qos_main([])

@@ -1,0 +1,60 @@
+"""Unit tests for the deployment self-check."""
+
+import pytest
+
+from repro import QoSFlashArray
+from repro.core.selfcheck import CheckResult, SelfCheckReport, self_check
+
+
+class TestCheckResult:
+    def test_truthiness(self):
+        assert CheckResult("x", True, "")
+        assert not CheckResult("x", False, "")
+
+    def test_report_pass_fail(self):
+        good = SelfCheckReport([CheckResult("a", True, "d")])
+        bad = SelfCheckReport([CheckResult("a", True, "d"),
+                               CheckResult("b", False, "d")])
+        assert good.passed
+        assert not bad.passed
+        assert "ALL CHECKS PASSED" in good.render()
+        assert "SELF-CHECK FAILED" in bad.render()
+        assert "[FAIL] b" in bad.render()
+
+
+class TestSelfCheck:
+    def test_healthy_configuration_passes(self):
+        report = QoSFlashArray().self_check(trials=100)
+        assert report.passed
+        assert len(report.checks) == 4
+
+    def test_degraded_configuration_passes(self):
+        qos = QoSFlashArray()
+        qos.fail_device(4)
+        report = qos.self_check(trials=100)
+        assert report.passed
+        # guarantee probe uses the degraded capacity (S = 3)
+        probe = next(c for c in report.checks
+                     if c.name == "guarantee probe")
+        assert "batches of 3" in probe.detail
+
+    def test_m2_configuration_passes(self):
+        report = QoSFlashArray(interval_ms=0.266).self_check(trials=60)
+        assert report.passed
+
+    def test_thirteen_device_configuration(self):
+        report = QoSFlashArray(n_devices=13).self_check(trials=60)
+        assert report.passed
+
+    def test_detects_broken_design(self):
+        # sabotage the design after construction: duplicate pair
+        from repro.designs.block_design import BlockDesign
+
+        qos = QoSFlashArray()
+        qos.design = BlockDesign(9, ((0, 1, 2), (0, 1, 3)),
+                                 name="broken")
+        report = self_check(qos, trials=20)
+        audit = next(c for c in report.checks
+                     if c.name == "design pairwise balance")
+        assert not audit.passed
+        assert not report.passed

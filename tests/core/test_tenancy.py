@@ -1,0 +1,99 @@
+"""Unit tests for multi-tenant admission and its driver integration."""
+
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.core.tenancy import TenantAdmission
+from repro.flash.driver import OnlineTracePlayer
+
+T = 0.133
+
+
+class TestTenantAdmission:
+    def test_strict_overcommit_rejected(self):
+        with pytest.raises(ValueError, match="exceeding"):
+            TenantAdmission({"a": 3, "b": 3}, replication=3)
+
+    def test_nonstrict_allows_overcommit(self):
+        adm = TenantAdmission({"a": 4, "b": 4}, replication=3,
+                              strict=False)
+        assert adm.limit == 5
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            TenantAdmission({"a": -1}, replication=3)
+
+    def test_per_app_budget_enforced(self):
+        adm = TenantAdmission({"a": 2, "b": 2}, replication=3)
+        assert adm.offer("a")
+        assert adm.offer("a")
+        refused = adm.offer("a")
+        assert not refused
+        assert refused.refused_by == "app"
+        assert adm.offer("b")  # other tenant unaffected
+
+    def test_system_limit_enforced_with_overcommit(self):
+        adm = TenantAdmission({"a": 4, "b": 4}, replication=3,
+                              strict=False)
+        for _ in range(4):
+            assert adm.offer("a")
+        assert adm.offer("b")
+        refused = adm.offer("b")
+        assert refused.refused_by == "system"
+
+    def test_unknown_app_refused(self):
+        adm = TenantAdmission({"a": 2}, replication=3)
+        assert not adm.offer("ghost")
+
+    def test_interval_reset(self):
+        adm = TenantAdmission({"a": 1}, replication=3)
+        assert adm.offer("a")
+        assert not adm.offer("a")
+        adm.start_interval()
+        assert adm.offer("a")
+        assert adm.system_count == 1
+        assert adm.app_count("a") == 1
+
+    def test_batch_offer_counts(self):
+        adm = TenantAdmission({"a": 3}, replication=3)
+        assert adm.offer("a", 3)
+        assert not adm.offer("a", 1)
+        with pytest.raises(ValueError):
+            adm.offer("a", -1)
+
+
+class TestDriverIntegration:
+    @pytest.fixture(scope="class")
+    def alloc(self):
+        return DesignTheoreticAllocation.from_parameters(9, 3)
+
+    def test_apps_required_with_budgets(self, alloc):
+        player = OnlineTracePlayer(alloc, T, tenant_budgets={"a": 2})
+        with pytest.raises(ValueError, match="apps"):
+            player.play([0.0], [0])
+        with pytest.raises(ValueError):
+            player.play([0.0], [0], apps=["a", "b"])
+
+    def test_tenant_isolation(self, alloc):
+        # "a" bursts beyond its declared size; "b" keeps its guarantee
+        player = OnlineTracePlayer(alloc, T,
+                                   tenant_budgets={"a": 2, "b": 2})
+        arrivals = [0.0, 1e-5, 2e-5, 3e-5, 4e-5]
+        buckets = [0, 3, 6, 9, 12]
+        apps = ["a", "a", "a", "b", "b"]
+        _, played = player.play(arrivals, buckets, apps=apps)
+        by_index = {p.index: p for p in played}
+        assert by_index[2].delayed          # a's over-budget request
+        assert not by_index[3].delayed      # b unaffected
+        assert not by_index[4].delayed
+        assert by_index[2].io.issued_at >= T - 1e-9
+
+    def test_within_budgets_no_delays(self, alloc):
+        player = OnlineTracePlayer(alloc, T,
+                                   tenant_budgets={"a": 2, "b": 2})
+        arrivals = [0.0, 1e-5, T, T + 1e-5]
+        buckets = [0, 10, 20, 30]
+        apps = ["a", "b", "a", "b"]
+        series, played = player.play(arrivals, buckets, apps=apps)
+        assert series.overall().n_delayed == 0
+        assert series.overall().max == pytest.approx(0.132507)

@@ -1,0 +1,70 @@
+"""Unit tests for the BlockDesign value type."""
+
+import pytest
+
+from repro.designs import BlockDesign
+
+
+class TestValidation:
+    def test_needs_blocks(self):
+        with pytest.raises(ValueError):
+            BlockDesign(3, ())
+
+    def test_needs_points(self):
+        with pytest.raises(ValueError):
+            BlockDesign(0, ((0,),))
+
+    def test_point_range_checked(self):
+        with pytest.raises(ValueError):
+            BlockDesign(3, ((0, 1, 3),))
+
+    def test_duplicate_point_in_block_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDesign(5, ((0, 1, 1),))
+
+    def test_inconsistent_block_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDesign(5, ((0, 1, 2), (3, 4)))
+
+
+class TestAccessors:
+    @pytest.fixture
+    def design(self):
+        return BlockDesign(5, ((0, 1, 2), (0, 3, 4), (1, 3, 2)),
+                           name="toy")
+
+    def test_basic_quantities(self, design):
+        assert design.n_points == 5
+        assert design.block_size == 3
+        assert design.replication == 3
+        assert design.n_blocks == 3
+        assert len(design) == 3
+
+    def test_points_of_preserves_order(self, design):
+        assert design.points_of(1) == (0, 3, 4)
+
+    def test_blocks_through(self, design):
+        assert design.blocks_through(0) == (0, 1)
+        assert design.blocks_through(4) == (1,)
+
+    def test_replica_count(self, design):
+        assert design.replica_count(1) == 2
+        assert design.replica_count(4) == 1
+
+    def test_as_sets(self, design):
+        assert design.as_sets()[0] == frozenset({0, 1, 2})
+
+    def test_iteration(self, design):
+        assert list(design) == [(0, 1, 2), (0, 3, 4), (1, 3, 2)]
+
+    def test_str_uses_name(self, design):
+        assert "toy" in str(design)
+
+    def test_equality_ignores_name(self):
+        a = BlockDesign(3, ((0, 1, 2),), name="a")
+        b = BlockDesign(3, ((0, 1, 2),), name="b")
+        assert a == b
+
+    def test_frozen(self, design):
+        with pytest.raises(AttributeError):
+            design.n_points = 10

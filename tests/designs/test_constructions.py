@@ -1,0 +1,160 @@
+"""Unit tests for Steiner / difference-family constructions and catalog."""
+
+import pytest
+
+from repro.designs import BlockDesign, get_design, verify_design
+from repro.designs.catalog import design_9_3_1, design_13_3_1, pair_design
+from repro.designs.difference import (
+    cyclic_design,
+    develop,
+    family_is_valid,
+    find_difference_family,
+)
+from repro.designs.steiner import bose_sts, skolem_sts, \
+    steiner_triple_system
+from repro.designs.verify import is_steiner, pair_coverage, \
+    steiner_block_count
+
+
+class TestVerify:
+    def test_pair_coverage_counts(self):
+        d = BlockDesign(4, ((0, 1, 2), (0, 1, 3)))
+        cov = pair_coverage(d)
+        assert cov[frozenset((0, 1))] == 2
+        assert cov[frozenset((2, 3))] == 0 if frozenset((2, 3)) in cov \
+            else frozenset((2, 3)) not in cov
+
+    def test_verify_rejects_repeated_pair(self):
+        d = BlockDesign(4, ((0, 1, 2), (0, 1, 3)))
+        with pytest.raises(ValueError, match=r"pair \(0,1\)"):
+            verify_design(d)
+
+    def test_verify_allows_lambda_2(self):
+        d = BlockDesign(4, ((0, 1, 2), (0, 1, 3)))
+        verify_design(d, max_index=2)
+
+    def test_is_steiner_complete_coverage(self):
+        assert is_steiner(design_9_3_1())
+        incomplete = BlockDesign(9, ((0, 1, 2),))
+        assert not is_steiner(incomplete)
+
+    def test_steiner_block_count(self):
+        assert steiner_block_count(9, 3) == 12
+        assert steiner_block_count(13, 3) == 26
+        with pytest.raises(ValueError):
+            steiner_block_count(8, 3)
+
+
+class TestPaperDesigns:
+    def test_fig2_exact_blocks(self):
+        d = design_9_3_1()
+        assert d.blocks[0] == (0, 1, 2)
+        assert d.blocks[1] == (0, 3, 6)
+        assert d.blocks[-1] == (6, 7, 8)
+        assert d.n_blocks == 12
+
+    def test_fig2_pair_property(self):
+        # "0 and 1 appear together only in the first block"
+        d = design_9_3_1()
+        containing = [i for i, blk in enumerate(d.blocks)
+                      if 0 in blk and 1 in blk]
+        assert containing == [0]
+
+    def test_fig2_blocks_intersect_at_most_once(self):
+        d = design_9_3_1()
+        sets = d.as_sets()
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                assert len(sets[i] & sets[j]) <= 1
+
+    def test_13_3_1(self):
+        d = design_13_3_1()
+        assert d.n_points == 13
+        assert d.n_blocks == 26
+        assert is_steiner(d)
+
+
+class TestSteinerConstructions:
+    @pytest.mark.parametrize("v", [9, 15, 21, 27, 33])
+    def test_bose(self, v):
+        d = bose_sts(v)
+        assert is_steiner(d)
+        assert d.n_blocks == steiner_block_count(v, 3)
+
+    @pytest.mark.parametrize("v", [7, 13, 19, 25, 31, 37])
+    def test_skolem(self, v):
+        d = skolem_sts(v)
+        assert is_steiner(d)
+        assert d.n_blocks == steiner_block_count(v, 3)
+
+    def test_bose_wrong_residue(self):
+        with pytest.raises(ValueError):
+            bose_sts(13)
+
+    def test_skolem_wrong_residue(self):
+        with pytest.raises(ValueError):
+            skolem_sts(9)
+
+    def test_dispatcher(self):
+        assert steiner_triple_system(9).n_points == 9
+        assert steiner_triple_system(13).n_points == 13
+        with pytest.raises(ValueError):
+            steiner_triple_system(8)
+
+
+class TestDifferenceFamilies:
+    def test_known_families_valid(self):
+        assert family_is_valid([(0, 1, 4), (0, 2, 7)], 13)
+        assert family_is_valid([(0, 1, 3)], 7)
+        assert family_is_valid([(0, 1, 3, 9)], 13)
+
+    def test_invalid_family_detected(self):
+        assert not family_is_valid([(0, 1, 2)], 7)  # diff 1 twice
+
+    def test_develop_block_count(self):
+        d = develop([(0, 1, 3)], 7)
+        assert d.n_blocks == 7
+        assert is_steiner(d)
+
+    def test_search_finds_fano(self):
+        fam = find_difference_family(7, 3)
+        assert fam is not None
+        assert family_is_valid(fam, 7)
+
+    def test_search_reports_impossible_divisibility(self):
+        assert find_difference_family(8, 3) is None
+
+    def test_search_novel_parameters(self):
+        # (25, 3, 1) has no entry in KNOWN_FAMILIES -> backtracking
+        fam = find_difference_family(25, 3)
+        assert fam is not None
+        assert family_is_valid(fam, 25)
+
+    def test_cyclic_design_projective_plane(self):
+        d = cyclic_design(13, 4)
+        assert d.n_blocks == 13
+        assert is_steiner(d)
+
+
+class TestCatalog:
+    def test_pair_design(self):
+        d = pair_design(5)
+        assert d.n_blocks == 10
+        assert is_steiner(d)
+
+    def test_get_design_validation(self):
+        with pytest.raises(ValueError):
+            get_design(9, 1)
+        with pytest.raises(ValueError):
+            get_design(3, 5)
+
+    def test_get_design_caches(self):
+        assert get_design(9, 3) is get_design(9, 3)
+
+    @pytest.mark.parametrize("n,c", [(9, 3), (13, 3), (7, 3), (15, 3),
+                                     (6, 2), (13, 4)])
+    def test_get_design_verified(self, n, c):
+        d = get_design(n, c)
+        assert d.n_points == n
+        assert d.block_size == c
+        verify_design(d)

@@ -1,0 +1,92 @@
+"""Unit tests for projective/affine plane constructions."""
+
+import pytest
+
+from repro.designs.catalog import get_design
+from repro.designs.planes import affine_plane, is_prime, projective_plane
+from repro.designs.verify import is_steiner
+
+
+class TestPrimality:
+    def test_small_values(self):
+        primes = [2, 3, 5, 7, 11, 13, 17, 19, 23]
+        for n in range(25):
+            assert is_prime(n) == (n in primes)
+
+    def test_composites(self):
+        for n in (4, 9, 15, 21, 25, 49, 91):
+            assert not is_prime(n)
+
+
+class TestProjectivePlane:
+    @pytest.mark.parametrize("q", [2, 3, 5, 7])
+    def test_parameters(self, q):
+        d = projective_plane(q)
+        assert d.n_points == q * q + q + 1
+        assert d.n_blocks == q * q + q + 1
+        assert d.block_size == q + 1
+        assert is_steiner(d)
+
+    def test_fano_plane(self):
+        # PG(2,2) is the Fano plane: 7 points, 7 lines of 3
+        d = projective_plane(2)
+        assert d.n_points == 7
+        assert all(len(blk) == 3 for blk in d.blocks)
+
+    def test_any_two_lines_meet_once(self):
+        d = projective_plane(3)
+        sets = d.as_sets()
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                assert len(sets[i] & sets[j]) == 1
+
+    def test_every_point_on_q_plus_1_lines(self):
+        d = projective_plane(3)
+        for p in range(d.n_points):
+            assert d.replica_count(p) == 4
+
+    def test_nonprime_rejected(self):
+        with pytest.raises(ValueError, match="prime"):
+            projective_plane(4)
+
+
+class TestAffinePlane:
+    @pytest.mark.parametrize("q", [2, 3, 5, 7])
+    def test_parameters(self, q):
+        d = affine_plane(q)
+        assert d.n_points == q * q
+        assert d.n_blocks == q * q + q
+        assert d.block_size == q
+        assert is_steiner(d)
+
+    def test_parallel_classes(self):
+        # AG(2,q) lines split into q+1 parallel classes of q disjoint
+        # lines each; verify the vertical class is disjoint
+        q = 5
+        d = affine_plane(q)
+        verticals = d.blocks[-q:]
+        seen = set()
+        for blk in verticals:
+            assert not (set(blk) & seen)
+            seen |= set(blk)
+        assert len(seen) == q * q
+
+    def test_nonprime_rejected(self):
+        with pytest.raises(ValueError):
+            affine_plane(6)
+
+
+class TestCatalogIntegration:
+    def test_pg_reachable_via_get_design(self):
+        d = get_design(31, 6)
+        assert d.name == "PG(2,5)"
+
+    def test_ag_reachable_via_get_design(self):
+        d = get_design(25, 5)
+        assert d.name == "AG(2,5)"
+
+    def test_larger_replication_designs_verified(self):
+        for n, c in ((21, 5), (31, 6), (49, 7), (57, 8)):
+            d = get_design(n, c)
+            assert d.block_size == c
+            assert d.n_points == n

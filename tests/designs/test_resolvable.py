@@ -1,0 +1,93 @@
+"""Unit tests for resolutions and round scheduling."""
+
+import pytest
+
+from repro.designs.block_design import BlockDesign
+from repro.designs.catalog import design_9_3_1
+from repro.designs.planes import affine_plane
+from repro.designs.resolvable import (
+    find_resolution,
+    is_resolvable,
+    round_schedule,
+)
+from repro.designs.steiner import bose_sts
+
+
+class TestResolution:
+    def test_sts9_is_resolvable(self):
+        # STS(9) = AG(2,3) is the unique resolvable case among small
+        # Steiner triple systems alongside Kirkman's STS(15)
+        design = design_9_3_1()
+        classes = find_resolution(design)
+        assert len(classes) == 4            # (9-1)/(3-1) = 4 classes
+        for members in classes:
+            covered = set()
+            for b in members:
+                blk = set(design.blocks[b])
+                assert not blk & covered
+                covered |= blk
+            assert covered == set(range(9))
+
+    def test_classes_partition_blocks(self):
+        design = design_9_3_1()
+        classes = find_resolution(design)
+        flat = sorted(b for cls in classes for b in cls)
+        assert flat == list(range(design.n_blocks))
+
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_affine_planes_resolvable(self, q):
+        design = affine_plane(q)
+        classes = find_resolution(design)
+        assert len(classes) == q + 1
+
+    def test_kirkman_sts15(self):
+        # Kirkman's schoolgirl problem: STS(15) resolves into 7 days
+        design = bose_sts(15)
+        if is_resolvable(design):
+            assert len(find_resolution(design)) == 7
+
+    def test_nonresolvable_detected_fano(self):
+        # STS(7): 7 points not divisible by 3 -> no resolution
+        from repro.designs.catalog import get_design
+
+        assert not is_resolvable(get_design(7, 3))
+        with pytest.raises(ValueError):
+            find_resolution(get_design(7, 3))
+
+    def test_nonresolvable_despite_divisibility(self):
+        # 6 points, blocks of 3, but the two blocks overlap
+        d = BlockDesign(6, ((0, 1, 2), (2, 3, 4)))
+        assert not is_resolvable(d)
+
+
+class TestRoundSchedule:
+    def test_single_class_single_round(self):
+        design = design_9_3_1()
+        classes = find_resolution(design)
+        rounds = round_schedule(design, classes[0])
+        assert len(rounds) == 1
+        assert sorted(rounds[0]) == sorted(classes[0])
+
+    def test_rounds_are_device_disjoint(self):
+        design = design_9_3_1()
+        requested = list(range(12))
+        for rnd in round_schedule(design, requested):
+            covered = set()
+            for b in rnd:
+                blk = set(design.blocks[b])
+                assert not blk & covered
+                covered |= blk
+
+    def test_duplicates_serialise(self):
+        design = design_9_3_1()
+        rounds = round_schedule(design, [0, 0, 0])
+        assert len(rounds) == 3
+        assert all(r == [0] for r in rounds)
+
+    def test_densest_round_first(self):
+        design = design_9_3_1()
+        classes = find_resolution(design)
+        requested = classes[0] + classes[1][:1]
+        rounds = round_schedule(design, requested)
+        sizes = [len(r) for r in rounds]
+        assert sizes == sorted(sizes, reverse=True)

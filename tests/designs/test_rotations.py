@@ -1,0 +1,61 @@
+"""Unit tests for rotation closure."""
+
+import pytest
+
+from repro.designs import rotate_block, rotation_closure
+from repro.designs.catalog import design_9_3_1, design_13_3_1
+from repro.designs.rotations import supported_buckets
+
+
+class TestRotateBlock:
+    def test_paper_example(self):
+        # §II-B4: rotation of (0,1,2) produces (1,2,0) and (2,0,1)
+        assert rotate_block((0, 1, 2), 1) == (1, 2, 0)
+        assert rotate_block((0, 1, 2), 2) == (2, 0, 1)
+
+    def test_identity(self):
+        assert rotate_block((0, 1, 2), 0) == (0, 1, 2)
+
+    def test_wraps_modulo_length(self):
+        assert rotate_block((0, 1, 2), 3) == (0, 1, 2)
+        assert rotate_block((0, 1, 2), 4) == (1, 2, 0)
+
+    def test_preserves_membership(self):
+        assert set(rotate_block((3, 8, 1), 2)) == {1, 3, 8}
+
+
+class TestClosure:
+    def test_9_3_1_supports_36(self):
+        rc = rotation_closure(design_9_3_1())
+        assert rc.n_blocks == 36
+        assert supported_buckets(9, 3) == 36
+
+    def test_13_3_1_supports_78(self):
+        rc = rotation_closure(design_13_3_1())
+        assert rc.n_blocks == 78
+        assert supported_buckets(13, 3) == 78
+
+    def test_original_blocks_come_first(self):
+        base = design_9_3_1()
+        rc = rotation_closure(base)
+        assert rc.blocks[:base.n_blocks] == base.blocks
+
+    def test_rotations_preserve_device_sets(self):
+        base = design_9_3_1()
+        rc = rotation_closure(base)
+        n = base.n_blocks
+        for i, blk in enumerate(base.blocks):
+            assert set(rc.blocks[n + i]) == set(blk)
+            assert set(rc.blocks[2 * n + i]) == set(blk)
+
+    def test_rotation_shifts_primary(self):
+        base = design_9_3_1()
+        rc = rotation_closure(base)
+        n = base.n_blocks
+        for i, blk in enumerate(base.blocks):
+            assert rc.blocks[n + i][0] == blk[1]
+            assert rc.blocks[2 * n + i][0] == blk[2]
+
+    def test_supported_buckets_value_error(self):
+        with pytest.raises(ValueError):
+            supported_buckets(6, 5)  # 30 % 4 != 0

@@ -1,0 +1,65 @@
+"""Unit tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import RUNNERS, main
+
+
+class TestRunnerTable:
+    def test_all_artefacts_registered(self):
+        assert set(RUNNERS) == {
+            "table2", "table3", "table4", "fig4", "fig6", "fig8",
+            "fig9", "fig10", "fig11", "fig12"}
+
+    def test_fast_runners_return_results(self):
+        for name in ("table2", "fig6"):
+            result = RUNNERS[name](True)
+            assert result.rows
+            assert result.headers
+
+
+class TestMain:
+    def test_single_experiment(self, capsys):
+        rc = main(["table2", "--fast"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_multiple_experiments(self, capsys):
+        rc = main(["table2", "fig6", "--fast"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Figure 6" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestCharts:
+    def test_chart_flag_appends_sparkline(self, capsys):
+        rc = main(["fig4", "--fast", "--chart"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[chart]" in out
+        assert any(ch in out for ch in "▁▂▃▄▅▆▇█")
+
+    def test_tables_have_no_chart(self, capsys):
+        rc = main(["table2", "--fast", "--chart"])
+        assert rc == 0
+        assert "[chart]" not in capsys.readouterr().out
+
+
+class TestOutDir:
+    def test_renderings_saved(self, tmp_path, capsys):
+        rc = main(["table2", "--fast", "--out", str(tmp_path)])
+        assert rc == 0
+        saved = tmp_path / "table2.txt"
+        assert saved.exists()
+        assert "Table II" in saved.read_text()
+
+    def test_chart_included_in_saved_file(self, tmp_path, capsys):
+        main(["fig4", "--fast", "--chart", "--out", str(tmp_path)])
+        text = (tmp_path / "fig4.txt").read_text()
+        assert "[chart]" in text

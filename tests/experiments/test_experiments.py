@@ -1,0 +1,221 @@
+"""Tests for the experiment runners: each paper artefact's *shape*.
+
+These are scaled-down runs (seconds, not minutes); the full-size
+regenerations live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig4,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table2,
+    table3,
+    table4,
+)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run(samples=800, seed=0)
+
+    def test_dtr_guaranteed_one_access_up_to_5(self, result):
+        for row in result.rows[:5]:
+            assert row[2] == "1"
+
+    def test_olr_one_or_two_at_4_and_5(self, result):
+        measured = {row[0]: row[4] for row in result.rows}
+        assert measured[4] == "1 or 2"
+        assert measured[5] == "1 or 2"
+        assert measured[1] == "1"
+        assert measured[2] == "1"
+        assert measured[3] == "1"
+
+    def test_guarantee_column(self, result):
+        assert [row[5] for row in result.rows] == [1, 1, 1, 1, 1, 2]
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(total_requests=1500, seed=0)
+
+    def _rows(self, result, scheme):
+        return [r for r in result.rows if r[2] == scheme]
+
+    def test_design_theoretic_always_within_guarantee(self, result):
+        for row in self._rows(result, "(9,3,1) Design-theoretic"):
+            assert row[6] == "yes"
+
+    def test_baselines_violate_somewhere(self, result):
+        for scheme in ("RAID-1 Mirrored", "RAID-1 Chained"):
+            rows = self._rows(result, scheme)
+            assert any(r[6] == "NO" for r in rows), scheme
+
+    def test_mirrored_degrades_with_request_size(self, result):
+        rows = self._rows(result, "RAID-1 Mirrored")
+        avgs = [r[3] for r in rows]
+        assert avgs[2] > avgs[0]
+
+    def test_mirrored_worst_at_27(self, result):
+        big = {r[2]: r[3] for r in result.rows if r[0] == 27}
+        assert big["RAID-1 Mirrored"] > big["RAID-1 Chained"]
+        assert big["RAID-1 Chained"] >= \
+            big["(9,3,1) Design-theoretic"] - 1e-9
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def probs(self):
+        result = fig4.run(max_k=20, trials=700, seed=1)
+        return {row[0]: row[2] for row in result.rows}
+
+    def test_certain_below_guarantee(self, probs):
+        # k <= 3 is certain even with replacement (3 copies of one
+        # device set still fit its 3 devices); k = 4 can draw the same
+        # set 4 times, so it is merely near-certain.
+        for k in (1, 2, 3):
+            assert probs[k] == 1.0
+        assert probs[4] >= 0.99
+
+    def test_dip_at_nine(self, probs):
+        assert probs[9] < probs[8] < probs[7] <= 1.0
+        assert probs[9] == pytest.approx(0.75, abs=0.12)
+
+    def test_recovers_after_multiple_of_n(self, probs):
+        assert probs[10] == 1.0
+        assert probs[11] == 1.0
+
+    def test_second_dip_at_eighteen(self, probs):
+        assert probs[18] < probs[16]
+        assert probs[19] > probs[18]
+
+
+class TestFig6:
+    def test_exchange_varies_tpce_flat(self):
+        result = fig6.run(scale=0.15)
+        exch = [r for r in result.rows if r[0] == "exchange"]
+        tpce = [r for r in result.rows if r[0] == "tpce"]
+        assert len(exch) == 24
+        assert len(tpce) == 6
+        exch_totals = [r[2] for r in exch]
+        # diurnal: max at least 2x min
+        assert max(exch_totals) >= 2 * min(exch_totals)
+        # peak rate exceeds average rate in every interval with data
+        for r in result.rows:
+            if r[2] > 5:
+                assert r[4] >= r[3]
+
+
+class TestFig8And9:
+    @pytest.fixture(scope="class")
+    def exch(self):
+        return fig8.run(scale=0.15, n_intervals=5, seed=0)
+
+    @pytest.fixture(scope="class")
+    def tpce(self):
+        return fig9.run(scale=0.15, seed=0)
+
+    def test_qos_lines_flat_at_guarantee(self, exch, tpce):
+        for result in (exch, tpce):
+            for row in result.rows:
+                assert row[1] == pytest.approx(0.132507, abs=1e-4)
+                assert row[3] == pytest.approx(0.132507, abs=1e-4)
+
+    def test_original_above_guarantee(self, exch, tpce):
+        for result in (exch, tpce):
+            assert any(row[2] > 0.1326 for row in result.rows)
+            assert all(row[4] >= row[3] - 1e-9 for row in result.rows)
+
+    def test_some_requests_delayed(self, exch):
+        assert any(row[6] > 0 for row in exch.rows)
+
+
+class TestFig10:
+    def test_monotone_tradeoff(self):
+        result = fig10.run(scale=0.15, n_intervals=5,
+                           epsilons=(0.0, 0.001, 0.02))
+        for wl in ("exchange", "tpce"):
+            rows = [r for r in result.rows if r[0] == wl]
+            delayed = [r[2] for r in rows]
+            avg = [r[3] for r in rows]
+            assert delayed[0] >= delayed[1] >= delayed[2]
+            assert avg[0] <= avg[-1] + 1e-9
+
+
+class TestFig11:
+    def test_first_interval_zero_and_tpce_dominates(self):
+        result = fig11.run(scale=0.3, n_intervals=8, seed=0)
+        means = {r[0]: r[2] for r in result.rows if r[1] == "mean(>0)"}
+        firsts = {r[0]: r[2] for r in result.rows if r[1] == 0}
+        assert firsts["exchange"] == 0.0
+        assert firsts["tpce"] == 0.0
+        assert means["tpce"] > 3 * means["exchange"]
+        assert means["tpce"] > 60.0
+
+
+class TestFig12:
+    def test_online_strictly_cheaper(self):
+        result = fig12.run(scale=0.15, n_intervals=4, seed=0)
+        gaps = [r[4] for r in result.rows if r[1] == "mean"]
+        assert all(g > 0 for g in gaps)
+
+
+class TestTable4:
+    def test_shape(self):
+        result = table4.run(scale=0.3, n_intervals=8, seed=0)
+        rows = {(r[0], r[2]): r for r in result.rows}
+        small = rows[("exch-small", 1)]
+        large = rows[("exch-large", 1)]
+        assert large[1] > small[1]          # more requests
+        assert large[5] >= small[5]         # more pairs
+        s1 = rows[("tpce-large", 1)]
+        s3 = rows[("tpce-large", 3)]
+        assert s3[5] <= s1[5]               # support prunes pairs
+
+
+class TestAblations:
+    def test_copy_count_monotone(self):
+        result = ablations.copy_count()
+        caps = {(r[0], r[1]): r[2] for r in result.rows}
+        assert caps[(3, 1)] > caps[(2, 1)]
+        assert caps[(3, 3)] > caps[(3, 2)] > caps[(3, 1)]
+
+    def test_device_count_buckets_grow(self):
+        result = ablations.device_count(device_counts=(7, 9, 13))
+        buckets = [r[1] for r in result.rows]
+        assert buckets == sorted(buckets)
+
+    def test_allocation_zoo_design_wins(self):
+        result = ablations.allocation_zoo(batch_size=9, trials=120)
+        worst = {r[0]: r[2] for r in result.rows}
+        assert worst["design-theoretic"] <= worst["raid1-mirrored"]
+        assert worst["design-theoretic"] <= worst["partitioned"]
+
+    def test_retrieval_cost_runs(self):
+        result = ablations.retrieval_cost(sizes=(5, 14), trials=10)
+        assert len(result.rows) == 2
+        assert all(r[1] > 0 and r[2] > 0 for r in result.rows)
+
+    def test_fim_support_tradeoff(self):
+        result = ablations.fim_support(supports=(1, 3), scale=0.2)
+        matched = [r[1] for r in result.rows]
+        assert matched[0] >= matched[1]
+
+
+class TestRendering:
+    def test_render_produces_table(self):
+        result = table2.run(samples=100)
+        text = result.render()
+        assert "Table II" in text
+        assert "DTR" in text
+        assert result.column("s") == [1, 2, 3, 4, 5, 6]
+        with pytest.raises(ValueError):
+            result.column("nonexistent")

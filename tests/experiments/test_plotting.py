@@ -1,0 +1,63 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.plotting import bar_chart, series_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_is_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_ramp(self):
+        out = sparkline(list(range(8)))
+        assert out == "▁▂▃▄▅▆▇█"
+
+    def test_extremes_mapped(self):
+        out = sparkline([0.0, 10.0, 0.0])
+        assert out[0] == "▁"
+        assert out[1] == "█"
+
+
+class TestBarChart:
+    def test_alignment_and_scaling(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10   # the max fills the width
+        assert lines[0].count("█") == 5
+
+    def test_title_included(self):
+        out = bar_chart(["x"], [1.0], title="My chart")
+        assert out.splitlines()[0] == "My chart"
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0])
+        assert "█" not in out
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+
+class TestSeriesChart:
+    def test_renders_all_series(self):
+        out = series_chart([0, 1, 2], {"qos": [1, 1, 1],
+                                       "orig": [1, 2, 3]})
+        assert "qos" in out
+        assert "orig" in out
+        assert "3 points" in out
+
+    def test_range_annotation(self):
+        out = series_chart([0, 1], {"s": [0.5, 1.5]})
+        assert "[0.5 .. 1.5]" in out
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart([0, 1], {"s": [1.0]})

@@ -1,0 +1,95 @@
+"""Unit tests for the channel-level flash module."""
+
+import pytest
+
+from repro.flash.array import IORequest
+from repro.flash.geometry import ChannelFlashModule
+from repro.flash.params import MSR_SSD_PARAMS, FlashParams
+from repro.sim import Environment
+
+READ = MSR_SSD_PARAMS.read_ms
+XFER = MSR_SSD_PARAMS.transfer_ms
+ARRAY = MSR_SSD_PARAMS.page_read_ms
+
+
+def submit(env, module, bucket, arrival=0.0, is_read=True):
+    io = IORequest(arrival=arrival, bucket=bucket, is_read=is_read)
+    io.issued_at = env.now
+    io.done = env.event()
+    module.submit(io)
+    return io
+
+
+class TestSinglePackage:
+    def test_matches_flat_module_latency(self):
+        env = Environment()
+        mod = ChannelFlashModule(env, 0, n_packages=1)
+        io = submit(env, mod, bucket=0)
+        env.run()
+        assert io.completed_at == pytest.approx(READ)
+
+    def test_fcfs_serialisation(self):
+        env = Environment()
+        mod = ChannelFlashModule(env, 0, n_packages=1)
+        a = submit(env, mod, bucket=0)
+        b = submit(env, mod, bucket=1)
+        env.run()
+        assert a.completed_at == pytest.approx(READ)
+        # second request's array read overlaps the first's transfer in
+        # the pipelined model? no -- one package: strict queue
+        assert b.completed_at == pytest.approx(2 * READ)
+
+
+class TestMultiPackage:
+    def test_parallel_array_reads_overlap(self):
+        env = Environment()
+        mod = ChannelFlashModule(env, 0, n_packages=4)
+        ios = [submit(env, mod, bucket=i) for i in range(4)]
+        env.run()
+        # array reads run in parallel; transfers serialise on the bus:
+        # completion_i = ARRAY + (i+1) * XFER
+        finishes = sorted(io.completed_at for io in ios)
+        for i, t in enumerate(finishes):
+            assert t == pytest.approx(ARRAY + (i + 1) * XFER)
+
+    def test_throughput_exceeds_flat_module(self):
+        n = 16
+        env = Environment()
+        mod = ChannelFlashModule(env, 0, n_packages=4)
+        ios = [submit(env, mod, bucket=i) for i in range(n)]
+        env.run()
+        makespan = max(io.completed_at for io in ios)
+        flat = n * READ
+        assert makespan < flat
+        # asymptotically bus-bound
+        assert makespan >= n * XFER
+
+    def test_same_package_serialises_array(self):
+        env = Environment()
+        mod = ChannelFlashModule(env, 0, n_packages=4)
+        a = submit(env, mod, bucket=0)
+        b = submit(env, mod, bucket=4)  # 4 % 4 == 0: same package
+        env.run()
+        assert b.completed_at == pytest.approx(a.completed_at + READ)
+
+    def test_queue_depth_and_utilisation(self):
+        env = Environment()
+        mod = ChannelFlashModule(env, 0, n_packages=2)
+        for i in range(4):
+            submit(env, mod, bucket=i)
+        assert mod.queue_depth == 4
+        env.run()
+        assert mod.n_served == 4
+        assert 0 < mod.utilisation(env.now) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelFlashModule(Environment(), 0, n_packages=0)
+
+    def test_write_uses_program_latency(self):
+        env = Environment()
+        mod = ChannelFlashModule(env, 0, n_packages=1)
+        io = submit(env, mod, bucket=0, is_read=False)
+        env.run()
+        assert io.completed_at == pytest.approx(
+            MSR_SSD_PARAMS.page_program_ms + XFER)

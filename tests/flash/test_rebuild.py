@@ -1,0 +1,124 @@
+"""Unit tests for the rebuild simulator."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.flash.params import MSR_SSD_PARAMS
+from repro.flash.rebuild import RebuildSimulator
+
+READ = MSR_SSD_PARAMS.read_ms
+WRITE = MSR_SSD_PARAMS.write_ms
+
+
+@pytest.fixture(scope="module")
+def alloc():
+    return DesignTheoreticAllocation.from_parameters(9, 3)
+
+
+def _trace(rate, duration, seed=0):
+    rng = np.random.default_rng(seed)
+    n = int(rate * duration)
+    return (list(np.sort(rng.uniform(0, duration, n))),
+            list(rng.integers(0, 36, n)))
+
+
+class TestValidation:
+    def test_parameters(self, alloc):
+        with pytest.raises(ValueError):
+            RebuildSimulator(alloc, failed_device=99)
+        with pytest.raises(ValueError):
+            RebuildSimulator(alloc, 0, rebuild_interval_ms=-1)
+        with pytest.raises(ValueError):
+            RebuildSimulator(alloc, 0, blocks_per_bucket=0)
+        with pytest.raises(ValueError):
+            RebuildSimulator(alloc, 0, parallelism=0)
+
+
+class TestLostBuckets:
+    def test_count_matches_design_degree(self, alloc):
+        # each device holds 36*3/9 = 12 bucket replicas
+        sim = RebuildSimulator(alloc, failed_device=0)
+        lost = sim.lost_buckets()
+        assert len(lost) == 12
+        for b in lost:
+            assert 0 in alloc.devices_for(b)
+
+    def test_every_device_same_count(self, alloc):
+        counts = {d: len(RebuildSimulator(alloc, d).lost_buckets())
+                  for d in range(9)}
+        assert set(counts.values()) == {12}
+
+
+class TestRebuildRun:
+    def test_rebuild_completes_with_sane_time(self, alloc):
+        arrivals, buckets = _trace(5.0, 20.0)
+        sim = RebuildSimulator(alloc, 0, blocks_per_bucket=5)
+        rep = sim.run(arrivals, buckets)
+        assert rep.n_rebuilt == 60
+        # at least the serial read+write pipeline time of one stream
+        assert rep.rebuild_time_ms >= 60 * WRITE - 1e-6
+        assert rep.rebuild_time_ms < 60 * (READ + WRITE) * 2
+
+    def test_throttle_stretches_rebuild(self, alloc):
+        arrivals, buckets = _trace(5.0, 20.0)
+        fast = RebuildSimulator(alloc, 0, blocks_per_bucket=5)
+        slow = RebuildSimulator(alloc, 0, blocks_per_bucket=5,
+                                rebuild_interval_ms=1.0)
+        t_fast = fast.run(arrivals, buckets).rebuild_time_ms
+        t_slow = slow.run(arrivals, buckets).rebuild_time_ms
+        assert t_slow > t_fast + 30.0
+
+    def test_parallelism_shortens_rebuild(self, alloc):
+        arrivals, buckets = _trace(5.0, 30.0)
+        t1 = RebuildSimulator(alloc, 0, blocks_per_bucket=10,
+                              parallelism=1).run(
+            arrivals, buckets).rebuild_time_ms
+        t4 = RebuildSimulator(alloc, 0, blocks_per_bucket=10,
+                              parallelism=4).run(
+            arrivals, buckets).rebuild_time_ms
+        assert t4 < t1
+
+    def test_parallelism_floor_is_write_throughput(self, alloc):
+        arrivals, buckets = _trace(2.0, 10.0)
+        rep = RebuildSimulator(alloc, 0, blocks_per_bucket=10,
+                               parallelism=12).run(arrivals, buckets)
+        # all rebuild writes serialise on the replacement module
+        assert rep.rebuild_time_ms >= rep.n_rebuilt * WRITE - 1e-6
+
+    def test_foreground_never_uses_failed_device(self, alloc):
+        # indirectly: baseline equals degraded service, so foreground
+        # avg under rebuild must stay close to (and >=) baseline
+        arrivals, buckets = _trace(20.0, 30.0, seed=2)
+        rep = RebuildSimulator(alloc, 0, blocks_per_bucket=10,
+                               parallelism=4).run(arrivals, buckets)
+        assert rep.foreground.n_total == len(arrivals)
+        assert rep.foreground.avg >= rep.baseline.avg - 1e-9
+        assert rep.foreground_slowdown >= 1.0
+
+    def test_slowdown_grows_with_parallelism(self, alloc):
+        arrivals, buckets = _trace(40.0, 40.0, seed=3)
+        s1 = RebuildSimulator(alloc, 0, blocks_per_bucket=15,
+                              parallelism=1).run(
+            arrivals, buckets).foreground_slowdown
+        s8 = RebuildSimulator(alloc, 0, blocks_per_bucket=15,
+                              parallelism=8).run(
+            arrivals, buckets).foreground_slowdown
+        assert s8 >= s1 - 1e-3
+
+
+class TestPriorityRebuild:
+    def test_low_priority_never_hurts_foreground_more(self, alloc):
+        arrivals, buckets = _trace(40.0, 40.0, seed=4)
+        normal = RebuildSimulator(alloc, 0, blocks_per_bucket=15,
+                                  parallelism=8).run(
+            arrivals, buckets)
+        polite = RebuildSimulator(alloc, 0, blocks_per_bucket=15,
+                                  parallelism=8,
+                                  low_priority=True).run(
+            arrivals, buckets)
+        assert polite.foreground_slowdown <= \
+            normal.foreground_slowdown + 1e-3
+        # rebuild still completes
+        assert polite.rebuild_time_ms > 0
+        assert polite.n_rebuilt == normal.n_rebuilt

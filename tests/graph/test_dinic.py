@@ -1,0 +1,101 @@
+"""Unit tests for Dinic's max-flow, including cross-checks vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import FlowNetwork, max_flow
+
+
+def test_source_equals_sink_rejected():
+    net = FlowNetwork(2)
+    with pytest.raises(ValueError):
+        max_flow(net, 0, 0)
+
+
+def test_disconnected_gives_zero():
+    net = FlowNetwork(2)
+    assert max_flow(net, 0, 1) == 0
+
+
+def test_single_edge():
+    net = FlowNetwork(2)
+    net.add_edge(0, 1, 5)
+    assert max_flow(net, 0, 1) == 5
+
+
+def test_series_takes_min():
+    net = FlowNetwork(3)
+    net.add_edge(0, 1, 5)
+    net.add_edge(1, 2, 3)
+    assert max_flow(net, 0, 2) == 3
+
+
+def test_parallel_paths_sum():
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 3)
+    net.add_edge(1, 3, 3)
+    net.add_edge(0, 2, 4)
+    net.add_edge(2, 3, 4)
+    assert max_flow(net, 0, 3) == 7
+
+
+def test_classic_textbook_network():
+    # CLRS figure: max flow 23
+    net = FlowNetwork(6)
+    s, v1, v2, v3, v4, t = range(6)
+    net.add_edge(s, v1, 16)
+    net.add_edge(s, v2, 13)
+    net.add_edge(v1, v3, 12)
+    net.add_edge(v2, v1, 4)
+    net.add_edge(v2, v4, 14)
+    net.add_edge(v3, v2, 9)
+    net.add_edge(v3, t, 20)
+    net.add_edge(v4, v3, 7)
+    net.add_edge(v4, t, 4)
+    assert max_flow(net, s, t) == 23
+
+
+def test_limit_early_exit():
+    net = FlowNetwork(2)
+    net.add_edge(0, 1, 100)
+    assert max_flow(net, 0, 1, limit=10) == 10
+
+
+def test_flow_conservation():
+    net = FlowNetwork(5)
+    edges = [(0, 1, 4), (0, 2, 5), (1, 3, 3), (2, 3, 4), (1, 2, 2),
+             (3, 4, 6)]
+    idx = [net.add_edge(u, v, c) for u, v, c in edges]
+    total = max_flow(net, 0, 4)
+    # conservation at interior nodes
+    for node in (1, 2, 3):
+        inflow = sum(net.flow_on(i) for (u, v, _), i in zip(edges, idx)
+                     if v == node)
+        outflow = sum(net.flow_on(i) for (u, v, _), i in zip(edges, idx)
+                      if u == node)
+        assert inflow == outflow
+    assert total == sum(net.flow_on(i)
+                        for (u, v, _), i in zip(edges, idx) if u == 0)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_graphs_match_networkx(seed):
+    rng = np.random.default_rng(seed)
+    n = 10
+    g = nx.DiGraph()
+    net = FlowNetwork(n)
+    for _ in range(30):
+        u, v = rng.integers(0, n, size=2)
+        if u == v:
+            continue
+        cap = int(rng.integers(1, 20))
+        net.add_edge(int(u), int(v), cap)
+        if g.has_edge(int(u), int(v)):
+            g[int(u)][int(v)]["capacity"] += cap
+        else:
+            g.add_edge(int(u), int(v), capacity=cap)
+    g.add_nodes_from(range(n))
+    expected = nx.maximum_flow_value(g, 0, n - 1) \
+        if g.has_node(0) and g.has_node(n - 1) else 0
+    assert max_flow(net, 0, n - 1) == expected

@@ -1,0 +1,78 @@
+"""Unit tests for the flow network container."""
+
+import pytest
+
+from repro.graph import FlowNetwork
+
+
+class TestConstruction:
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(-1)
+
+    def test_add_edge_returns_even_index(self):
+        net = FlowNetwork(3)
+        assert net.add_edge(0, 1, 5) == 0
+        assert net.add_edge(1, 2, 5) == 2
+
+    def test_edge_node_bounds(self):
+        net = FlowNetwork(2)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 5, 1)
+        with pytest.raises(IndexError):
+            net.add_edge(-1, 0, 1)
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -3)
+
+    def test_n_edges_counts_forward_only(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 1)
+        assert net.n_edges == 2
+
+
+class TestFlowAccounting:
+    def test_push_moves_capacity_to_reverse(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 10)
+        net.push(e, 4)
+        assert net.residual_capacity(e) == 6
+        assert net.flow_on(e) == 4
+
+    def test_push_beyond_capacity_rejected(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 2)
+        with pytest.raises(ValueError):
+            net.push(e, 3)
+
+    def test_flow_on_requires_forward_edge(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 2)
+        with pytest.raises(ValueError):
+            net.flow_on(e + 1)
+
+    def test_reset_flow_restores_capacities(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 10)
+        net.push(e, 7)
+        net.reset_flow()
+        assert net.residual_capacity(e) == 10
+        assert net.flow_on(e) == 0
+
+    def test_set_capacity_clears_flow(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 10)
+        net.push(e, 5)
+        net.set_capacity(e, 3)
+        assert net.residual_capacity(e) == 3
+        assert net.flow_on(e) == 0
+
+    def test_edges_from_yields_triples(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 4)
+        net.add_edge(0, 2, 7)
+        out = list(net.edges_from(0))
+        assert [(v, c) for _, v, c in out] == [(1, 4), (2, 7)]

@@ -1,0 +1,88 @@
+"""Unit tests for the capacitated Kuhn matcher, incl. Dinic cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.graph.kuhn import capacitated_assignment, capacitated_feasible
+from repro.graph.matching import bounded_degree_assignment
+
+
+class TestBasics:
+    def test_empty(self):
+        assert capacitated_assignment([], 3, 1) == []
+
+    def test_zero_capacity(self):
+        assert capacitated_assignment([[0]], 1, 0) is None
+        with pytest.raises(ValueError):
+            capacitated_assignment([[0]], 1, -1)
+
+    def test_empty_candidates_infeasible(self):
+        assert capacitated_assignment([[0], []], 2, 1) is None
+
+    def test_simple(self):
+        a = capacitated_assignment([[0, 1], [0, 1]], 2, 1)
+        assert sorted(a) == [0, 1]
+
+    def test_respects_capacity(self):
+        a = capacitated_assignment([[0, 1, 2]] * 6, 3, 2)
+        assert a is not None
+        for b in range(3):
+            assert a.count(b) <= 2
+
+    def test_requires_augmenting_chain(self):
+        # greedy seed puts item 0 where item 2 will need it
+        a = capacitated_assignment([[0], [0, 1], [1, 2]], 3, 1)
+        assert a == [0, 1, 2]
+
+    def test_deep_chain(self):
+        # forces a multi-hop relocation
+        cands = [[0], [0, 1], [1, 2], [2, 3], [3, 4]]
+        a = capacitated_assignment(cands, 5, 1)
+        assert a == [0, 1, 2, 3, 4]
+
+    def test_infeasible_detected(self):
+        assert capacitated_assignment([[0, 1]] * 3, 2, 1) is None
+        assert not capacitated_feasible([[0, 1]] * 3, 2, 1)
+
+    def test_assignment_valid(self):
+        cands = [[1, 3], [3, 0], [1], [0, 2]]
+        a = capacitated_assignment(cands, 4, 1)
+        assert a is not None
+        assert len(set(a)) == 4
+        for got, allowed in zip(a, cands):
+            assert got in allowed
+
+
+class TestCrossCheckWithDinic:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_design_instances_agree(self, seed):
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        blocks = [alloc.devices_for(b) for b in range(36)]
+        rng = np.random.default_rng(seed)
+        for _ in range(1500):
+            k = int(rng.integers(1, 20))
+            cap = int(rng.integers(1, 4))
+            cands = [blocks[i] for i in rng.integers(0, 36, size=k)]
+            kuhn = capacitated_assignment(cands, 9, cap)
+            dinic = bounded_degree_assignment(cands, 9, cap)
+            assert (kuhn is None) == (dinic is None)
+            if kuhn is not None:
+                loads = [kuhn.count(b) for b in range(9)]
+                assert max(loads) <= cap
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_sparse_instances_agree(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        for _ in range(800):
+            n_bins = int(rng.integers(2, 8))
+            n_items = int(rng.integers(1, 15))
+            cap = int(rng.integers(1, 3))
+            cands = []
+            for _ in range(n_items):
+                deg = int(rng.integers(1, min(4, n_bins) + 1))
+                cands.append(list(rng.choice(n_bins, size=deg,
+                                             replace=False)))
+            kuhn = capacitated_assignment(cands, n_bins, cap)
+            dinic = bounded_degree_assignment(cands, n_bins, cap)
+            assert (kuhn is None) == (dinic is None)

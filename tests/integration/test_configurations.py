@@ -1,0 +1,101 @@
+"""Cross-configuration integration tests.
+
+The paper evaluates one configuration per workload; a library must work
+across the whole catalog.  These tests sweep array shapes, replication
+factors and designs through the full pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QoSFlashArray
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.core.guarantees import guarantee_capacity
+from repro.retrieval.maxflow import maxflow_retrieval
+from repro.traces.synthetic import synthetic_trace
+
+
+class TestTwoCopyConfigurations:
+    def test_pair_design_guarantee(self):
+        # c = 2: S(1) = 3 on any array size
+        qos = QoSFlashArray(n_devices=6, replication=2,
+                            interval_ms=0.133)
+        assert qos.capacity_per_interval == 3
+        trace = synthetic_trace(3, 0.133, n_blocks_pool=qos.n_buckets,
+                                total_requests=300, seed=0)
+        report = qos.run_online(trace.arrival_ms, trace.block)
+        assert report.guarantee_met
+
+    @pytest.mark.parametrize("n", [4, 6, 9, 12])
+    def test_two_copy_batch_guarantee(self, n):
+        alloc = DesignTheoreticAllocation.from_parameters(n, 2)
+        rng = np.random.default_rng(n)
+        for _ in range(300):
+            picks = rng.choice(alloc.n_buckets, size=3, replace=False)
+            cands = [alloc.devices_for(int(b)) for b in picks]
+            assert maxflow_retrieval(cands, n).accesses == 1
+
+
+class TestTripleSystems:
+    @pytest.mark.parametrize("n", [7, 9, 13, 15, 19])
+    def test_s1_guarantee_across_catalog(self, n):
+        alloc = DesignTheoreticAllocation.from_parameters(n, 3)
+        s1 = guarantee_capacity(1, 3)
+        rng = np.random.default_rng(n)
+        for _ in range(300):
+            picks = rng.choice(alloc.n_buckets, size=s1, replace=False)
+            cands = [alloc.devices_for(int(b)) for b in picks]
+            assert maxflow_retrieval(cands, n).accesses == 1, picks
+
+    @pytest.mark.parametrize("n", [7, 13])
+    def test_full_pipeline_small_arrays(self, n):
+        qos = QoSFlashArray(n_devices=n, replication=3,
+                            interval_ms=0.133)
+        trace = synthetic_trace(5, 0.133, n_blocks_pool=qos.n_buckets,
+                                total_requests=500, seed=1)
+        report = qos.run_online(trace.arrival_ms, trace.block)
+        assert report.guarantee_met
+        assert report.max_response_ms == pytest.approx(0.132507)
+
+
+class TestLargerReplication:
+    def test_projective_plane_pipeline(self):
+        # (13,4,1) = PG(2,3): S(1) = (4-1)+4 = 7
+        qos = QoSFlashArray(n_devices=13, replication=4,
+                            interval_ms=0.133)
+        assert qos.capacity_per_interval == 7
+        trace = synthetic_trace(7, 0.133, n_blocks_pool=qos.n_buckets,
+                                total_requests=350, seed=2)
+        report = qos.run_online(trace.arrival_ms, trace.block)
+        assert report.guarantee_met
+
+    def test_affine_plane_pipeline(self):
+        # (25,5,1) = AG(2,5): S(1) = 4+5 = 9
+        qos = QoSFlashArray(n_devices=25, replication=5,
+                            interval_ms=0.133)
+        assert qos.capacity_per_interval == 9
+        trace = synthetic_trace(9, 0.133, n_blocks_pool=qos.n_buckets,
+                                total_requests=270, seed=3)
+        report = qos.run_online(trace.arrival_ms, trace.block)
+        assert report.guarantee_met
+
+
+class TestIntervalScaling:
+    @pytest.mark.parametrize("m,interval", [(1, 0.133), (2, 0.266),
+                                            (3, 0.399), (4, 0.532)])
+    def test_guarantee_scales_with_interval(self, m, interval):
+        qos = QoSFlashArray(interval_ms=interval)
+        assert qos.accesses == m
+        assert qos.capacity_per_interval == guarantee_capacity(m, 3)
+        s = qos.capacity_per_interval
+        if s <= 36:
+            trace = synthetic_trace(s, interval, total_requests=s * 30,
+                                    seed=m)
+            report = qos.run_batch(trace.arrival_ms, trace.block)
+            assert report.guarantee_met
+
+    def test_sub_service_interval_still_one_access(self):
+        # an interval shorter than one service time clamps M to 1
+        qos = QoSFlashArray(interval_ms=0.05)
+        assert qos.accesses == 1
+        assert qos.capacity_per_interval == 5

@@ -1,0 +1,150 @@
+"""Integration tests across the full stack.
+
+These exercise the public API the way the examples do: design ->
+allocation -> FIM mapping -> admission -> retrieval -> simulated flash
+array -> metrics, and cross-validate independent implementations
+against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QoSFlashArray
+from repro.experiments.common import play_original, play_workload
+from repro.flash.params import MSR_SSD_PARAMS
+from repro.retrieval.maxflow import maxflow_retrieval
+from repro.retrieval.online import OnlineRetriever
+from repro.traces.exchange import exchange_like_trace
+from repro.traces.synthetic import synthetic_trace
+from repro.traces.tpce import tpce_like_trace
+
+READ = MSR_SSD_PARAMS.read_ms
+
+
+class TestSyntheticPipeline:
+    @pytest.mark.parametrize("per_interval,interval,accesses", [
+        (5, 0.133, 1), (14, 0.266, 2), (27, 0.399, 3)])
+    def test_guarantee_at_every_paper_operating_point(
+            self, per_interval, interval, accesses):
+        qos = QoSFlashArray(n_devices=9, replication=3,
+                            interval_ms=interval)
+        assert qos.accesses == accesses
+        trace = synthetic_trace(per_interval, interval,
+                                total_requests=per_interval * 40,
+                                seed=1)
+        report = qos.run_batch(trace.arrival_ms, trace.block)
+        assert report.guarantee_met
+        assert report.max_response_ms <= accesses * READ + 1e-9
+        assert report.pct_delayed == 0.0
+
+    def test_batch_and_online_agree_on_aligned_traces(self):
+        # for interval-aligned traces within the guarantee the two
+        # drivers must produce identical response statistics
+        qos = QoSFlashArray(interval_ms=0.133)
+        trace = synthetic_trace(5, 0.133, total_requests=300, seed=2)
+        batch = qos.run_batch(trace.arrival_ms, trace.block)
+        online = qos.run_online(trace.arrival_ms, trace.block)
+        assert batch.avg_response_ms == pytest.approx(
+            online.avg_response_ms)
+        assert batch.max_response_ms == pytest.approx(
+            online.max_response_ms)
+
+
+class TestRealWorldPipeline:
+    @pytest.fixture(scope="class")
+    def exchange_parts(self):
+        return exchange_like_trace(scale=0.25, seed=2, n_intervals=8)
+
+    @pytest.fixture(scope="class")
+    def tpce_parts(self):
+        return tpce_like_trace(scale=0.2, seed=2)
+
+    def test_deterministic_qos_beats_original(self, exchange_parts):
+        qos = play_workload(exchange_parts, n_devices=9).report
+        orig = play_original(exchange_parts, n_devices=9).overall()
+        assert qos.guarantee_met
+        assert qos.max_response_ms == pytest.approx(READ)
+        assert orig.max > qos.max_response_ms
+        assert orig.avg > qos.avg_response_ms - 1e-9
+
+    def test_tpce_pipeline_on_13_devices(self, tpce_parts):
+        run = play_workload(tpce_parts, n_devices=13)
+        assert run.report.guarantee_met
+        # high persistence -> high FIM match from the second part on
+        assert np.mean(run.match_rates[1:]) > 0.6
+
+    def test_per_part_series_covers_all_requests(self, exchange_parts):
+        run = play_workload(exchange_parts, n_devices=9)
+        series = run.per_part_series()
+        total = sum(series.stats(i).n_total
+                    for i in range(len(exchange_parts)))
+        assert total == sum(len(p) for p in exchange_parts)
+
+    def test_epsilon_zero_matches_deterministic(self, tpce_parts):
+        det = play_workload(tpce_parts, n_devices=13, epsilon=0.0)
+        st = det.report.overall
+        assert st.max == pytest.approx(READ)
+
+
+class TestCrossValidation:
+    def test_online_retriever_mirrors_driver_timing(self):
+        """The pure OnlineRetriever and the DES driver agree exactly."""
+        qos = QoSFlashArray(interval_ms=1e9)  # no budget interference
+        rng = np.random.default_rng(5)
+        arrivals = np.sort(rng.uniform(0, 3.0, 120))
+        buckets = rng.integers(0, 36, 120)
+
+        report = qos.run_online(list(arrivals), list(buckets))
+        finish_des = sorted(r.io.completed_at for r in report.requests)
+
+        retr = OnlineRetriever(9, READ)
+        finish_pure = []
+        for t, b in zip(arrivals, buckets):
+            d = retr.serve(float(t), qos.allocation.devices_for(int(b)))
+            finish_pure.append(d.finish)
+        # deterministic mode delays conflicts rather than queueing, but
+        # completion instants coincide with pure earliest-finish greedy
+        assert np.allclose(sorted(finish_pure), finish_des)
+
+    def test_dtr_against_exhaustive_small_batches(self):
+        """DTR matches brute-force optimal on every 2-block batch."""
+        from itertools import combinations, product
+
+        from repro.retrieval.design_theoretic import \
+            design_theoretic_retrieval
+
+        qos = QoSFlashArray()
+        blocks = [qos.allocation.devices_for(b) for b in range(36)]
+        for i, j in combinations(range(36), 2):
+            cands = [blocks[i], blocks[j]]
+            s = design_theoretic_retrieval(cands, 9)
+            # brute force: does any pair of distinct devices serve both?
+            feasible1 = any(
+                d1 != d2 for d1, d2 in product(cands[0], cands[1]))
+            assert s.accesses == (1 if feasible1 else 2)
+
+    def test_maxflow_against_bruteforce_three_blocks(self):
+        from itertools import product
+
+        rng = np.random.default_rng(11)
+        qos = QoSFlashArray()
+        blocks = [qos.allocation.devices_for(b) for b in range(36)]
+        for _ in range(150):
+            picks = rng.integers(0, 36, size=3)
+            cands = [blocks[p] for p in picks]
+            s = maxflow_retrieval(cands, 9)
+            feasible1 = any(len({a, b, c}) == 3 for a, b, c in
+                            product(*cands))
+            assert s.accesses == (1 if feasible1 else 2)
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        def run():
+            parts = exchange_like_trace(scale=0.15, seed=9,
+                                        n_intervals=5)
+            rep = play_workload(parts, n_devices=9).report
+            return (rep.avg_response_ms, rep.max_response_ms,
+                    rep.pct_delayed, rep.avg_delay_ms)
+
+        assert run() == run()

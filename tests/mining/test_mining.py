@@ -1,0 +1,211 @@
+"""Unit tests for transactions, the three FIM algorithms, and matching."""
+
+import random
+
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.mining import (
+    FIMBlockMatcher,
+    MatchResult,
+    apriori,
+    eclat,
+    fpgrowth,
+    transactions_from_trace,
+)
+from repro.mining.transactions import transactions_from_arrays
+from repro.traces import Trace
+
+ALGOS = [apriori, eclat, fpgrowth]
+
+# classic textbook transaction database
+TXNS = [frozenset(t) for t in (
+    {1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3}, {2, 3}, {1, 3},
+    {1, 2, 3, 5}, {1, 2, 3},
+)]
+
+
+class TestTransactions:
+    def test_windowing(self):
+        txns = transactions_from_arrays(
+            [0.0, 0.05, 0.2, 0.21], [1, 2, 3, 3], window_ms=0.1)
+        assert txns == [frozenset({1, 2}), frozenset({3})]
+
+    def test_windows_aligned_to_first_arrival(self):
+        txns = transactions_from_arrays([5.0, 5.05], [1, 2], 0.1)
+        assert txns == [frozenset({1, 2})]
+
+    def test_unsorted_input_handled(self):
+        txns = transactions_from_arrays([0.2, 0.0], [2, 1], 0.1)
+        assert txns == [frozenset({1}), frozenset({2})]
+
+    def test_empty(self):
+        assert transactions_from_arrays([], [], 0.1) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transactions_from_arrays([0.0], [1], 0.0)
+        with pytest.raises(ValueError):
+            transactions_from_arrays([0.0], [1, 2], 0.1)
+
+    def test_from_trace_reads_only(self):
+        t = Trace.from_arrays([0.0, 0.01], [1, 2],
+                              is_read=[True, False])
+        txns = transactions_from_trace(t, 0.1)
+        assert txns == [frozenset({1})]
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+class TestAlgorithms:
+    def test_singleton_supports(self, algo):
+        result = algo(TXNS, min_support=2, max_size=1)
+        assert result.support({1}) == 6
+        assert result.support({2}) == 7
+        assert result.support({5}) == 2
+
+    def test_pair_supports(self, algo):
+        result = algo(TXNS, min_support=2, max_size=2)
+        assert result.support({1, 2}) == 4
+        assert result.support({2, 3}) == 4
+        assert result.support({1, 5}) == 2
+        assert result.support({4, 5}) == 0  # never co-occurs
+
+    def test_min_support_prunes(self, algo):
+        r1 = algo(TXNS, min_support=1, max_size=2)
+        r4 = algo(TXNS, min_support=4, max_size=2)
+        assert len(r4) < len(r1)
+        assert all(c >= 4 for _, c in r4.items())
+
+    def test_triple_mining(self, algo):
+        result = algo(TXNS, min_support=2, max_size=3)
+        assert result.support({1, 2, 5}) == 2
+        assert result.support({1, 2, 3}) == 2
+
+    def test_validation(self, algo):
+        with pytest.raises(ValueError):
+            algo(TXNS, min_support=0)
+        with pytest.raises(ValueError):
+            algo(TXNS, min_support=1, max_size=0)
+
+    def test_empty_database(self, algo):
+        result = algo([], min_support=1)
+        assert len(result) == 0
+
+
+class TestCrossAlgorithmEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("support", [1, 2, 3])
+    def test_random_databases_agree(self, seed, support):
+        rng = random.Random(seed)
+        txns = [frozenset(rng.sample(range(15), rng.randint(1, 6)))
+                for _ in range(120)]
+        results = [algo(txns, min_support=support, max_size=3)
+                   for algo in ALGOS]
+        assert results[0].as_dict() == results[1].as_dict()
+        assert results[1].as_dict() == results[2].as_dict()
+
+    def test_pairs_ordering(self):
+        result = apriori(TXNS, min_support=2, max_size=2)
+        pairs = result.pairs()
+        supports = [s for _, _, s in pairs]
+        assert supports == sorted(supports, reverse=True)
+
+
+class TestMatching:
+    @pytest.fixture(scope="class")
+    def matcher(self):
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        return FIMBlockMatcher(alloc)
+
+    def test_empty_result_uses_modulo(self):
+        empty = MatchResult.empty(36)
+        assert empty.design_block_of(5) == 5
+        assert empty.design_block_of(41) == 5
+        assert empty.match_rate([1, 2, 3]) == 0.0
+
+    def test_frequent_pair_gets_distinct_design_blocks(self, matcher):
+        txns = [frozenset({100, 200})] * 10
+        res = matcher.match(apriori(txns, 1, 2))
+        assert res.design_block_of(100) != res.design_block_of(200)
+
+    def test_matched_blocks_recorded(self, matcher):
+        txns = [frozenset({7, 8})] * 5 + [frozenset({9})] * 5
+        res = matcher.match(apriori(txns, 1, 2))
+        assert res.matched_blocks == frozenset({7, 8})
+        assert res.match_rate([7, 8, 9, 10]) == pytest.approx(0.5)
+
+    def test_unmatched_falls_back_to_modulo(self, matcher):
+        txns = [frozenset({1, 2})] * 3
+        res = matcher.match(apriori(txns, 1, 2))
+        assert res.design_block_of(777) == 777 % 36
+
+    def test_clique_gets_all_distinct(self, matcher):
+        # 5 blocks frequently requested together: all pairwise frequent
+        items = [10, 11, 12, 13, 14]
+        txns = [frozenset(items)] * 4
+        res = matcher.match(apriori(txns, 1, 2))
+        assigned = [res.design_block_of(b) for b in items]
+        assert len(set(assigned)) == len(items)
+
+    def test_device_overlap_minimised_for_top_pair(self, matcher):
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        txns = [frozenset({50, 51})] * 20
+        res = matcher.match(apriori(txns, 1, 2))
+        d1 = set(alloc.devices_for(res.design_block_of(50)))
+        d2 = set(alloc.devices_for(res.design_block_of(51)))
+        assert not d1 & d2  # fully disjoint device sets
+
+    def test_map_blocks_vectorised(self, matcher):
+        txns = [frozenset({1, 2})] * 3
+        res = matcher.match(apriori(txns, 1, 2))
+        assert res.map_blocks([1, 2, 777]) == [
+            res.design_block_of(1), res.design_block_of(2), 777 % 36]
+
+
+class TestHistoryMatching:
+    @pytest.fixture(scope="class")
+    def matcher(self):
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        return FIMBlockMatcher(alloc)
+
+    def test_empty_history_is_modulo(self, matcher):
+        res = matcher.match_history([])
+        assert res.matched_blocks == frozenset()
+        assert res.design_block_of(40) == 40 % 36
+
+    def test_single_interval_equals_plain_match(self, matcher):
+        txns = [frozenset({1, 2})] * 5
+        itemsets = apriori(txns, 1, 2)
+        plain = matcher.match(itemsets)
+        hist = matcher.match_history([itemsets])
+        assert hist.matched_blocks == plain.matched_blocks
+        assert hist.mapping == plain.mapping
+
+    def test_decay_validation(self, matcher):
+        txns = [frozenset({1, 2})]
+        itemsets = apriori(txns, 1, 2)
+        with pytest.raises(ValueError):
+            matcher.match_history([itemsets], decay=1.5)
+
+    def test_older_intervals_contribute(self, matcher):
+        old = apriori([frozenset({10, 11})] * 5, 1, 2)
+        new = apriori([frozenset({20, 21})] * 5, 1, 2)
+        res = matcher.match_history([old, new], decay=0.5)
+        assert {10, 11, 20, 21} <= set(res.matched_blocks)
+        assert res.design_block_of(10) != res.design_block_of(11)
+        assert res.design_block_of(20) != res.design_block_of(21)
+
+    def test_zero_decay_keeps_only_latest(self, matcher):
+        old = apriori([frozenset({10, 11})] * 5, 1, 2)
+        new = apriori([frozenset({20, 21})] * 5, 1, 2)
+        res = matcher.match_history([old, new], decay=0.0)
+        assert {20, 21} <= set(res.matched_blocks)
+        assert 10 not in res.matched_blocks
+
+    def test_recent_pairs_outweigh_old(self, matcher):
+        # the same pair conflict: recent support should dominate order
+        old = apriori([frozenset({1, 2})] * 10, 1, 2)
+        new = apriori([frozenset({3, 4})] * 3, 1, 2)
+        res = matcher.match_history([old, new], decay=0.1)
+        # both matched, but new pair's weight (3) beats old (10*0.1=1)
+        assert {1, 2, 3, 4} <= set(res.matched_blocks)

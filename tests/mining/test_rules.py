@@ -1,0 +1,122 @@
+"""Unit tests for association rules and prefetching."""
+
+import pytest
+
+from repro.mining.apriori import apriori
+from repro.mining.prefetch import PrefetchStats, simulate_prefetching
+from repro.mining.rules import AssociationRule, derive_rules, \
+    prefetch_table
+from repro.traces.records import Trace
+
+TXNS = [frozenset(t) for t in (
+    {1, 2}, {1, 2}, {1, 2}, {1, 3}, {2, 4}, {1, 2, 3},
+)]
+
+
+class TestAssociationRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssociationRule(frozenset({1}), frozenset({1}), 1, 0.5)
+        with pytest.raises(ValueError):
+            AssociationRule(frozenset({1}), frozenset({2}), 1, 1.5)
+
+    def test_str(self):
+        r = AssociationRule(frozenset({1}), frozenset({2}), 4, 0.8)
+        assert "{1} -> {2}" in str(r)
+
+
+class TestDeriveRules:
+    def test_confidence_values(self):
+        itemsets = apriori(TXNS, min_support=1, max_size=2)
+        rules = {(tuple(r.antecedent), tuple(r.consequent)):
+                 r.confidence for r in derive_rules(itemsets, 0.0)}
+        # supp(1)=5, supp(2)=5, supp({1,2})=4
+        assert rules[((1,), (2,))] == pytest.approx(4 / 5)
+        assert rules[((2,), (1,))] == pytest.approx(4 / 5)
+        # supp(3)=2, supp({1,3})=2 -> confidence 1
+        assert rules[((3,), (1,))] == pytest.approx(1.0)
+
+    def test_min_confidence_filters(self):
+        itemsets = apriori(TXNS, min_support=1, max_size=2)
+        high = derive_rules(itemsets, 0.9)
+        assert all(r.confidence >= 0.9 for r in high)
+        assert len(high) < len(derive_rules(itemsets, 0.0))
+
+    def test_sorted_by_confidence(self):
+        itemsets = apriori(TXNS, min_support=1, max_size=2)
+        rules = derive_rules(itemsets, 0.0)
+        confs = [r.confidence for r in rules]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_validation(self):
+        itemsets = apriori(TXNS, min_support=1, max_size=2)
+        with pytest.raises(ValueError):
+            derive_rules(itemsets, 1.5)
+
+    def test_triple_rules(self):
+        txns = [frozenset({1, 2, 3})] * 4
+        itemsets = apriori(txns, min_support=1, max_size=3)
+        rules = derive_rules(itemsets, 0.9)
+        pairs = {(tuple(sorted(r.antecedent)),
+                  tuple(sorted(r.consequent))) for r in rules}
+        assert ((1, 2), (3,)) in pairs
+        assert ((1,), (2, 3)) in pairs
+
+
+class TestPrefetchTable:
+    def test_best_rule_wins(self):
+        itemsets = apriori(TXNS, min_support=1, max_size=2)
+        table = prefetch_table(derive_rules(itemsets, 0.0))
+        # for trigger 3 the only strong partner is 1 (conf 1.0)
+        assert table[3] == 1
+
+    def test_only_singleton_rules(self):
+        txns = [frozenset({1, 2, 3})] * 3
+        itemsets = apriori(txns, min_support=1, max_size=3)
+        table = prefetch_table(derive_rules(itemsets, 0.0))
+        assert set(table) <= {1, 2, 3}
+        assert all(isinstance(v, int) for v in table.values())
+
+
+class TestSimulatePrefetching:
+    def _parts(self):
+        # two intervals with the same strong pair (7 then 8 shortly
+        # after), so interval 2 benefits from interval 1's rule
+        def part(start):
+            arrivals, blocks = [], []
+            for i in range(10):
+                t = start + i * 1.0
+                arrivals += [t, t + 0.01]
+                blocks += [7, 8]
+            return Trace.from_arrays(arrivals, blocks)
+
+        return [part(0.0), part(100.0)]
+
+    def test_second_interval_hits(self):
+        stats = simulate_prefetching(self._parts(), ttl_ms=1.0,
+                                     min_confidence=0.5, min_support=2)
+        # interval 1: no rules yet -> all misses.  interval 2: every 8
+        # follows a prefetch triggered by its 7 (10 hits), and the
+        # reverse rule 8 -> 7 prefetches the *next* transaction's 7
+        # within the 1 ms TTL (9 more hits; the first 7 has no trigger)
+        assert stats.hits == 19
+        assert stats.total == 40
+        assert stats.hit_rate == pytest.approx(19 / 40)
+
+    def test_ttl_expiry_prevents_hits(self):
+        stats = simulate_prefetching(self._parts(), ttl_ms=0.001,
+                                     min_confidence=0.5, min_support=2)
+        assert stats.hits == 0
+        assert stats.wasted > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_prefetching([], ttl_ms=0.0)
+
+    def test_stats_properties(self):
+        st = PrefetchStats(hits=3, misses=7, prefetches=4, wasted=1)
+        assert st.total == 10
+        assert st.hit_rate == pytest.approx(0.3)
+        assert st.accuracy == pytest.approx(0.75)
+        assert PrefetchStats().hit_rate == 0.0
+        assert PrefetchStats().accuracy == 0.0

@@ -1,0 +1,64 @@
+"""Property-based tests on designs and the guarantee algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.guarantees import guarantee_capacity, required_accesses
+from repro.designs import get_design, rotate_block, rotation_closure
+from repro.designs.verify import is_steiner, pair_coverage
+
+STS_SIZES = [7, 9, 13, 15, 19, 21]
+
+
+@given(st.sampled_from(STS_SIZES))
+def test_every_catalog_triple_system_is_steiner(v):
+    assert is_steiner(get_design(v, 3))
+
+
+@given(st.sampled_from(STS_SIZES))
+def test_every_point_in_same_number_of_blocks(v):
+    # an STS is regular: each point lies in (v-1)/2 blocks
+    design = get_design(v, 3)
+    degrees = {design.replica_count(p) for p in range(v)}
+    assert degrees == {(v - 1) // 2}
+
+
+@given(st.sampled_from(STS_SIZES))
+def test_rotation_closure_triples_block_count(v):
+    design = get_design(v, 3)
+    rc = rotation_closure(design)
+    assert rc.n_blocks == 3 * design.n_blocks
+    # rotations do not change pair coverage counts per device set
+    assert sum(pair_coverage(rc).values()) == \
+        3 * sum(pair_coverage(design).values())
+
+
+@given(st.lists(st.integers(0, 100), min_size=2, max_size=8,
+                unique=True),
+       st.integers(0, 20))
+def test_rotation_is_permutation(block, shift):
+    rotated = rotate_block(tuple(block), shift)
+    assert sorted(rotated) == sorted(block)
+    assert rotate_block(rotated, len(block) - shift % len(block)) == \
+        tuple(block)
+
+
+@given(st.integers(0, 10_000), st.integers(2, 6))
+def test_required_accesses_is_exact_inverse(b, c):
+    m = required_accesses(b, c)
+    if b == 0:
+        assert m == 0
+    else:
+        assert guarantee_capacity(m, c) >= b
+        if m > 1:
+            assert guarantee_capacity(m - 1, c) < b
+
+
+@given(st.integers(1, 100), st.integers(2, 6))
+def test_guarantee_capacity_strictly_increasing(m, c):
+    assert guarantee_capacity(m + 1, c) > guarantee_capacity(m, c)
+
+
+@given(st.integers(1, 50), st.integers(2, 6))
+def test_guarantee_monotone_in_copies(m, c):
+    assert guarantee_capacity(m, c + 1) > guarantee_capacity(m, c)

@@ -1,0 +1,96 @@
+"""Property-based tests on the trace players.
+
+Invariants the drivers must uphold for *any* trace:
+
+* conservation: every input request is played exactly once,
+* validity: each read is served by a replica of its bucket,
+* per-device exclusivity: services on one module never overlap,
+* the deterministic guarantee: every admitted (undelayed-or-delayed)
+  read takes exactly one service time once issued,
+* causality: nothing is issued before it arrives.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.flash.driver import BatchTracePlayer, OnlineTracePlayer
+from repro.flash.params import MSR_SSD_PARAMS
+
+ALLOC = DesignTheoreticAllocation.from_parameters(9, 3)
+READ = MSR_SSD_PARAMS.read_ms
+T = 0.133
+
+trace_strategy = st.lists(
+    st.tuples(st.floats(0, 20, allow_nan=False), st.integers(0, 35)),
+    min_size=1, max_size=60,
+).map(lambda rows: sorted(rows))
+
+
+def _split(rows):
+    return ([t for t, _ in rows], [b for _, b in rows])
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace_strategy)
+def test_online_conservation_and_validity(rows):
+    arrivals, buckets = _split(rows)
+    _, played = OnlineTracePlayer(ALLOC, T).play(arrivals, buckets)
+    assert sorted(p.index for p in played) == list(range(len(rows)))
+    for p in played:
+        assert p.io.device in ALLOC.devices_for(buckets[p.index])
+        assert p.io.issued_at >= arrivals[p.index] - 1e-9
+        assert p.io.completed_at >= p.io.issued_at
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace_strategy)
+def test_online_deterministic_guarantee(rows):
+    arrivals, buckets = _split(rows)
+    _, played = OnlineTracePlayer(ALLOC, T).play(arrivals, buckets)
+    for p in played:
+        assert abs(p.io.response_ms - READ) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace_strategy)
+def test_online_no_device_overlap(rows):
+    arrivals, buckets = _split(rows)
+    _, played = OnlineTracePlayer(ALLOC, T).play(arrivals, buckets)
+    per_device = defaultdict(list)
+    for p in played:
+        per_device[p.io.device].append(
+            (p.io.started_at, p.io.completed_at))
+    for spans in per_device.values():
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace_strategy)
+def test_batch_alignment_and_guarantee_level(rows):
+    arrivals, buckets = _split(rows)
+    series, played = BatchTracePlayer(ALLOC, T).play(arrivals, buckets)
+    assert sorted(p.index for p in played) == list(range(len(rows)))
+    for p in played:
+        # issued at an interval boundary, never before arrival
+        ratio = p.io.issued_at / T
+        assert abs(ratio - round(ratio)) < 1e-6
+        assert p.io.issued_at >= arrivals[p.index] - 1e-9
+        assert p.io.device in ALLOC.devices_for(buckets[p.index])
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace_strategy, st.integers(0, 8))
+def test_online_degraded_avoids_failed_device(rows, failed):
+    from repro.allocation.degraded import DegradedAllocation
+
+    arrivals, buckets = _split(rows)
+    degraded = DegradedAllocation(ALLOC, {failed})
+    _, played = OnlineTracePlayer(degraded, T).play(arrivals, buckets)
+    for p in played:
+        assert p.io.device != failed

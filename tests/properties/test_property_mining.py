@@ -1,0 +1,78 @@
+"""Property-based tests on the FIM algorithms and matcher."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.mining import FIMBlockMatcher, apriori, eclat, fpgrowth
+from repro.mining.transactions import transactions_from_arrays
+
+transactions = st.lists(
+    st.frozensets(st.integers(0, 12), min_size=1, max_size=5),
+    min_size=0, max_size=60)
+
+
+@settings(max_examples=40)
+@given(transactions, st.integers(1, 4))
+def test_three_algorithms_agree(txns, support):
+    a = apriori(txns, support, max_size=3).as_dict()
+    e = eclat(txns, support, max_size=3).as_dict()
+    f = fpgrowth(txns, support, max_size=3).as_dict()
+    assert a == e == f
+
+
+@settings(max_examples=40)
+@given(transactions, st.integers(1, 4))
+def test_supports_match_bruteforce(txns, support):
+    result = apriori(txns, support, max_size=2)
+    for itemset, count in result.items():
+        brute = sum(1 for t in txns if itemset <= t)
+        assert count == brute
+        assert count >= support
+
+
+@settings(max_examples=40)
+@given(transactions)
+def test_antimonotonicity(txns):
+    # support of a superset never exceeds support of a subset
+    result = apriori(txns, 1, max_size=3)
+    for itemset, count in result.items():
+        if len(itemset) >= 2:
+            for item in itemset:
+                sub = itemset - {item}
+                assert result.support(sub) >= count
+
+
+@settings(max_examples=40)
+@given(transactions, st.integers(1, 3))
+def test_higher_support_yields_subset(txns, support):
+    low = apriori(txns, support, max_size=2).as_dict()
+    high = apriori(txns, support + 1, max_size=2).as_dict()
+    assert set(high) <= set(low)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.floats(0, 100, allow_nan=False), min_size=0,
+                max_size=40),
+       st.floats(0.01, 10.0))
+def test_transactions_partition_requests(arrivals, window):
+    blocks = list(range(len(arrivals)))
+    txns = transactions_from_arrays(arrivals, blocks, window)
+    # every distinct requested block appears in exactly one transaction
+    seen = [b for t in txns for b in t]
+    assert sorted(seen) == sorted(set(blocks))[:len(seen)] or \
+        sorted(seen) == sorted(set(blocks))
+
+
+@settings(max_examples=30)
+@given(transactions)
+def test_matcher_separates_every_frequent_pair(txns):
+    alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+    matcher = FIMBlockMatcher(alloc)
+    itemsets = apriori(txns, 1, max_size=2)
+    res = matcher.match(itemsets)
+    for a, b, _support in itemsets.pairs():
+        assert res.design_block_of(a) != res.design_block_of(b)
+    # mapping stays within the design-block range
+    for blk in res.matched_blocks:
+        assert 0 <= res.design_block_of(blk) < 36

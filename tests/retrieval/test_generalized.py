@@ -1,0 +1,93 @@
+"""Unit tests for generalized (heterogeneous) optimal retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.retrieval.generalized import generalized_retrieval
+from repro.retrieval.maxflow import maxflow_retrieval
+
+
+class TestValidation:
+    def test_service_length(self):
+        with pytest.raises(ValueError):
+            generalized_retrieval([(0,)], 2, [1.0])
+
+    def test_positive_service(self):
+        with pytest.raises(ValueError):
+            generalized_retrieval([(0,)], 1, [0.0])
+
+    def test_busy_length_and_sign(self):
+        with pytest.raises(ValueError):
+            generalized_retrieval([(0,)], 1, [1.0], busy_ms=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            generalized_retrieval([(0,)], 1, [1.0], busy_ms=[-1.0])
+
+    def test_empty(self):
+        s = generalized_retrieval([], 3, [1.0] * 3)
+        assert s.makespan == 0.0
+        assert s.assignment == ()
+
+
+class TestHomogeneousReducesToClassic:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_maxflow_access_count(self, seed):
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        blocks = [alloc.devices_for(b) for b in range(36)]
+        rng = np.random.default_rng(seed)
+        picks = rng.integers(0, 36, size=int(rng.integers(1, 15)))
+        cands = [blocks[p] for p in picks]
+        classic = maxflow_retrieval(cands, 9)
+        general = generalized_retrieval(cands, 9, [1.0] * 9)
+        assert general.makespan == pytest.approx(float(classic.accesses))
+
+
+class TestHeterogeneous:
+    def test_prefers_fast_device(self):
+        # one request; device 1 is 4x faster
+        s = generalized_retrieval([(0, 1)], 2, [4.0, 1.0])
+        assert s.assignment == (1,)
+        assert s.makespan == 1.0
+
+    def test_splits_by_speed(self):
+        # 3 requests over a fast and a slow device: two on the fast one
+        s = generalized_retrieval([(0, 1)] * 3, 2, [1.0, 2.0])
+        assert s.makespan == 2.0
+        assert s.assignment.count(0) == 2
+
+    def test_busy_device_avoided(self):
+        s = generalized_retrieval([(0, 1)], 2, [1.0, 1.0],
+                                  busy_ms=[10.0, 0.0])
+        assert s.assignment == (1,)
+        assert s.makespan == 1.0
+
+    def test_busy_device_used_when_necessary(self):
+        s = generalized_retrieval([(0,), (1,)], 2, [1.0, 1.0],
+                                  busy_ms=[5.0, 0.0])
+        assert s.makespan == 6.0
+
+    def test_completion_times_consistent(self):
+        s = generalized_retrieval([(0, 1), (0, 1), (0, 2)], 3,
+                                  [1.0, 2.0, 0.5], busy_ms=[0, 0, 1.0])
+        assert max(s.completion) <= s.makespan + 1e-9
+        # per-device completions are spaced by that device's service
+        for d in range(3):
+            finishes = sorted(c for c, a in zip(s.completion,
+                                                s.assignment) if a == d)
+            for f1, f2 in zip(finishes, finishes[1:]):
+                assert f2 - f1 == pytest.approx([1.0, 2.0, 0.5][d])
+
+    def test_makespan_is_minimal(self):
+        # brute-force check on a small instance
+        from itertools import product
+
+        cands = [(0, 1), (1, 2), (0, 2), (0, 1)]
+        service = [1.0, 1.5, 2.0]
+        s = generalized_retrieval(cands, 3, service)
+        best = float("inf")
+        for combo in product(*cands):
+            loads = [0.0] * 3
+            for d in combo:
+                loads[d] += service[d]
+            best = min(best, max(loads))
+        assert s.makespan == pytest.approx(best)

@@ -1,0 +1,103 @@
+"""Unit tests for the simulation environment / event loop."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.core import EmptySchedule
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_peek_empty(self):
+        assert Environment().peek() == float("inf")
+
+    def test_step_empty_raises(self):
+        with pytest.raises(EmptySchedule):
+            Environment().step()
+
+
+class TestRun:
+    def test_run_until_advances_clock(self):
+        env = Environment()
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_before_now_rejected(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_run_until_stops_before_later_events(self):
+        env = Environment()
+        t = env.timeout(10.0)
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert not t.processed
+        env.run()
+        assert t.processed
+        assert env.now == 10.0
+
+    def test_events_process_in_time_order(self):
+        env = Environment()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            env.timeout(delay).add_callback(
+                lambda e, d=delay: order.append(d))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_schedule_order(self):
+        env = Environment()
+        order = []
+        for tag in "abc":
+            env.timeout(1.0).add_callback(
+                lambda e, t=tag: order.append(t))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_deterministic_repeat(self):
+        def once():
+            env = Environment()
+            log = []
+
+            def proc(name, delay):
+                for _ in range(3):
+                    yield env.timeout(delay)
+                    log.append((name, env.now))
+
+            env.process(proc("x", 1.0))
+            env.process(proc("y", 1.0))
+            env.run()
+            return log
+
+        assert once() == once()
+
+
+class TestEventTracing:
+    def test_disabled_by_default(self):
+        env = Environment()
+        assert env.trace_log is None
+
+    def test_records_processed_events(self):
+        env = Environment(trace=True)
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert env.trace_log == [(1.0, "Timeout"), (2.0, "Timeout")]
+
+    def test_records_process_lifecycle(self):
+        env = Environment(trace=True)
+
+        def proc():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        names = [n for _, n in env.trace_log]
+        assert "Timeout" in names
+        assert "Event" in names  # the process boot event

@@ -1,0 +1,138 @@
+"""Unit tests for the DES event primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Timeout
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_pending_initially(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        ev = env.event()
+        with pytest.raises(RuntimeError):
+            _ = ev.value
+        with pytest.raises(RuntimeError):
+            _ = ev.ok
+
+    def test_succeed_carries_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_twice_rejected(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_fail_carries_exception(self, env):
+        ev = env.event()
+        exc = ValueError("boom")
+        ev.fail(exc)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_fail_requires_exception_instance(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_callback_runs_when_processed(self, env):
+        ev = env.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        assert seen == []  # not yet processed
+        env.run()
+        assert seen == ["x"]
+
+    def test_callback_on_processed_event_runs_immediately(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [1]
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        t = env.timeout(3.5)
+        env.run()
+        assert env.now == 3.5
+        assert t.processed
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_allowed(self, env):
+        env.timeout(0)
+        env.run()
+        assert env.now == 0.0
+
+    def test_carries_value(self, env):
+        t = env.timeout(1.0, value="done")
+        env.run()
+        assert t.value == "done"
+
+    def test_retrigger_rejected(self, env):
+        t = env.timeout(1.0)
+        with pytest.raises(RuntimeError):
+            t.succeed()
+        with pytest.raises(RuntimeError):
+            t.fail(ValueError())
+
+
+class TestConditions:
+    def test_allof_waits_for_all(self, env):
+        t1, t2 = env.timeout(1.0), env.timeout(2.0)
+        both = AllOf(env, [t1, t2])
+        fired_at = []
+        both.add_callback(lambda e: fired_at.append(env.now))
+        env.run()
+        assert fired_at == [2.0]
+
+    def test_allof_value_maps_events(self, env):
+        t1, t2 = env.timeout(1.0, "a"), env.timeout(2.0, "b")
+        both = AllOf(env, [t1, t2])
+        env.run()
+        assert both.value == {t1: "a", t2: "b"}
+
+    def test_anyof_fires_on_first(self, env):
+        t1, t2 = env.timeout(1.0), env.timeout(2.0)
+        either = AnyOf(env, [t1, t2])
+        fired_at = []
+        either.add_callback(lambda e: fired_at.append(env.now))
+        env.run()
+        assert fired_at == [1.0]
+
+    def test_allof_empty_fires_immediately(self, env):
+        both = AllOf(env, [])
+        assert both.triggered
+
+    def test_allof_fails_on_constituent_failure(self, env):
+        ev = env.event()
+        t = env.timeout(5.0)
+        both = AllOf(env, [ev, t])
+        ev.fail(ValueError("bad"))
+        env.run()
+        assert both.triggered
+        assert not both.ok
+
+    def test_mixed_environment_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AllOf(env, [env.timeout(1), other.timeout(1)])

@@ -1,0 +1,149 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupted
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(42)
+
+    def test_return_value_becomes_event_value(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return "result"
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "result"
+
+    def test_does_not_run_before_env_run(self, env):
+        ran = []
+
+        def proc():
+            ran.append(True)
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        assert ran == []  # construction must not run user code
+        env.run()
+        assert ran == [True]
+
+    def test_is_alive_lifecycle(self, env):
+        def proc():
+            yield env.timeout(1.0)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_yield_non_event_fails(self, env):
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run()
+
+    def test_timeout_value_delivered(self, env):
+        def proc():
+            got = yield env.timeout(1.0, value="hello")
+            return got
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "hello"
+
+
+class TestProcessComposition:
+    def test_wait_on_other_process(self, env):
+        def inner():
+            yield env.timeout(2.0)
+            return 99
+
+        def outer():
+            result = yield env.process(inner())
+            return result + 1
+
+        p = env.process(outer())
+        env.run()
+        assert p.value == 100
+
+    def test_wait_on_finished_process(self, env):
+        def inner():
+            yield env.timeout(1.0)
+            return "x"
+
+        inner_p = env.process(inner())
+
+        def outer():
+            yield env.timeout(5.0)
+            got = yield inner_p  # already finished
+            return got
+
+        p = env.process(outer())
+        env.run()
+        assert p.value == "x"
+
+    def test_exception_propagates_from_failed_event(self, env):
+        def proc():
+            ev = env.event()
+            ev.fail(ValueError("expected"))
+            try:
+                yield ev
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "caught expected"
+
+    def test_two_processes_interleave(self, env):
+        log = []
+
+        def proc(name, delay):
+            for i in range(2):
+                yield env.timeout(delay)
+                log.append((name, env.now))
+
+        env.process(proc("fast", 1.0))
+        env.process(proc("slow", 3.0))
+        env.run()
+        assert log == [("fast", 1.0), ("fast", 2.0),
+                       ("slow", 3.0), ("slow", 6.0)]
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupted as exc:
+                return ("interrupted", exc.cause, env.now)
+
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt("stop it")
+
+        env.process(killer())
+        env.run()
+        assert p.value == ("interrupted", "stop it", 1.0)
+
+    def test_interrupt_finished_process_rejected(self, env):
+        def proc():
+            yield env.timeout(1.0)
+
+        p = env.process(proc())
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()

@@ -1,0 +1,51 @@
+"""Unit tests for burstiness statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.records import Trace
+from repro.traces.stats import burstiness
+from repro.traces.exchange import exchange_like_trace
+
+
+def _trace(arrivals):
+    return Trace.from_arrays(list(arrivals), [0] * len(arrivals))
+
+
+class TestBurstiness:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burstiness(_trace([0.0, 1.0]), 0.0)
+
+    def test_degenerate_trace(self):
+        st = burstiness(_trace([1.0]), 1.0)
+        assert st.index_of_dispersion == 0.0
+
+    def test_periodic_arrivals_regular(self):
+        st = burstiness(_trace(np.arange(0, 100, 1.0)), 5.0)
+        assert st.cv_interarrival == pytest.approx(0.0, abs=1e-9)
+        assert st.index_of_dispersion < 0.5
+
+    def test_poisson_near_one(self):
+        rng = np.random.default_rng(0)
+        arr = np.cumsum(rng.exponential(1.0, 5000))
+        st = burstiness(_trace(arr), 10.0)
+        assert st.index_of_dispersion == pytest.approx(1.0, abs=0.3)
+        assert st.cv_interarrival == pytest.approx(1.0, abs=0.1)
+
+    def test_bursty_exceeds_one(self):
+        # clusters of 10 arrivals every 100 ms
+        arrivals = []
+        for burst in range(50):
+            t0 = burst * 100.0
+            arrivals.extend(t0 + 0.01 * i for i in range(10))
+        st = burstiness(_trace(arrivals), 10.0)
+        assert st.index_of_dispersion > 2.0
+        assert st.peak_to_mean > 2.0
+        assert st.cv_interarrival > 1.5
+
+    def test_workload_model_is_bursty(self):
+        parts = exchange_like_trace(scale=0.4, seed=0, n_intervals=4)
+        merged = Trace.concat(parts)
+        st = burstiness(merged, 1.0)
+        assert st.index_of_dispersion > 1.0

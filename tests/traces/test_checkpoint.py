@@ -1,0 +1,77 @@
+"""Unit tests for the checkpoint/restart workload model."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.flash.driver import OnlineTracePlayer
+from repro.mining.matching import MatchResult
+from repro.traces.checkpoint import CheckpointModel
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointModel(n_ranks=0)
+        with pytest.raises(ValueError):
+            CheckpointModel(checkpoint_period_ms=0)
+        with pytest.raises(ValueError):
+            CheckpointModel(background_read_rate=-1)
+
+    def test_write_count_exact(self):
+        model = CheckpointModel(n_ranks=4, n_checkpoints=3,
+                                blocks_per_rank=2, seed=1)
+        trace, reads = model.generate()
+        n_writes = sum(1 for r in reads if not r)
+        assert n_writes == 4 * 3 * 2
+
+    def test_storms_cluster_before_period_boundaries(self):
+        model = CheckpointModel(n_ranks=2, n_checkpoints=2,
+                                checkpoint_period_ms=10.0,
+                                burst_span_ms=0.5, seed=2)
+        trace, reads = model.generate()
+        writes = trace.filter(~trace.is_read)
+        for t in writes.arrival_ms:
+            phase = t % 10.0
+            assert phase >= 9.5 - 1e-9
+
+    def test_reads_spread_over_duration(self):
+        model = CheckpointModel(background_read_rate=5.0, seed=3)
+        trace, _ = model.generate()
+        rd = trace.reads_only()
+        assert len(rd) > 0
+        assert rd.arrival_ms.max() <= model.duration_ms
+
+    def test_alignment_of_reads_flags(self):
+        trace, reads = CheckpointModel(seed=4).generate()
+        assert len(reads) == len(trace)
+        assert all(bool(a) == bool(b)
+                   for a, b in zip(reads, trace.is_read))
+
+    def test_deterministic(self):
+        a, _ = CheckpointModel(seed=5).generate()
+        b, _ = CheckpointModel(seed=5).generate()
+        assert np.array_equal(a.data, b.data)
+
+
+class TestThroughQoS:
+    def test_checkpoint_storm_stresses_write_path(self):
+        model = CheckpointModel(n_ranks=6, n_checkpoints=3,
+                                blocks_per_rank=3,
+                                background_read_rate=1.0, seed=6)
+        trace, reads = model.generate()
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        mapper = MatchResult.empty(alloc.n_buckets)
+        buckets = mapper.map_blocks(trace.block)
+        player = OnlineTracePlayer(alloc, 0.133)
+        series, played = player.play(
+            [float(t) for t in trace.arrival_ms], buckets, reads=reads)
+        st = series.overall()
+        assert st.n_total == len(trace)
+        # storms overload the budget (writes cost c each): delays occur
+        assert st.n_delayed > 0
+        # reads issued outside storms still meet the read guarantee
+        clean_reads = [p for p in played
+                       if p.io.is_read and not p.delayed]
+        for p in clean_reads:
+            assert p.io.response_ms <= 0.132507 + 1e-9

@@ -1,0 +1,79 @@
+"""Unit tests for the repro-trace command-line tool."""
+
+import pytest
+
+from repro.traces.cli import main
+from repro.traces.io import read_csv, read_disksim_ascii
+
+
+class TestGenerate:
+    def test_synthetic_to_disksim(self, tmp_path, capsys):
+        out = tmp_path / "syn.trace"
+        rc = main(["generate", "synthetic", str(out),
+                   "--total", "50", "--requests-per-interval", "5"])
+        assert rc == 0
+        trace = read_disksim_ascii(out)
+        assert len(trace) == 50
+        assert "wrote 50 requests" in capsys.readouterr().out
+
+    def test_synthetic_to_csv(self, tmp_path):
+        out = tmp_path / "syn.csv"
+        main(["generate", "synthetic", str(out), "--total", "20"])
+        assert len(read_csv(out)) == 20
+
+    def test_exchange(self, tmp_path):
+        out = tmp_path / "ex.csv"
+        main(["generate", "exchange", str(out), "--scale", "0.05",
+              "--intervals", "3"])
+        trace = read_csv(out)
+        assert len(trace) > 0
+        assert trace.device.max() < 9
+
+    def test_tpce(self, tmp_path):
+        out = tmp_path / "tp.csv"
+        main(["generate", "tpce", str(out), "--scale", "0.05"])
+        trace = read_csv(out)
+        assert trace.device.max() < 13
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", "synthetic", str(a), "--total", "30",
+              "--seed", "7"])
+        main(["generate", "synthetic", str(b), "--total", "30",
+              "--seed", "7"])
+        assert a.read_text() == b.read_text()
+
+
+class TestConvert:
+    def test_roundtrip(self, tmp_path):
+        src = tmp_path / "src.trace"
+        main(["generate", "synthetic", str(src), "--total", "25"])
+        mid = tmp_path / "mid.csv"
+        back = tmp_path / "back.trace"
+        assert main(["convert", str(src), str(mid)]) == 0
+        assert main(["convert", str(mid), str(back)]) == 0
+        assert len(read_disksim_ascii(back)) == 25
+
+
+class TestStats:
+    def test_prints_interval_rows(self, tmp_path, capsys):
+        src = tmp_path / "src.csv"
+        main(["generate", "exchange", str(src), "--scale", "0.05",
+              "--intervals", "3"])
+        capsys.readouterr()
+        rc = main(["stats", str(src), "--interval-ms", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "interval" in out
+        assert "TOTAL" in out
+        assert len(out.strip().splitlines()) >= 4
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "bogus", str(tmp_path / "x.csv")])

@@ -1,0 +1,147 @@
+"""Unit tests for the Trace table and file formats."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    Trace,
+    read_csv,
+    read_disksim_ascii,
+    write_csv,
+    write_disksim_ascii,
+)
+from repro.traces.records import BLOCK_BYTES, TRACE_DTYPE
+
+
+@pytest.fixture
+def trace():
+    return Trace.from_arrays(
+        arrival_ms=[2.0, 0.5, 1.0],
+        block=[10, 20, 30],
+        device=[1, 2, 0],
+        size_bytes=[8192, 16384, 8192],
+        is_read=[True, True, False],
+    )
+
+
+class TestConstruction:
+    def test_dtype_enforced(self):
+        with pytest.raises(TypeError):
+            Trace(np.zeros(3, dtype=np.float64))
+
+    def test_defaults(self):
+        t = Trace.from_arrays([0.0], [5])
+        assert t.device[0] == 0
+        assert t.size_bytes[0] == BLOCK_BYTES
+        assert bool(t.is_read[0])
+
+    def test_empty(self):
+        t = Trace.empty()
+        assert len(t) == 0
+        assert t.data.dtype == TRACE_DTYPE
+
+    def test_concat(self, trace):
+        both = Trace.concat([trace, trace])
+        assert len(both) == 6
+        assert Trace.concat([]).data.shape == (0,)
+
+
+class TestTransforms:
+    def test_sorted(self, trace):
+        s = trace.sorted()
+        assert list(s.arrival_ms) == [0.5, 1.0, 2.0]
+        assert list(s.block) == [20, 30, 10]
+
+    def test_filter(self, trace):
+        f = trace.filter(trace.block > 15)
+        assert len(f) == 2
+
+    def test_reads_only(self, trace):
+        assert len(trace.reads_only()) == 2
+
+    def test_time_slice(self, trace):
+        assert len(trace.time_slice(0.0, 1.5)) == 2
+        assert len(trace.time_slice(2.0, 9.0)) == 1
+
+    def test_shifted(self, trace):
+        sh = trace.shifted(10.0)
+        assert sh.arrival_ms.min() == pytest.approx(10.5)
+        assert trace.arrival_ms.min() == pytest.approx(0.5)  # original
+
+    def test_aligned_blocks_expands(self, trace):
+        aligned = trace.aligned_blocks()
+        # 8K + 16K + 8K -> 1 + 2 + 1 unit requests
+        assert len(aligned) == 4
+        assert all(aligned.size_bytes == BLOCK_BYTES)
+        # the 16K request becomes consecutive blocks, same arrival
+        sixteen = aligned.filter(np.isin(aligned.block, (20, 21)))
+        assert len(sixteen) == 2
+        assert sixteen.arrival_ms[0] == sixteen.arrival_ms[1]
+
+    def test_getitem(self, trace):
+        one = trace[0]
+        assert len(one) == 1
+        sub = trace[0:2]
+        assert len(sub) == 2
+
+
+class TestDiskSimFormat:
+    def test_roundtrip(self, trace):
+        buf = io.StringIO()
+        write_disksim_ascii(trace, buf)
+        buf.seek(0)
+        back = read_disksim_ascii(buf)
+        assert len(back) == len(trace)
+        assert list(back.block) == list(trace.block)
+        assert list(back.is_read) == list(trace.is_read)
+
+    def test_format_fields(self, trace):
+        buf = io.StringIO()
+        write_disksim_ascii(trace, buf)
+        line = buf.getvalue().splitlines()[0].split()
+        assert len(line) == 5
+        assert float(line[0]) == 2.0
+        assert line[3] == "1"   # size in blocks
+        assert line[4] == "1"   # read flag
+
+    def test_comments_and_blanks_skipped(self):
+        back = read_disksim_ascii(io.StringIO(
+            "# header\n\n0.5 1 10 1 1\n"))
+        assert len(back) == 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_disksim_ascii(io.StringIO("1 2 3\n"))
+
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_disksim_ascii(trace, path)
+        back = read_disksim_ascii(path)
+        assert len(back) == 3
+
+
+class TestCsvFormat:
+    def test_roundtrip(self, trace):
+        buf = io.StringIO()
+        write_csv(trace, buf)
+        buf.seek(0)
+        back = read_csv(buf)
+        assert len(back) == len(trace)
+        assert list(back.size_bytes) == list(trace.size_bytes)
+        assert list(back.is_read) == list(trace.is_read)
+
+    def test_header_written(self, trace):
+        buf = io.StringIO()
+        write_csv(trace, buf)
+        assert buf.getvalue().startswith("timestamp_ms,")
+
+    def test_headerless_accepted(self):
+        back = read_csv(io.StringIO("1.5,0,7,8192,R\n"))
+        assert len(back) == 1
+        assert back.block[0] == 7
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            read_csv(io.StringIO("1.5,0,7\n"))

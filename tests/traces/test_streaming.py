@@ -1,0 +1,82 @@
+"""Unit tests for the streaming workload model."""
+
+import numpy as np
+import pytest
+
+from repro.traces.streaming import StreamSpec, deadline_misses, \
+    streaming_trace
+
+
+class TestStreamSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamSpec("x", period_ms=0.0, start_block=0,
+                       length_blocks=10)
+        with pytest.raises(ValueError):
+            StreamSpec("x", period_ms=1.0, start_block=0,
+                       length_blocks=0)
+        with pytest.raises(ValueError):
+            StreamSpec("x", period_ms=1.0, start_block=0,
+                       length_blocks=10, jitter_ms=1.0)
+
+    def test_rate(self):
+        s = StreamSpec("x", period_ms=0.5, start_block=0,
+                       length_blocks=10)
+        assert s.requests_per_ms == 2.0
+
+
+class TestStreamingTrace:
+    def test_periodicity_without_jitter(self):
+        spec = StreamSpec("s", period_ms=2.0, start_block=100,
+                          length_blocks=50)
+        trace, owners = streaming_trace([spec], duration_ms=10.0)
+        assert list(trace.arrival_ms) == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert list(trace.block) == [100, 101, 102, 103, 104]
+        assert owners == ["s"] * 5
+
+    def test_length_limit_respected(self):
+        spec = StreamSpec("s", period_ms=1.0, start_block=0,
+                          length_blocks=3)
+        trace, _ = streaming_trace([spec], duration_ms=100.0)
+        assert len(trace) == 3
+
+    def test_streams_interleave_sorted(self):
+        a = StreamSpec("a", period_ms=2.0, start_block=0,
+                       length_blocks=100)
+        b = StreamSpec("b", period_ms=3.0, start_block=1000,
+                       length_blocks=100, offset_ms=0.5)
+        trace, owners = streaming_trace([a, b], duration_ms=12.0)
+        assert np.all(np.diff(trace.arrival_ms) >= 0)
+        assert set(owners) == {"a", "b"}
+
+    def test_jitter_bounded(self):
+        spec = StreamSpec("s", period_ms=2.0, start_block=0,
+                          length_blocks=100, jitter_ms=0.5)
+        trace, _ = streaming_trace([spec], duration_ms=50.0, seed=2)
+        base = np.arange(len(trace)) * 2.0
+        off = np.asarray(trace.arrival_ms) - base
+        assert np.all(off >= 0)
+        assert np.all(off <= 0.5 + 1e-12)
+
+    def test_duration_validation(self):
+        spec = StreamSpec("s", period_ms=1.0, start_block=0,
+                          length_blocks=5)
+        with pytest.raises(ValueError):
+            streaming_trace([spec], duration_ms=0.0)
+
+
+class TestDeadlineMisses:
+    def test_counts_misses_per_stream(self):
+        spec = StreamSpec("s", period_ms=1.0, start_block=0,
+                          length_blocks=10)
+        owners = ["s", "s", "s"]
+        arrivals = [0.0, 1.0, 2.0]
+        completions = [0.5, 2.5, 2.9]  # second misses (done at +1.5)
+        out = deadline_misses([spec], owners, completions, arrivals)
+        assert out["s"] == {"missed": 1, "total": 3}
+
+    def test_exact_deadline_is_met(self):
+        spec = StreamSpec("s", period_ms=1.0, start_block=0,
+                          length_blocks=10)
+        out = deadline_misses([spec], ["s"], [1.0], [0.0])
+        assert out["s"]["missed"] == 0

@@ -1,0 +1,104 @@
+"""Unit tests for trace transforms."""
+
+import numpy as np
+import pytest
+
+from repro.traces.records import Trace
+from repro.traces.transforms import (
+    clip,
+    downsample,
+    merge,
+    remap_blocks,
+    time_scale,
+)
+
+
+@pytest.fixture
+def trace():
+    return Trace.from_arrays([0.0, 1.0, 2.0, 3.0], [10, 20, 30, 40])
+
+
+class TestTimeScale:
+    def test_compress(self, trace):
+        out = time_scale(trace, 0.5)
+        assert list(out.arrival_ms) == [0.0, 0.5, 1.0, 1.5]
+        assert list(out.block) == [10, 20, 30, 40]
+
+    def test_original_untouched(self, trace):
+        time_scale(trace, 0.5)
+        assert list(trace.arrival_ms) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            time_scale(trace, 0.0)
+
+
+class TestDownsample:
+    def test_full_fraction_is_copy(self, trace):
+        out = downsample(trace, 1.0)
+        assert len(out) == 4
+        assert out.data is not trace.data
+
+    def test_fraction_roughly_respected(self):
+        big = Trace.from_arrays(np.arange(10_000, dtype=float),
+                                np.arange(10_000))
+        out = downsample(big, 0.3, seed=1)
+        assert 2500 < len(out) < 3500
+
+    def test_order_preserved(self):
+        big = Trace.from_arrays(np.arange(1000, dtype=float),
+                                np.arange(1000))
+        out = downsample(big, 0.5, seed=2)
+        assert np.all(np.diff(out.arrival_ms) > 0)
+
+    def test_deterministic(self, trace):
+        a = downsample(trace, 0.5, seed=3)
+        b = downsample(trace, 0.5, seed=3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            downsample(trace, 0.0)
+        with pytest.raises(ValueError):
+            downsample(trace, 1.2)
+
+
+class TestMerge:
+    def test_interleaves_sorted(self):
+        a = Trace.from_arrays([0.0, 2.0], [1, 2])
+        b = Trace.from_arrays([1.0, 3.0], [3, 4])
+        out = merge([a, b])
+        assert list(out.arrival_ms) == [0.0, 1.0, 2.0, 3.0]
+        assert list(out.block) == [1, 3, 2, 4]
+
+    def test_empty(self):
+        assert len(merge([])) == 0
+
+
+class TestClip:
+    def test_window_and_rebase(self, trace):
+        out = clip(trace, 1.0, 3.0)
+        assert list(out.arrival_ms) == [0.0, 1.0]
+        assert list(out.block) == [20, 30]
+
+    def test_no_rebase(self, trace):
+        out = clip(trace, 1.0, 3.0, rebase=False)
+        assert list(out.arrival_ms) == [1.0, 2.0]
+
+    def test_open_end(self, trace):
+        assert len(clip(trace, 2.0)) == 2
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            clip(trace, 2.0, 2.0)
+
+
+class TestRemapBlocks:
+    def test_modulo_and_offset(self, trace):
+        out = remap_blocks(trace, 7, offset=100)
+        assert list(out.block) == [10 % 7 + 100, 20 % 7 + 100,
+                                   30 % 7 + 100, 40 % 7 + 100]
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            remap_blocks(trace, 0)

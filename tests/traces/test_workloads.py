@@ -1,0 +1,207 @@
+"""Unit tests for intervals, statistics and the workload models."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    CorrelatedWorkloadModel,
+    Trace,
+    exchange_like_trace,
+    interval_statistics,
+    split_intervals,
+    synthetic_trace,
+    tpce_like_trace,
+)
+from repro.traces.intervals import interval_index, split_at
+from repro.traces.synthetic import TABLE3_WORKLOADS, table3_trace
+from repro.traces.workload_model import WorkloadInterval
+
+
+class TestIntervals:
+    def test_interval_index(self):
+        idx = interval_index(np.array([0.0, 0.132, 0.133, 0.27]), 0.133)
+        assert list(idx) == [0, 0, 1, 2]
+
+    def test_interval_index_validation(self):
+        with pytest.raises(ValueError):
+            interval_index(np.array([0.0]), 0.0)
+
+    def test_split_intervals_covers_all(self):
+        t = Trace.from_arrays([0.0, 0.5, 1.1, 2.9], [1, 2, 3, 4])
+        parts = split_intervals(t, 1.0)
+        assert [len(p) for p in parts] == [2, 1, 1]
+
+    def test_split_intervals_explicit_count(self):
+        t = Trace.from_arrays([0.0], [1])
+        parts = split_intervals(t, 1.0, n_intervals=5)
+        assert len(parts) == 5
+        assert [len(p) for p in parts] == [1, 0, 0, 0, 0]
+
+    def test_split_at_unequal(self):
+        t = Trace.from_arrays([0.5, 1.5, 4.0], [1, 2, 3])
+        parts = split_at(t, [1.0, 3.0, 5.0])
+        assert [len(p) for p in parts] == [1, 1, 1]
+
+    def test_split_at_monotonic_required(self):
+        t = Trace.empty()
+        with pytest.raises(ValueError):
+            split_at(t, [2.0, 1.0])
+
+
+class TestStatistics:
+    def test_totals_and_avg(self):
+        t = Trace.from_arrays([0.0, 100.0, 600.0, 1500.0],
+                              [0, 1, 2, 3])
+        parts = split_intervals(t, 1000.0)
+        stats = interval_statistics(parts, interval_ms=1000.0)
+        assert stats[0].total_requests == 3
+        assert stats[1].total_requests == 1
+        assert stats[0].avg_req_per_sec == pytest.approx(3.0)
+
+    def test_max_rate_uses_subwindows(self):
+        arrivals = [0.0, 1.0, 2.0] + [500.0]
+        t = Trace.from_arrays(arrivals, [0] * 4)
+        stats = interval_statistics(split_intervals(t, 1000.0),
+                                    interval_ms=1000.0,
+                                    rate_window_ms=10.0)
+        # burst of 3 in one 10 ms window -> 300/s, avg only 4/s
+        assert stats[0].max_req_per_sec == pytest.approx(300.0)
+        assert stats[0].avg_req_per_sec == pytest.approx(4.0)
+
+    def test_arg_validation(self):
+        with pytest.raises(ValueError):
+            interval_statistics([], interval_ms=None, boundaries_ms=None)
+        with pytest.raises(ValueError):
+            interval_statistics([], interval_ms=1.0, boundaries_ms=[1.0])
+        with pytest.raises(ValueError):
+            interval_statistics([], interval_ms=1.0, rate_window_ms=0.0)
+
+
+class TestSynthetic:
+    def test_table3_parameters(self):
+        assert TABLE3_WORKLOADS == ((5, 0.133), (14, 0.266), (27, 0.399))
+
+    def test_interval_structure(self):
+        t = synthetic_trace(5, 0.133, total_requests=50, seed=0)
+        assert len(t) == 50
+        arrivals = np.unique(t.arrival_ms)
+        assert len(arrivals) == 10
+        assert arrivals[1] - arrivals[0] == pytest.approx(0.133)
+
+    def test_blocks_within_pool(self):
+        t = synthetic_trace(5, 0.133, n_blocks_pool=36,
+                            total_requests=200, seed=1)
+        assert t.block.min() >= 0
+        assert t.block.max() < 36
+
+    def test_distinct_blocks_per_interval(self):
+        t = synthetic_trace(27, 0.399, total_requests=270, seed=2)
+        for start in range(0, 270, 27):
+            blocks = t.block[start:start + 27]
+            assert len(set(blocks)) == 27
+
+    def test_replace_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(40, 0.133, n_blocks_pool=36)
+        synthetic_trace(40, 0.133, n_blocks_pool=36, replace=True,
+                        total_requests=80)
+
+    def test_seed_determinism(self):
+        a = synthetic_trace(5, 0.133, total_requests=100, seed=9)
+        b = synthetic_trace(5, 0.133, total_requests=100, seed=9)
+        assert np.array_equal(a.data, b.data)
+
+    def test_table3_trace_rows(self):
+        t = table3_trace(1, total_requests=28)
+        assert len(t) == 28
+        assert np.unique(t.arrival_ms)[1] == pytest.approx(0.266)
+
+
+class TestWorkloadModel:
+    def _model(self, **kw):
+        defaults = dict(
+            intervals=[WorkloadInterval(50.0, 100)] * 4,
+            n_volumes=9, n_blocks=512, zipf_a=1.3,
+            pair_fraction=0.5, persistence=0.5, n_hot_pairs=16,
+            seed=0)
+        defaults.update(kw)
+        return CorrelatedWorkloadModel(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._model(intervals=[])
+        with pytest.raises(ValueError):
+            self._model(pair_fraction=1.5)
+        with pytest.raises(ValueError):
+            self._model(persistence=-0.1)
+        with pytest.raises(ValueError):
+            self._model(zipf_a=1.0)
+        with pytest.raises(ValueError):
+            self._model(burst_fraction=2.0)
+
+    def test_interval_budgets_met(self):
+        parts = self._model().generate()
+        assert len(parts) == 4
+        for part in parts:
+            assert len(part) == 100
+
+    def test_arrivals_within_interval_bounds(self):
+        parts = self._model().generate()
+        for i, part in enumerate(parts):
+            assert part.arrival_ms.min() >= i * 50.0 - 1e-9
+            # pair gap may spill marginally past the boundary
+            assert part.arrival_ms.max() <= (i + 1) * 50.0 + 1.0
+
+    def test_arrivals_sorted(self):
+        for part in self._model().generate():
+            assert np.all(np.diff(part.arrival_ms) >= 0)
+
+    def test_volume_striping(self):
+        parts = self._model().generate()
+        for part in parts:
+            assert np.array_equal(part.device, part.block % 9)
+
+    def test_determinism(self):
+        a = self._model().generate()
+        b = self._model().generate()
+        for x, y in zip(a, b):
+            assert np.array_equal(x.data, y.data)
+
+    def test_persistence_increases_block_overlap(self):
+        low = self._model(pair_fraction=0.9, persistence=0.05,
+                          seed=3).generate()
+        high = self._model(pair_fraction=0.9, persistence=0.95,
+                           seed=3).generate()
+
+        def overlap(parts):
+            vals = []
+            for a, b in zip(parts, parts[1:]):
+                sa, sb = set(a.block), set(b.block)
+                vals.append(len(sa & sb) / len(sb))
+            return np.mean(vals)
+
+        assert overlap(high) > overlap(low)
+
+
+class TestNamedWorkloads:
+    def test_exchange_shape(self):
+        parts = exchange_like_trace(scale=0.1, n_intervals=6)
+        assert len(parts) == 6
+        assert all(len(p) > 0 for p in parts)
+        assert all(p.device.max() < 9 for p in parts)
+
+    def test_tpce_shape(self):
+        parts = tpce_like_trace(scale=0.1)
+        assert len(parts) == 6
+        assert all(p.device.max() < 13 for p in parts)
+
+    def test_scale_scales_volume(self):
+        small = exchange_like_trace(scale=0.1, n_intervals=4)
+        big = exchange_like_trace(scale=0.4, n_intervals=4)
+        assert sum(len(p) for p in big) > 2 * sum(len(p) for p in small)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            exchange_like_trace(scale=0.0)
+        with pytest.raises(ValueError):
+            tpce_like_trace(scale=-1.0)
