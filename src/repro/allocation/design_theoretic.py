@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.allocation.base import AllocationScheme
+from repro.check import sanitizers
 from repro.designs.block_design import BlockDesign
 from repro.designs.catalog import get_design
 from repro.designs.rotations import rotation_closure
@@ -37,6 +38,8 @@ class DesignTheoreticAllocation(AllocationScheme):
         self.n_devices = design.n_points
         self.replication = design.block_size
         self.n_buckets = self._expanded.n_blocks
+        if sanitizers.ACTIVE:
+            sanitizers.check_allocation(self)
 
     @classmethod
     def from_parameters(cls, n_devices: int,

@@ -1,0 +1,48 @@
+"""Determinism and invariant checking for the reproduction.
+
+The QoS guarantees of the paper are statements about *exact* system
+behaviour: a deterministic event-driven simulation, flow networks whose
+solutions respect conservation and capacity, and allocations whose
+pairwise balance underwrites the retrieval theorem.  ``repro.check``
+turns those obligations into tooling:
+
+``repro.check.lint``
+    An AST-based linter with repo-specific rules (no unseeded RNG or
+    wall-clock reads in simulation code, no unordered-set iteration, no
+    inline latency constants, ...).  Each rule can be waived on a line
+    with a ``# repro: allow[rule-id]`` pragma.
+
+``repro.check.sanitizers``
+    Runtime invariant assertions -- flow conservation, event-ordering
+    monotonicity, FCFS service order, replica-placement validity --
+    compiled in behind the ``REPRO_SANITIZERS`` environment variable so
+    the hot paths stay free when disabled.
+
+``repro.check.determinism``
+    A double-execution probe: run a seeded experiment twice and demand
+    bit-identical serialized results.
+
+``python -m repro.check`` runs the lot and emits a JSON report; see
+``docs/checking.md``.
+"""
+
+from __future__ import annotations
+
+from repro.check.determinism import DeterminismProbe, determinism_probe
+from repro.check.lint import LintReport, Violation, lint_paths, lint_source
+from repro.check.report import CheckReport, run_checks
+from repro.check.rules import ALL_RULES, Rule, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "CheckReport",
+    "DeterminismProbe",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "determinism_probe",
+    "lint_paths",
+    "lint_source",
+    "rule_catalog",
+    "run_checks",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.check`` dispatch."""
+
+import sys
+
+from repro.check.cli import main
+
+sys.exit(main())

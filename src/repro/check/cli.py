@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro.check``.
+
+Runs the repo-specific linter over the source tree, the seeded
+double-execution determinism probe, and prints a human summary; with
+``--json`` the machine-readable report lands where CI can archive it.
+Exit status 0 iff everything passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.check.determinism import PROBE_WORKLOADS
+from repro.check.report import default_src_root, run_checks
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="determinism & invariant checks for the repro tree")
+    parser.add_argument(
+        "--src", type=Path, default=None,
+        help="directory containing the repro package "
+             "(default: the imported one)")
+    parser.add_argument(
+        "--lint-only", action="store_true",
+        help="skip the determinism probes")
+    parser.add_argument(
+        "--probe", action="append", choices=sorted(PROBE_WORKLOADS),
+        default=None, metavar="WORKLOAD",
+        help="probe workload(s) to double-run (default: fig8); "
+             "repeatable")
+    parser.add_argument(
+        "--runs", type=int, default=2,
+        help="executions per probe (default 2)")
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the probe runs (default 0)")
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable runtime sanitizers during the probe runs")
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the JSON report here ('-' for stdout)")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the human-readable summary")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    src = args.src if args.src is not None else default_src_root()
+    if not (src / "repro").is_dir():
+        print(f"error: {src} does not contain a 'repro' package",
+              file=sys.stderr)
+        return 2
+
+    if args.lint_only:
+        probes: List[str] = []
+    elif args.probe is not None:
+        probes = args.probe
+    else:
+        probes = ["fig8"]
+
+    if args.sanitize:
+        from repro.check import sanitizers
+
+        sanitizers.enable()
+
+    report = run_checks(src_root=src, probe_workloads=probes,
+                        seed=args.seed, runs=args.runs)
+    if args.json is not None:
+        payload = report.to_json()
+        if str(args.json) == "-":
+            print(payload)
+        else:
+            args.json.write_text(payload + "\n", encoding="utf-8")
+    if not args.quiet:
+        print(report.render())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Double-execution determinism probe.
+
+The strongest cheap evidence that a simulation is deterministic is to
+run it twice from the same seed and compare the *serialized* results
+byte for byte.  Hashing the JSON catches everything the result tables
+expose: event ordering, float accumulation order, RNG consumption and
+dict construction order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["DeterminismProbe", "determinism_probe", "PROBE_WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class DeterminismProbe:
+    """Outcome of one double-run probe."""
+
+    workload: str
+    runs: int
+    digests: List[str]
+    identical: bool
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"workload": self.workload, "runs": self.runs,
+                "digests": self.digests, "identical": self.identical,
+                "detail": self.detail}
+
+
+def _fig8_small(seed: int) -> str:
+    from repro.experiments import fig8
+
+    return fig8.run(scale=0.15, n_intervals=3, seed=seed).to_json()
+
+
+def _table3_small(seed: int) -> str:
+    from repro.experiments import table3
+
+    return table3.run(total_requests=200, seed=seed).to_json()
+
+
+def _selfcheck_small(seed: int) -> str:
+    from repro.core.qos import QoSFlashArray
+    from repro.core.selfcheck import self_check
+
+    qos = QoSFlashArray(n_devices=9, replication=3, accesses=1)
+    return self_check(qos, trials=20, seed=seed).render()
+
+
+#: name -> callable(seed) -> serialized result string
+PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
+    "fig8": _fig8_small,
+    "table3": _table3_small,
+    "selfcheck": _selfcheck_small,
+}
+
+
+def determinism_probe(workload: str = "fig8", seed: int = 0,
+                      runs: int = 2,
+                      runner: Optional[Callable[[int], str]] = None,
+                      ) -> DeterminismProbe:
+    """Run ``workload`` ``runs`` times from ``seed``; demand identity.
+
+    Parameters
+    ----------
+    workload:
+        Key into :data:`PROBE_WORKLOADS` (ignored when ``runner`` is
+        given, except as the label).
+    runner:
+        Override callable ``seed -> serialized-result`` for tests.
+    """
+    if runs < 2:
+        raise ValueError("a determinism probe needs at least 2 runs")
+    if runner is None:
+        if workload not in PROBE_WORKLOADS:
+            raise ValueError(
+                f"unknown probe workload {workload!r}; "
+                f"choose from {sorted(PROBE_WORKLOADS)}")
+        runner = PROBE_WORKLOADS[workload]
+    digests = []
+    for _ in range(runs):
+        payload = runner(seed)
+        digests.append(hashlib.sha256(
+            payload.encode("utf-8")).hexdigest())
+    identical = len(set(digests)) == 1
+    detail = (f"{runs} seeded runs bit-identical "
+              f"(sha256 {digests[0][:12]}...)" if identical else
+              f"digests diverge across {runs} runs: {digests}")
+    return DeterminismProbe(workload=workload, runs=runs,
+                            digests=digests, identical=identical,
+                            detail=detail)

@@ -1,0 +1,177 @@
+"""The lint engine: parse, run rules, honour allowlist pragmas.
+
+A rule flags *syntactic* witnesses of the property it protects -- it
+never executes the code under test.  False positives are expected to be
+rare and are silenced in place with an allowlist pragma on the offending
+line (or the line directly above it)::
+
+    t = time.time()  # repro: allow[wall-clock]
+
+    # repro: allow[set-iteration,magic-latency]
+    for d in {0, 1, 2}: ...
+
+The pragma names one or more rule ids (comma-separated) or ``*`` for a
+blanket waiver.  Waivers are deliberately line-scoped: a file- or
+package-level opt-out would defeat the point of review-time checking.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = ["Violation", "LintContext", "LintReport",
+           "lint_source", "lint_paths", "iter_python_files",
+           "module_name_for"]
+
+#: ``# repro: allow[rule-a,rule-b]`` or ``# repro: allow[*]``
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([\w\-*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule_id, "path": self.path,
+                "line": self.line, "message": self.message}
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.AST
+    #: line number -> rule ids waived on that line ("*" waives all)
+    allowed: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_allowed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is waived on ``line`` (or the line above)."""
+        for candidate in (line, line - 1):
+            ids = self.allowed.get(candidate)
+            if ids and ("*" in ids or rule_id in ids):
+                return True
+        return False
+
+    def in_package(self, prefixes: Optional[Sequence[str]]) -> bool:
+        """True if this module falls under one of ``prefixes``.
+
+        ``None`` means the rule applies everywhere.
+        """
+        if prefixes is None:
+            return True
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting a set of files."""
+
+    violations: List[Violation]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.violations]
+        lines.append(f"{len(self.violations)} violation(s) in "
+                     f"{self.files_checked} file(s)")
+        return "\n".join(lines)
+
+
+def _collect_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Map line numbers to the rule ids their pragmas waive.
+
+    Pragmas are read from real COMMENT tokens so that pragma-shaped
+    text inside string literals does not waive anything.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")
+                   if part.strip()}
+            allowed.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenError:  # pragma: no cover - unparsable file
+        pass
+    return allowed
+
+
+def lint_source(source: str, *, path: str = "<string>",
+                module: str = "repro", rules=None) -> List[Violation]:
+    """Lint one source string; the unit used by the rule tests."""
+    from repro.check.rules import ALL_RULES
+
+    tree = ast.parse(source, filename=path)
+    ctx = LintContext(path=path, module=module, source=source, tree=tree,
+                      allowed=_collect_pragmas(source))
+    out: List[Violation] = []
+    for rule in (rules if rules is not None else ALL_RULES):
+        if not ctx.in_package(rule.scope):
+            continue
+        for violation in rule.check(ctx):
+            if not ctx.is_allowed(violation.rule_id, violation.line):
+                out.append(violation)
+    out.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return out
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the source ``root``.
+
+    ``root`` is the directory *containing* the top-level package (e.g.
+    ``src``), so ``src/repro/sim/core.py`` maps to ``repro.sim.core``.
+    """
+    rel = path.resolve().relative_to(root.resolve())
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    """All ``.py`` files under ``root``, sorted for stable reports."""
+    return sorted(p for p in root.rglob("*.py")
+                  if "__pycache__" not in p.parts)
+
+
+def lint_paths(src_root: Path, rules=None) -> LintReport:
+    """Lint every Python file under ``src_root`` (e.g. ``src/``)."""
+    violations: List[Violation] = []
+    count = 0
+    for path in iter_python_files(src_root):
+        count += 1
+        module = module_name_for(path, src_root)
+        source = path.read_text(encoding="utf-8")
+        try:
+            rel = str(path.relative_to(src_root.parent))
+        except ValueError:  # pragma: no cover - root at filesystem top
+            rel = str(path)
+        violations.extend(
+            lint_source(source, path=rel, module=module, rules=rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return LintReport(violations=violations, files_checked=count)

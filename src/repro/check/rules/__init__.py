@@ -1,0 +1,74 @@
+"""The lint rule catalog.
+
+Rules are small AST visitors grouped by the invariant they protect:
+
+* :mod:`repro.check.rules.determinism` -- seeded randomness and no
+  wall-clock reads inside simulation-critical packages;
+* :mod:`repro.check.rules.ordering` -- no iteration order drawn from
+  unordered containers or the salted ``hash``;
+* :mod:`repro.check.rules.constants` -- device latency constants flow
+  through :mod:`repro.flash.params`, never inline;
+* :mod:`repro.check.rules.hygiene` -- no mutable default arguments or
+  bare ``except`` in the package.
+
+Every rule has a stable kebab-case ``rule_id`` (the pragma key), a
+one-line ``title``, a ``rationale`` and a ``scope`` -- the package
+prefixes it applies to (``None`` = all of ``repro``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.check.lint import LintContext, Violation
+
+__all__ = ["Rule", "ALL_RULES", "RULES_BY_ID", "rule_catalog",
+           "SIM_CRITICAL"]
+
+#: Packages whose behaviour feeds simulated time and event ordering.
+SIM_CRITICAL = ("repro.sim", "repro.flash", "repro.retrieval",
+                "repro.traces")
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement ``check``."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    #: package prefixes the rule applies to; ``None`` = everywhere
+    scope: Optional[Sequence[str]] = None
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: LintContext, line: int,
+                  message: str) -> Violation:
+        return Violation(rule_id=self.rule_id, path=ctx.path,
+                         line=line, message=message)
+
+    def describe(self) -> Dict[str, object]:
+        return {"id": self.rule_id, "title": self.title,
+                "rationale": self.rationale,
+                "scope": list(self.scope) if self.scope else "repro"}
+
+
+def _build_registry() -> List[Rule]:
+    from repro.check.rules import constants, determinism, hygiene, ordering
+
+    rules: List[Rule] = []
+    for module in (determinism, ordering, constants, hygiene):
+        rules.extend(cls() for cls in module.RULES)
+    ids = [r.rule_id for r in rules]
+    if len(ids) != len(set(ids)):  # pragma: no cover - registry bug
+        raise RuntimeError(f"duplicate rule ids: {ids}")
+    return rules
+
+
+ALL_RULES: List[Rule] = _build_registry()
+RULES_BY_ID: Dict[str, Rule] = {r.rule_id: r for r in ALL_RULES}
+
+
+def rule_catalog() -> List[Dict[str, object]]:
+    """Machine-readable catalog (embedded in the JSON report)."""
+    return [r.describe() for r in ALL_RULES]

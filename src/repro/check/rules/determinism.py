@@ -1,0 +1,190 @@
+"""Rules protecting seeded, replayable randomness.
+
+A reproduction whose benchmark numbers move between runs cannot support
+the paper's claims.  Randomness is welcome -- but only through an
+explicitly seeded generator that the caller controls, and never from
+the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.check.lint import LintContext, Violation
+from repro.check.rules import Rule, SIM_CRITICAL
+
+__all__ = ["UnseededRng", "WallClock", "GlobalRngSeed",
+           "SeedDefaultNone", "RULES"]
+
+#: attribute access spelled out, e.g. ``np.random.default_rng`` ->
+#: ("np", "random", "default_rng")
+def _dotted(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+#: order-independent members of ``numpy.random`` that do not touch the
+#: legacy global state
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64",
+                 "Philox", "BitGenerator", "RandomState"}
+
+#: stdlib ``random`` module functions backed by the hidden global Twister
+_STDLIB_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "paretovariate",
+    "weibullvariate", "triangular", "vonmisesvariate", "getrandbits",
+    "randbytes",
+}
+
+
+class UnseededRng(Rule):
+    """No unseeded or global-state RNG in simulation-critical code."""
+
+    rule_id = "unseeded-rng"
+    title = "RNG must be an explicitly seeded Generator"
+    rationale = ("Unseeded generators and the hidden global state of "
+                 "numpy.random/* and random.* make trace generation and "
+                 "scheduling irreproducible between runs.")
+    scope = SIM_CRITICAL
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            # np.random.default_rng() with no seed argument
+            if (len(dotted) == 3 and dotted[0] in _NUMPY_ALIASES
+                    and dotted[1] == "random"
+                    and dotted[2] == "default_rng"
+                    and not node.args and not node.keywords):
+                yield self.violation(
+                    ctx, node.lineno,
+                    "default_rng() without a seed is entropy-seeded; "
+                    "pass an explicit seed or SeedSequence")
+            # legacy numpy global state: np.random.rand / choice / ...
+            elif (len(dotted) == 3 and dotted[0] in _NUMPY_ALIASES
+                    and dotted[1] == "random"
+                    and dotted[2] not in _NP_RANDOM_OK
+                    and dotted[2] != "seed"):
+                yield self.violation(
+                    ctx, node.lineno,
+                    f"numpy.random.{dotted[2]} uses the hidden global "
+                    f"RandomState; use a seeded default_rng(...) instead")
+            # stdlib module-level random.* (random.Random(...) is fine)
+            elif (len(dotted) == 2 and dotted[0] == "random"
+                    and dotted[1] in _STDLIB_RANDOM_FNS):
+                yield self.violation(
+                    ctx, node.lineno,
+                    f"random.{dotted[1]} draws from the process-global "
+                    f"Twister; use random.Random(seed) or a numpy "
+                    f"Generator")
+
+
+_TIME_FNS = {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns", "process_time",
+             "process_time_ns"}
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+
+class WallClock(Rule):
+    """No wall-clock reads in simulation-critical code."""
+
+    rule_id = "wall-clock"
+    title = "simulated time must come from Environment.now"
+    rationale = ("time.time()/datetime.now() leak host timing into the "
+                 "model; simulation code must read the virtual clock so "
+                 "runs replay bit-identically.")
+    scope = SIM_CRITICAL
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None or len(dotted) < 2:
+                continue
+            if dotted[0] == "time" and dotted[-1] in _TIME_FNS \
+                    and len(dotted) == 2:
+                yield self.violation(
+                    ctx, node.lineno,
+                    f"time.{dotted[-1]}() reads the host clock; derive "
+                    f"timing from the simulation Environment")
+            elif (dotted[-1] in _DATETIME_FNS
+                    and dotted[0] in {"datetime", "date"}):
+                yield self.violation(
+                    ctx, node.lineno,
+                    f"{'.'.join(dotted)}() reads the host clock; "
+                    f"simulation state must not depend on it")
+
+
+class GlobalRngSeed(Rule):
+    """Never reseed process-global RNG state."""
+
+    rule_id = "global-rng-seed"
+    title = "no np.random.seed / random.seed"
+    rationale = ("Reseeding the global state couples unrelated modules "
+                 "through hidden shared state; every component owns its "
+                 "own Generator instead.")
+    scope = None  # everywhere: global state is global
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if (dotted == ("random", "seed")
+                    or (len(dotted) == 3 and dotted[0] in _NUMPY_ALIASES
+                        and dotted[1:] == ("random", "seed"))):
+                yield self.violation(
+                    ctx, node.lineno,
+                    f"{'.'.join(dotted)}(...) mutates process-global RNG "
+                    f"state; construct a local seeded Generator")
+
+
+class SeedDefaultNone(Rule):
+    """Public seeds default to a number, not to entropy."""
+
+    rule_id = "seed-default-none"
+    title = "seed/rng parameters must not default to None"
+    rationale = ("`seed=None` silently falls back to OS entropy, so the "
+                 "default call is the one call that never reproduces; "
+                 "default to an integer and let callers vary it.")
+    scope = SIM_CRITICAL
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            pos = args.posonlyargs + args.args
+            pairs = list(zip(pos[len(pos) - len(args.defaults):],
+                             args.defaults))
+            pairs += [(a, d) for a, d in zip(args.kwonlyargs,
+                                             args.kw_defaults)
+                      if d is not None]
+            for arg, default in pairs:
+                if arg.arg in {"seed", "rng"} \
+                        and isinstance(default, ast.Constant) \
+                        and default.value is None:
+                    yield self.violation(
+                        ctx, default.lineno,
+                        f"parameter '{arg.arg}' defaults to None "
+                        f"(entropy-seeded); default to an integer seed")
+
+
+RULES = [UnseededRng, WallClock, GlobalRngSeed, SeedDefaultNone]

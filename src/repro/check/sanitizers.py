@@ -1,0 +1,180 @@
+"""Runtime invariant sanitizers (opt-in, zero-cost when off).
+
+Static analysis cannot prove flow conservation or event-ordering
+monotonicity -- those are properties of *runs*.  This module provides
+assertion batteries that the hot paths consult behind a single module
+flag:
+
+* flow conservation and capacity respect after every max-flow solve
+  (:mod:`repro.graph.dinic`);
+* schedule validity -- every request served by one of its replica
+  devices, no device over its access budget
+  (:mod:`repro.retrieval.maxflow`);
+* event-ordering monotonicity in the DES kernel
+  (:mod:`repro.sim.core`);
+* FCFS service order in :class:`repro.flash.module.FlashModule`;
+* replica-placement validity (pairwise balance included) after every
+  allocation construction, surfaced through
+  :func:`repro.core.selfcheck.self_check`.
+
+Enable with the environment variable ``REPRO_SANITIZERS=1``, the CLI
+flag ``python -m repro.check --sanitize ...``, or programmatically::
+
+    from repro.check import sanitizers
+    with sanitizers.sanitized():
+        qos.run_online(...)
+
+A tripped invariant raises :class:`SanitizerError` (an
+``AssertionError`` subclass, so ``pytest.raises(AssertionError)``
+works too).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Tuple
+
+__all__ = ["SanitizerError", "ACTIVE", "enable", "disable", "sanitized",
+           "check_flow_conservation", "check_schedule",
+           "check_event_order", "check_fcfs_order", "check_allocation"]
+
+
+class SanitizerError(AssertionError):
+    """A runtime invariant of the reproduction was violated."""
+
+
+def _env_active() -> bool:
+    return os.environ.get("REPRO_SANITIZERS", "").strip().lower() \
+        not in ("", "0", "false", "off", "no")
+
+
+#: The master switch. Hot paths read this module attribute directly
+#: (``if sanitizers.ACTIVE:``), so the disabled cost is one attribute
+#: load and a falsy branch per checkpoint.
+ACTIVE: bool = _env_active()
+
+
+def enable() -> None:
+    """Turn all sanitizers on for this process."""
+    global ACTIVE
+    ACTIVE = True
+
+
+def disable() -> None:
+    """Turn all sanitizers off."""
+    global ACTIVE
+    ACTIVE = False
+
+
+@contextmanager
+def sanitized(active: bool = True) -> Iterator[None]:
+    """Scoped enable (or disable, with ``active=False``)."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = active
+    try:
+        yield
+    finally:
+        ACTIVE = previous
+
+
+def _fail(message: str) -> None:
+    raise SanitizerError(message)
+
+
+# -- flow networks -------------------------------------------------------
+
+def check_flow_conservation(net, source: int, sink: int) -> None:
+    """Assert conservation and capacity respect on a solved network.
+
+    For every forward edge, ``0 <= flow <= capacity``; for every node
+    other than the terminals, inflow equals outflow; and the source's
+    net outflow equals the sink's net inflow.
+    """
+    n = net.n_nodes
+    balance = [0] * n
+    for edge in range(0, 2 * net.n_edges, 2):
+        flow = net.flow_on(edge)
+        residual = net.residual_capacity(edge)
+        if flow < 0:
+            _fail(f"edge {edge}: negative flow {flow}")
+        if residual < 0:
+            _fail(f"edge {edge}: negative residual capacity {residual}")
+        u = net._to[edge ^ 1]
+        v = net._to[edge]
+        balance[u] -= flow
+        balance[v] += flow
+    for node in range(n):
+        if node in (source, sink):
+            continue
+        if balance[node] != 0:
+            _fail(f"flow conservation violated at node {node}: "
+                  f"net imbalance {balance[node]}")
+    if balance[source] != -balance[sink]:
+        _fail(f"terminal imbalance: source {balance[source]} vs "
+              f"sink {balance[sink]}")
+
+
+def check_schedule(candidates: Sequence[Sequence[int]],
+                   assignment: Sequence[int],
+                   capacities) -> None:
+    """Assert a retrieval assignment is feasible.
+
+    ``capacities`` is either one integer budget for every device or a
+    per-device sequence (the carry-aware driver's residuals).
+    """
+    loads: dict = {}
+    for i, device in enumerate(assignment):
+        if device not in tuple(candidates[i]):
+            _fail(f"request {i} scheduled on device {device}, not one "
+                  f"of its replicas {tuple(candidates[i])}")
+        loads[device] = loads.get(device, 0) + 1
+    for device in sorted(loads):
+        cap = capacities[device] \
+            if hasattr(capacities, "__getitem__") else capacities
+        if loads[device] > cap:
+            _fail(f"device {device} assigned {loads[device]} requests, "
+                  f"capacity {cap}")
+
+
+# -- event kernel --------------------------------------------------------
+
+def check_event_order(last: Optional[Tuple[float, int]],
+                      current: Tuple[float, int]) -> None:
+    """Assert events leave the queue in ``(time, seq)`` order."""
+    if last is not None and current < last:
+        _fail(f"event popped out of order: {current} after {last} "
+              f"(queue invariant broken)")
+
+
+def check_fcfs_order(module_id: int, previous_enqueued: Optional[float],
+                     enqueued: float) -> None:
+    """Assert a FIFO module serves in arrival order."""
+    if previous_enqueued is not None and enqueued < previous_enqueued:
+        _fail(f"module {module_id} served a request enqueued at "
+              f"{enqueued} after one enqueued at {previous_enqueued} "
+              f"(FCFS violated)")
+
+
+# -- allocations ---------------------------------------------------------
+
+def check_allocation(alloc) -> None:
+    """Assert replica-placement validity of an allocation scheme.
+
+    Structural validity (replica count, distinct in-range devices) via
+    :meth:`AllocationScheme.validate`, plus pairwise balance of the
+    underlying design when the scheme exposes one.
+    """
+    from repro.designs.verify import verify_design
+
+    try:
+        alloc.validate()
+    except ValueError as exc:
+        _fail(f"allocation structurally invalid: {exc}")
+    design = getattr(alloc, "design", None)
+    if design is not None:
+        try:
+            verify_design(design)
+        except ValueError as exc:
+            _fail(f"allocation design loses pairwise balance: {exc}")

@@ -10,7 +10,11 @@ a battery over a :class:`~repro.core.qos.QoSFlashArray`:
 3. **timing probe** -- a short simulated run must complete every
    request within the guarantee;
 4. **capacity sanity** -- the admission ceiling must not exceed what
-   the devices can physically serve.
+   the devices can physically serve;
+5. **sanitizer battery** -- replica-placement validity, flow
+   conservation and event-ordering are re-exercised with
+   :mod:`repro.check.sanitizers` force-enabled, so a corrupted
+   configuration trips an invariant rather than skewing numbers.
 
 Each check returns a :class:`CheckResult`; the battery passes only if
 all do.
@@ -123,4 +127,44 @@ def self_check(qos, trials: int = 200, seed: int = 0) -> SelfCheckReport:
         "capacity sanity", s <= physical,
         f"admission S={s} vs physical ceiling N*M={physical}"))
 
+    # 5. sanitizer battery: invariants re-checked at runtime
+    checks.append(_sanitizer_battery(qos, probe_size, seed))
+
     return SelfCheckReport(checks)
+
+
+def _sanitizer_battery(qos, probe_size: int, seed: int) -> CheckResult:
+    """Exercise the runtime sanitizers over this configuration.
+
+    With :mod:`repro.check.sanitizers` force-enabled, validate the
+    allocation's replica placement, schedule one random batch (flow
+    conservation + capacity respect fire inside the solvers), and
+    replay a tiny trace (event-ordering and FCFS monotonicity fire
+    inside the kernel).
+    """
+    from repro.check import sanitizers
+    from repro.retrieval.maxflow import maxflow_retrieval
+    from repro.traces.synthetic import synthetic_trace
+
+    alloc = qos.allocation
+    try:
+        with sanitizers.sanitized():
+            sanitizers.check_allocation(alloc)
+            if probe_size >= 1:
+                rng = np.random.default_rng(seed)
+                picks = rng.choice(alloc.n_buckets, size=probe_size,
+                                   replace=False)
+                maxflow_retrieval(
+                    [alloc.devices_for(int(b)) for b in picks],
+                    alloc.n_devices)
+                trace = synthetic_trace(probe_size, qos.interval_ms,
+                                        n_blocks_pool=alloc.n_buckets,
+                                        total_requests=probe_size * 5,
+                                        seed=seed)
+                qos.run_online(trace.arrival_ms, trace.block)
+    except sanitizers.SanitizerError as exc:
+        return CheckResult("sanitizer battery", False, str(exc))
+    return CheckResult(
+        "sanitizer battery", True,
+        "placement, flow conservation, event order and FCFS invariants "
+        "held under runtime sanitizers")

@@ -39,6 +39,7 @@ from repro.allocation import (
 )
 from repro.core.guarantees import guarantee_capacity
 from repro.experiments.common import ExperimentResult
+from repro.flash.params import MSR_SSD_PARAMS
 from repro.mining.apriori import apriori
 from repro.mining.matching import FIMBlockMatcher
 from repro.mining.transactions import transactions_from_trace
@@ -330,7 +331,7 @@ def heterogeneous_retrieval(slow_factor: float = 3.0,
 
     alloc = DesignTheoreticAllocation.from_parameters(9, 3)
     blocks = [alloc.devices_for(b) for b in range(36)]
-    base = 0.132507
+    base = MSR_SSD_PARAMS.read_ms
     service = [base * slow_factor if d < n_slow else base
                for d in range(9)]
     rng = np.random.default_rng(seed)
@@ -584,11 +585,18 @@ def fim_history(history_lengths=(1, 2, 4, 8), scale: float = 0.5,
     )
 
 
-def run() -> List[ExperimentResult]:
-    """All ablations with default parameters."""
-    return [copy_count(), device_count(), allocation_zoo(),
-            query_types(), retrieval_cost(), fim_support(),
-            fim_history(), write_interference(),
-            failure_degradation(), heterogeneous_retrieval(),
-            intra_module_parallelism(), rule_prefetching(),
-            rebuild_tradeoff(), flash_vs_hdd(), adaptive_epsilon()]
+def run(seed: int = 0) -> List[ExperimentResult]:
+    """All ablations with default parameters, seeded from one root.
+
+    ``copy_count``, ``device_count`` and ``intra_module_parallelism``
+    are exhaustive (no sampling), so they take no seed.
+    """
+    return [copy_count(), device_count(), allocation_zoo(seed=seed),
+            query_types(seed=seed), retrieval_cost(seed=seed),
+            fim_support(seed=seed), fim_history(seed=seed),
+            write_interference(seed=seed),
+            failure_degradation(seed=seed),
+            heterogeneous_retrieval(seed=seed),
+            intra_module_parallelism(), rule_prefetching(seed=seed),
+            rebuild_tradeoff(seed=seed), flash_vs_hdd(seed=seed),
+            adaptive_epsilon(seed=seed + 1)]

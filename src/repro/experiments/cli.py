@@ -26,22 +26,33 @@ from repro.experiments import (
 
 __all__ = ["main", "RUNNERS"]
 
+#: every runner takes ``(fast, seed)`` so the CLI's ``--seed`` threads
+#: through to the generators instead of relying on module defaults
 RUNNERS: Dict[str, Callable] = {
-    "table2": lambda fast: table2.run(samples=500 if fast else 4000),
-    "table3": lambda fast: table3.run(
-        total_requests=1000 if fast else 10_000),
-    "table4": lambda fast: table4.run(scale=0.3 if fast else 1.0),
-    "fig4": lambda fast: fig4.run(trials=300 if fast else 3000),
-    "fig6": lambda fast: fig6.run(scale=0.2 if fast else 0.5),
-    "fig8": lambda fast: fig8.run(scale=0.2 if fast else 0.5,
-                                  n_intervals=8 if fast else 24),
-    "fig9": lambda fast: fig9.run(scale=0.2 if fast else 0.5),
-    "fig10": lambda fast: fig10.run(scale=0.15 if fast else 0.4,
-                                    n_intervals=6 if fast else 16),
-    "fig11": lambda fast: fig11.run(scale=0.2 if fast else 0.5,
-                                    n_intervals=8 if fast else 24),
-    "fig12": lambda fast: fig12.run(scale=0.15 if fast else 0.4,
-                                    n_intervals=6 if fast else 12),
+    "table2": lambda fast, seed=0: table2.run(
+        samples=500 if fast else 4000, seed=seed),
+    "table3": lambda fast, seed=0: table3.run(
+        total_requests=1000 if fast else 10_000, seed=seed),
+    "table4": lambda fast, seed=0: table4.run(
+        scale=0.3 if fast else 1.0, seed=seed),
+    "fig4": lambda fast, seed=0: fig4.run(
+        trials=300 if fast else 3000, seed=seed),
+    "fig6": lambda fast, seed=0: fig6.run(
+        scale=0.2 if fast else 0.5, seed=seed),
+    "fig8": lambda fast, seed=0: fig8.run(
+        scale=0.2 if fast else 0.5, n_intervals=8 if fast else 24,
+        seed=seed),
+    "fig9": lambda fast, seed=0: fig9.run(
+        scale=0.2 if fast else 0.5, seed=seed),
+    "fig10": lambda fast, seed=0: fig10.run(
+        scale=0.15 if fast else 0.4, n_intervals=6 if fast else 16,
+        seed=seed),
+    "fig11": lambda fast, seed=0: fig11.run(
+        scale=0.2 if fast else 0.5, n_intervals=8 if fast else 24,
+        seed=seed),
+    "fig12": lambda fast, seed=0: fig12.run(
+        scale=0.15 if fast else 0.4, n_intervals=6 if fast else 12,
+        seed=seed),
 }
 
 
@@ -85,6 +96,8 @@ def main(argv: List[str] | None = None) -> int:
                         help="which artefacts to regenerate")
     parser.add_argument("--fast", action="store_true",
                         help="smaller workloads for a quick look")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root RNG seed threaded to every runner")
     parser.add_argument("--chart", action="store_true",
                         help="append ASCII sparkline charts to figures")
     parser.add_argument("--out", metavar="DIR",
@@ -115,10 +128,10 @@ def main(argv: List[str] | None = None) -> int:
         wanted = [*RUNNERS, "ablations"]
     for name in wanted:
         if name == "ablations":
-            for i, result in enumerate(ablations.run()):
+            for i, result in enumerate(ablations.run(seed=args.seed)):
                 emit(f"ablation_{i}", result)
             continue
-        emit(name, RUNNERS[name](args.fast))
+        emit(name, RUNNERS[name](args.fast, seed=args.seed))
     return 0
 
 

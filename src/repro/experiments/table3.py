@@ -18,6 +18,7 @@ from repro.allocation.design_theoretic import DesignTheoreticAllocation
 from repro.allocation.raid1 import Raid1Chained, Raid1Mirrored
 from repro.experiments.common import ExperimentResult
 from repro.flash.driver import BatchTracePlayer
+from repro.flash.params import MSR_SSD_PARAMS
 from repro.traces.synthetic import TABLE3_WORKLOADS, synthetic_trace
 
 __all__ = ["run", "schemes", "PAPER_NOTES"]
@@ -62,7 +63,7 @@ def run(total_requests: int = 10_000, seed: int = 0,
             player = BatchTracePlayer(alloc, interval, retrieval=mode)
             series, _ = player.play(trace.arrival_ms, trace.block)
             st = series.overall()
-            guarantee = (row_idx + 1) * 0.132507
+            guarantee = (row_idx + 1) * MSR_SSD_PARAMS.read_ms
             rows.append([reqs, interval, name,
                          round(st.avg, 6), round(st.std, 6),
                          round(st.max, 6),

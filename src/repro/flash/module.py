@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.check import sanitizers
 from repro.flash.params import FlashParams
 from repro.sim import Environment, Store
 from repro.sim.resources import PriorityStore
@@ -50,6 +51,9 @@ class FlashModule:
         self.busy = False
         self.n_served = 0
         self.busy_time = 0.0
+        #: enqueue time of the last request taken into service; the
+        #: FCFS sanitizer asserts this never regresses on FIFO queues
+        self._last_enqueued: Optional[float] = None
         env.process(self._service_loop())
 
     def submit(self, request: "IORequest") -> None:
@@ -73,6 +77,12 @@ class FlashModule:
     def _service_loop(self):
         while True:
             request = yield self.queue.get()
+            if sanitizers.ACTIVE \
+                    and not isinstance(self.queue, PriorityStore):
+                sanitizers.check_fcfs_order(
+                    self.module_id, self._last_enqueued,
+                    request.enqueued_at)
+                self._last_enqueued = request.enqueued_at
             self.busy = True
             request.started_at = self.env.now
             service = self.params.service_ms(request.is_read,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import List
 
+from repro.check import sanitizers
 from repro.graph.flownet import FlowNetwork
 
 __all__ = ["max_flow"]
@@ -90,4 +91,6 @@ def max_flow(net: FlowNetwork, source: int, sink: int,
             if sent <= 0:
                 break
             total += sent
+    if sanitizers.ACTIVE:
+        sanitizers.check_flow_conservation(net, source, sink)
     return int(total)

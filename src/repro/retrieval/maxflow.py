@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.check import sanitizers
 from repro.graph.kuhn import capacitated_assignment
 from repro.retrieval.schedule import RetrievalSchedule, optimal_accesses
 
@@ -47,6 +48,8 @@ def maxflow_retrieval(candidates: Sequence[Sequence[int]],
     while True:
         assignment = capacitated_assignment(candidates, n_devices, m)
         if assignment is not None:
+            if sanitizers.ACTIVE:
+                sanitizers.check_schedule(candidates, assignment, m)
             return RetrievalSchedule(tuple(assignment), n_devices)
         m += 1
         if m > b:  # pragma: no cover - any non-empty candidates terminate
@@ -89,6 +92,9 @@ def maxflow_retrieval_with_carry(candidates: Sequence[Sequence[int]],
             assignment = _variable_capacity_assignment(
                 pruned, n_devices, residual)
             if assignment is not None:
+                if sanitizers.ACTIVE:
+                    sanitizers.check_schedule(candidates, assignment,
+                                              residual)
                 return RetrievalSchedule(tuple(assignment), n_devices)
         m += 1
         if m > b + max(carry_units):  # pragma: no cover

@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Tuple
 
+from repro.check import sanitizers
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
 
@@ -52,6 +53,9 @@ class Environment:
         #: for simulation models (see docs/architecture.md)
         self.trace_log: Optional[List[Tuple[float, str]]] = \
             [] if trace else None
+        #: last ``(time, seq)`` popped; the event-ordering sanitizer
+        #: asserts pops never regress on this key
+        self._last_key: Optional[Tuple[float, int]] = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -97,7 +101,10 @@ class Environment:
         """
         if not self._queue:
             raise EmptySchedule()
-        when, _, event = heapq.heappop(self._queue)
+        when, seq, event = heapq.heappop(self._queue)
+        if sanitizers.ACTIVE:
+            sanitizers.check_event_order(self._last_key, (when, seq))
+            self._last_key = (when, seq)
         if when < self._now:  # pragma: no cover - guarded by Timeout ctor
             raise RuntimeError("event scheduled in the past")
         self._now = when

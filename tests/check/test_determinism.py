@@ -1,0 +1,63 @@
+"""Determinism double-run probes."""
+
+import pytest
+
+from repro.check.determinism import (
+    PROBE_WORKLOADS,
+    determinism_probe,
+)
+
+
+def test_fig8_double_run_is_bit_identical():
+    probe = determinism_probe("fig8", seed=0)
+    assert probe.identical
+    assert probe.runs == 2
+    assert len(set(probe.digests)) == 1
+    assert "bit-identical" in probe.detail
+
+
+def test_selfcheck_probe_is_bit_identical():
+    probe = determinism_probe("selfcheck", seed=3)
+    assert probe.identical
+
+
+def test_probe_detects_nondeterminism():
+    # a runner that consumes fresh entropy every call must be caught
+    import numpy as np
+
+    counter = iter(range(1000))
+
+    def noisy_runner(seed):
+        return f"{seed}:{next(counter)}:{np.random.default_rng(next(counter)).random()}"
+
+    probe = determinism_probe("fig8", seed=0, runner=noisy_runner)
+    assert not probe.identical
+    assert "diverge" in probe.detail
+
+
+def test_probe_requires_two_runs():
+    with pytest.raises(ValueError):
+        determinism_probe("fig8", runs=1)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError, match="unknown probe workload"):
+        determinism_probe("no-such-workload")
+
+
+def test_probe_registry_names():
+    assert {"fig8", "table3", "selfcheck"} <= set(PROBE_WORKLOADS)
+
+
+def test_probe_seed_changes_digest():
+    a = determinism_probe("fig8", seed=0)
+    b = determinism_probe("fig8", seed=1)
+    assert a.digests[0] != b.digests[0]
+
+
+def test_probe_to_dict_round_trip():
+    probe = determinism_probe("fig8", seed=0)
+    d = probe.to_dict()
+    assert d["workload"] == "fig8"
+    assert d["identical"] is True
+    assert len(d["digests"]) == 2

@@ -26,7 +26,10 @@ class TestSelfCheck:
     def test_healthy_configuration_passes(self):
         report = QoSFlashArray().self_check(trials=100)
         assert report.passed
-        assert len(report.checks) == 4
+        assert len(report.checks) == 5
+        battery = next(c for c in report.checks
+                       if c.name == "sanitizer battery")
+        assert battery.passed
 
     def test_degraded_configuration_passes(self):
         qos = QoSFlashArray()

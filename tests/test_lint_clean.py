@@ -1,0 +1,19 @@
+"""The lint gate: the source tree must be clean of repro.check rules.
+
+This is the CI hook the ISSUE calls for -- any rule violation in
+``src/`` fails the ordinary test run, so nondeterminism and invariant
+hazards are caught at review time.  Waive a deliberate exception in
+place with ``# repro: allow[rule-id]`` (see docs/checking.md), never by
+editing this test.
+"""
+
+from repro.check.lint import lint_paths
+from repro.check.report import default_src_root
+
+
+def test_source_tree_is_lint_clean():
+    report = lint_paths(default_src_root())
+    assert report.files_checked > 100
+    assert report.clean, (
+        "repro.check lint violations (fix or pragma-waive in place):\n"
+        + report.render())
