@@ -52,11 +52,52 @@ def _selfcheck_small(seed: int) -> str:
     return self_check(qos, trials=20, seed=seed).render()
 
 
+def _runner_small(seed: int) -> str:
+    """fig8 through a 2-worker process pool (uncached).
+
+    Identity across runs proves the parallel fan-out is as
+    deterministic as the serial path: per-cell seeds are derived in
+    the parent and results are reassembled in submission order.
+    """
+    from repro.experiments import fig8
+    from repro.runner import ParallelRunner
+
+    runner = ParallelRunner(jobs=2, cache=None)
+    return fig8.run(scale=0.15, n_intervals=3, seed=seed,
+                    runner=runner).to_json()
+
+
+def _fastpath_small(seed: int) -> str:
+    """Vectorized playback vs the DES on the same trace.
+
+    Raises if the two engines disagree on any sample (float-exact),
+    so a divergence fails the probe outright; the returned payload
+    then guards both engines' determinism across runs.
+    """
+    from repro.experiments.common import play_original
+    from repro.experiments.fig8 import make_parts
+
+    parts = make_parts("exchange", 0.15, 3, seed)
+    payload = []
+    for engine in ("fast", "des"):
+        series = play_original(parts, 13, engine=engine)
+        payload.append(";".join(
+            f"{i}:{series.stats(i).n_total}:"
+            f"{series.stats(i).samples!r}"
+            for i in series.intervals()))
+    if payload[0] != payload[1]:
+        raise ValueError(
+            "fast playback diverged from the DES on the probe trace")
+    return "|".join(payload)
+
+
 #: name -> callable(seed) -> serialized result string
 PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "fig8": _fig8_small,
     "table3": _table3_small,
     "selfcheck": _selfcheck_small,
+    "runner": _runner_small,
+    "fastpath": _fastpath_small,
 }
 
 

@@ -104,13 +104,18 @@ class QoSFlashArray:
         Flash timing; defaults to the paper's MSR SSD constants.
     sampler_trials, seed:
         Monte-Carlo settings for the ``P_k`` estimation.
+    engine:
+        Playback engine: ``"auto"`` (closed-form fast path when the
+        configuration is eligible, DES otherwise), ``"des"`` or
+        ``"fast"`` -- see :func:`repro.flash.driver.resolve_engine`.
     """
 
     def __init__(self, n_devices: int = 9, replication: int = 3,
                  interval_ms: float = 0.133, accesses: Optional[int] = None,
                  epsilon: float = 0.0,
                  params: Optional[FlashParams] = None,
-                 sampler_trials: int = 1000, seed: int = 0):
+                 sampler_trials: int = 1000, seed: int = 0,
+                 engine: str = "auto"):
         self.params = params or MSR_SSD_PARAMS
         self.design = get_design(n_devices, replication)
         self._base_allocation = DesignTheoreticAllocation(self.design)
@@ -124,6 +129,7 @@ class QoSFlashArray:
         self.sampler_trials = sampler_trials
         self.seed = seed
         self._probabilities: Optional[Dict[int, float]] = None
+        self.engine = engine
 
     # -- failure handling -----------------------------------------------
     @property
@@ -204,7 +210,8 @@ class QoSFlashArray:
                   retrieval: str = "combined") -> QoSReport:
         """Interval-aligned playback (design-theoretic retrieval)."""
         player = BatchTracePlayer(self.allocation, self.interval_ms,
-                                  retrieval=retrieval, params=self.params)
+                                  retrieval=retrieval, params=self.params,
+                                  engine=self.engine)
         series, played = player.play(arrivals, buckets)
         return QoSReport(series, played, self.guarantee_ms)
 
@@ -224,7 +231,8 @@ class QoSFlashArray:
         player = OnlineTracePlayer(
             self.allocation, self.interval_ms, epsilon=self.epsilon,
             probabilities=probs, accesses=self.accesses,
-            params=self.params, tenant_budgets=tenant_budgets)
+            params=self.params, tenant_budgets=tenant_budgets,
+            engine=self.engine)
         series, played = player.play(arrivals, buckets, reads=reads,
                                      apps=apps)
         return QoSReport(series, played, self.guarantee_ms)

@@ -24,7 +24,10 @@ Not paper artefacts, but the studies DESIGN.md calls out:
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner import ParallelRunner
 
 import numpy as np
 
@@ -585,18 +588,41 @@ def fim_history(history_lengths=(1, 2, 4, 8), scale: float = 0.5,
     )
 
 
-def run(seed: int = 0) -> List[ExperimentResult]:
+def _cell_ablation(name: str,
+                   kwargs: Dict[str, int]) -> ExperimentResult:
+    """Run one ablation by name (module-level, so cells pickle)."""
+    return globals()[name](**kwargs)
+
+
+def run(seed: int = 0,
+        runner: "Optional[ParallelRunner]" = None,
+        ) -> List[ExperimentResult]:
     """All ablations with default parameters, seeded from one root.
 
     ``copy_count``, ``device_count`` and ``intra_module_parallelism``
     are exhaustive (no sampling), so they take no seed.
     """
-    return [copy_count(), device_count(), allocation_zoo(seed=seed),
-            query_types(seed=seed), retrieval_cost(seed=seed),
-            fim_support(seed=seed), fim_history(seed=seed),
-            write_interference(seed=seed),
-            failure_degradation(seed=seed),
-            heterogeneous_retrieval(seed=seed),
-            intra_module_parallelism(), rule_prefetching(seed=seed),
-            rebuild_tradeoff(seed=seed), flash_vs_hdd(seed=seed),
-            adaptive_epsilon(seed=seed + 1)]
+    from repro.runner import Cell, ParallelRunner
+
+    runner = runner or ParallelRunner()
+    specs = [("copy_count", {}), ("device_count", {}),
+             ("allocation_zoo", {"seed": seed}),
+             ("query_types", {"seed": seed}),
+             ("retrieval_cost", {"seed": seed}),
+             ("fim_support", {"seed": seed}),
+             ("fim_history", {"seed": seed}),
+             ("write_interference", {"seed": seed}),
+             ("failure_degradation", {"seed": seed}),
+             ("heterogeneous_retrieval", {"seed": seed}),
+             ("intra_module_parallelism", {}),
+             ("rule_prefetching", {"seed": seed}),
+             ("rebuild_tradeoff", {"seed": seed}),
+             ("flash_vs_hdd", {"seed": seed}),
+             ("adaptive_epsilon", {"seed": seed + 1})]
+    # retrieval_cost and fim_support time wall clock in-cell, so they
+    # are measurements of this host, not cacheable pure functions.
+    timed = {"retrieval_cost", "fim_support"}
+    return runner.run([
+        Cell("ablations", name, _cell_ablation, (name, kwargs),
+             cacheable=name not in timed)
+        for name, kwargs in specs])

@@ -26,33 +26,35 @@ from repro.experiments import (
 
 __all__ = ["main", "RUNNERS"]
 
-#: every runner takes ``(fast, seed)`` so the CLI's ``--seed`` threads
-#: through to the generators instead of relying on module defaults
+#: every runner takes ``(fast, seed, runner)`` so the CLI's ``--seed``
+#: threads through to the generators and ``--jobs``/``--no-cache``
+#: through to the parallel engine
 RUNNERS: Dict[str, Callable] = {
-    "table2": lambda fast, seed=0: table2.run(
-        samples=500 if fast else 4000, seed=seed),
-    "table3": lambda fast, seed=0: table3.run(
-        total_requests=1000 if fast else 10_000, seed=seed),
-    "table4": lambda fast, seed=0: table4.run(
-        scale=0.3 if fast else 1.0, seed=seed),
-    "fig4": lambda fast, seed=0: fig4.run(
-        trials=300 if fast else 3000, seed=seed),
-    "fig6": lambda fast, seed=0: fig6.run(
-        scale=0.2 if fast else 0.5, seed=seed),
-    "fig8": lambda fast, seed=0: fig8.run(
+    "table2": lambda fast, seed=0, runner=None: table2.run(
+        samples=500 if fast else 4000, seed=seed, runner=runner),
+    "table3": lambda fast, seed=0, runner=None: table3.run(
+        total_requests=1000 if fast else 10_000, seed=seed,
+        runner=runner),
+    "table4": lambda fast, seed=0, runner=None: table4.run(
+        scale=0.3 if fast else 1.0, seed=seed, runner=runner),
+    "fig4": lambda fast, seed=0, runner=None: fig4.run(
+        trials=300 if fast else 3000, seed=seed, runner=runner),
+    "fig6": lambda fast, seed=0, runner=None: fig6.run(
+        scale=0.2 if fast else 0.5, seed=seed, runner=runner),
+    "fig8": lambda fast, seed=0, runner=None: fig8.run(
         scale=0.2 if fast else 0.5, n_intervals=8 if fast else 24,
-        seed=seed),
-    "fig9": lambda fast, seed=0: fig9.run(
-        scale=0.2 if fast else 0.5, seed=seed),
-    "fig10": lambda fast, seed=0: fig10.run(
+        seed=seed, runner=runner),
+    "fig9": lambda fast, seed=0, runner=None: fig9.run(
+        scale=0.2 if fast else 0.5, seed=seed, runner=runner),
+    "fig10": lambda fast, seed=0, runner=None: fig10.run(
         scale=0.15 if fast else 0.4, n_intervals=6 if fast else 16,
-        seed=seed),
-    "fig11": lambda fast, seed=0: fig11.run(
+        seed=seed, runner=runner),
+    "fig11": lambda fast, seed=0, runner=None: fig11.run(
         scale=0.2 if fast else 0.5, n_intervals=8 if fast else 24,
-        seed=seed),
-    "fig12": lambda fast, seed=0: fig12.run(
+        seed=seed, runner=runner),
+    "fig12": lambda fast, seed=0, runner=None: fig12.run(
         scale=0.15 if fast else 0.4, n_intervals=6 if fast else 12,
-        seed=seed),
+        seed=seed, runner=runner),
 }
 
 
@@ -98,6 +100,11 @@ def main(argv: List[str] | None = None) -> int:
                         help="smaller workloads for a quick look")
     parser.add_argument("--seed", type=int, default=0,
                         help="root RNG seed threaded to every runner")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the experiment cells "
+                             "(results are byte-identical to --jobs 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
     parser.add_argument("--chart", action="store_true",
                         help="append ASCII sparkline charts to figures")
     parser.add_argument("--out", metavar="DIR",
@@ -123,15 +130,23 @@ def main(argv: List[str] | None = None) -> int:
             (out_dir / f"{name}.txt").write_text(text + "\n")
         print()
 
+    from repro.runner import ParallelRunner, ResultCache
+
+    runner = ParallelRunner(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache())
+
     wanted = args.experiments or ["all"]
     if "all" in wanted:
         wanted = [*RUNNERS, "ablations"]
     for name in wanted:
         if name == "ablations":
-            for i, result in enumerate(ablations.run(seed=args.seed)):
+            for i, result in enumerate(
+                    ablations.run(seed=args.seed, runner=runner)):
                 emit(f"ablation_{i}", result)
             continue
-        emit(name, RUNNERS[name](args.fast, seed=args.seed))
+        emit(name, RUNNERS[name](args.fast, seed=args.seed,
+                                 runner=runner))
     return 0
 
 

@@ -112,7 +112,8 @@ def play_workload(parts: Sequence[Trace], n_devices: int,
                   qos_interval_ms: float = 0.133,
                   fim_window_ms: float = 0.133,
                   min_support: int = 1,
-                  seed: int = 0) -> WorkloadRun:
+                  seed: int = 0,
+                  engine: str = "auto") -> WorkloadRun:
     """The full §V-D pipeline: FIM mapping + QoS playback.
 
     For each trace part, data blocks are mapped to design blocks with
@@ -135,7 +136,7 @@ def play_workload(parts: Sequence[Trace], n_devices: int,
     """
     qos = QoSFlashArray(n_devices=n_devices, replication=replication,
                         interval_ms=qos_interval_ms, epsilon=epsilon,
-                        seed=seed)
+                        seed=seed, engine=engine)
     matcher = FIMBlockMatcher(qos.allocation)
     match = MatchResult.empty(qos.allocation.n_buckets)
     arrivals: List[float] = []
@@ -164,19 +165,27 @@ def play_workload(parts: Sequence[Trace], n_devices: int,
                        part_of_request=part_of_request)
 
 
-def play_original(parts: Sequence[Trace], n_devices: int) -> IntervalSeries:
+def play_original(parts: Sequence[Trace], n_devices: int,
+                  engine: str = "auto") -> IntervalSeries:
     """The "original stand" baseline of §V-D.
 
     Every block request is retrieved from the device stated in the
     trace (no replication, no QoS); devices serve FCFS.  Returns
     response statistics bucketed by trace part.
+
+    The baseline has no admission control, so with ``engine="auto"``
+    (or ``"fast"``) the per-device response times come straight from
+    the vectorized Lindley recurrence
+    (:func:`repro.flash.fastpath.fcfs_completion_times`) --
+    bit-identical to the DES, which ``engine="des"`` still runs.
     """
+    from repro.flash.driver import resolve_engine
+
+    if resolve_engine(engine) == "fast":
+        return _play_original_fast(parts, n_devices)
+
     from repro.flash.array import FlashArray, IORequest
     from repro.sim import Environment
-
-    env = Environment()
-    array = FlashArray(env, n_devices)
-    records: List[Tuple[int, IORequest]] = []
 
     stream: List[Tuple[float, int, int, int]] = []
     for part_idx, part in enumerate(parts):
@@ -184,10 +193,14 @@ def play_original(parts: Sequence[Trace], n_devices: int) -> IntervalSeries:
             stream.append((float(t), int(dev), int(blk), part_idx))
     stream.sort(key=lambda r: r[0])
 
+    env = Environment()
+    array = FlashArray(env, n_devices)
+    records: List[Tuple[int, IORequest]] = []
+
     def run():
         for t, dev, blk, part_idx in stream:
             if t > env.now:
-                yield env.timeout(t - env.now)
+                yield env.timeout_until(t)
             io = IORequest(arrival=t, bucket=blk)
             array.issue(io, dev % n_devices)
             records.append((part_idx, io))
@@ -198,4 +211,48 @@ def play_original(parts: Sequence[Trace], n_devices: int) -> IntervalSeries:
     series = IntervalSeries()
     for part_idx, io in records:
         series.record(part_idx, io.response_ms)
+    return series
+
+
+def _play_original_fast(parts: Sequence[Trace],
+                        n_devices: int) -> IntervalSeries:
+    """Vectorized twin of the DES baseline loop above.
+
+    Each device is an independent FCFS constant-rate server fed its
+    requests in arrival order, so per-device completion times are one
+    :func:`~repro.flash.fastpath.fcfs_completion_times` call.  Sample
+    lists are filled per part in the DES's stream order (stable sort by
+    arrival), which makes the resulting :class:`IntervalSeries`
+    indistinguishable from the event-loop run -- same floats, same
+    list order.
+    """
+    import numpy as np
+
+    from repro.flash.fastpath import fcfs_completion_times
+    from repro.flash.params import FlashParams
+
+    series = IntervalSeries()
+    if not parts:
+        return series
+    service = FlashParams().read_ms
+    arrival = np.concatenate([
+        np.asarray(p.arrival_ms, dtype=np.float64) for p in parts])
+    device = np.concatenate([
+        np.asarray(p.device, dtype=np.int64) for p in parts]) % n_devices
+    part_idx = np.concatenate([
+        np.full(len(p), i, dtype=np.intp) for i, p in enumerate(parts)])
+    order = np.argsort(arrival, kind="stable")
+    issue = arrival[order]
+    device = device[order]
+    part_idx = part_idx[order]
+    response = np.empty(issue.size, dtype=np.float64)
+    for d in range(n_devices):
+        mask = device == d
+        u = issue[mask]
+        response[mask] = fcfs_completion_times(u, service) - u
+    for p in np.unique(part_idx):
+        stats = series.stats(int(p))
+        samples = response[part_idx == p]
+        stats.samples.extend(samples.tolist())
+        stats.n_total += int(samples.size)
     return series

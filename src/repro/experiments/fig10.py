@@ -8,16 +8,27 @@ requests that deterministic QoS would hold back are allowed to queue.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentResult, play_workload
-from repro.traces.exchange import exchange_like_trace
+from repro.experiments.fig8 import make_parts
+from repro.runner import Cell, ParallelRunner
 from repro.traces.records import Trace
-from repro.traces.tpce import tpce_like_trace
 
 __all__ = ["run", "run_workload", "DEFAULT_EPSILONS"]
 
 DEFAULT_EPSILONS = (0.0, 0.0001, 0.0005, 0.001, 0.005, 0.02)
+
+
+def _cell_epsilon(workload: str, scale: float, n_intervals: int,
+                  seed: int, n_devices: int,
+                  eps: float) -> Tuple[float, float, float]:
+    """One sweep point: (pct_delayed, avg, max) at this ``ε``."""
+    parts = make_parts(workload, scale, n_intervals, seed)
+    run_ = play_workload(parts, n_devices=n_devices, epsilon=eps,
+                         mode="online")
+    st = run_.report.overall
+    return st.pct_delayed, st.avg, st.max
 
 
 def run_workload(parts: Sequence[Trace], n_devices: int, label: str,
@@ -35,13 +46,19 @@ def run_workload(parts: Sequence[Trace], n_devices: int, label: str,
 
 
 def run(scale: float = 0.4, n_intervals: int = 16, seed: int = 0,
-        epsilons: Sequence[float] = DEFAULT_EPSILONS) -> ExperimentResult:
+        epsilons: Sequence[float] = DEFAULT_EPSILONS,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
     """Regenerate Figure 10 (both workloads, ε sweep)."""
-    exch = exchange_like_trace(scale=scale, seed=seed,
-                               n_intervals=n_intervals)
-    tpce = tpce_like_trace(scale=scale, seed=seed)
-    rows = (run_workload(exch, 9, "exchange", epsilons)
-            + run_workload(tpce, 13, "tpce", epsilons))
+    runner = runner or ParallelRunner()
+    sweep = [(label, n_dev, eps)
+             for label, n_dev in (("exchange", 9), ("tpce", 13))
+             for eps in epsilons]
+    points = runner.run([
+        Cell("fig10", f"{label}-eps={eps}", _cell_epsilon,
+             (label, scale, n_intervals, seed, n_dev, eps))
+        for label, n_dev, eps in sweep])
+    rows = [[label, eps, round(pct, 3), round(avg, 6), round(mx, 6)]
+            for (label, _, eps), (pct, avg, mx) in zip(sweep, points)]
     return ExperimentResult(
         name="Figure 10 -- statistical QoS vs epsilon",
         headers=["workload", "epsilon", "% delayed", "avg response",

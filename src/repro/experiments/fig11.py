@@ -9,12 +9,12 @@ workload's hot set recurs, mail traffic barely does.
 from __future__ import annotations
 
 import statistics
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult, play_workload
-from repro.traces.exchange import exchange_like_trace
+from repro.experiments.fig8 import make_parts
+from repro.runner import Cell, ParallelRunner
 from repro.traces.records import Trace
-from repro.traces.tpce import tpce_like_trace
 
 __all__ = ["run", "match_rates", "PAPER_MEANS"]
 
@@ -29,16 +29,23 @@ def match_rates(parts: Sequence[Trace], n_devices: int,
     return run_.match_rates
 
 
-def run(scale: float = 0.5, n_intervals: int = 24,
-        seed: int = 0) -> ExperimentResult:
+def _cell_rates(workload: str, scale: float, n_intervals: int,
+                seed: int, n_devices: int) -> List[float]:
+    parts = make_parts(workload, scale, n_intervals, seed)
+    return match_rates(parts, n_devices)
+
+
+def run(scale: float = 0.5, n_intervals: int = 24, seed: int = 0,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
     """Regenerate Figure 11 for both workloads."""
-    exch = exchange_like_trace(scale=scale, seed=seed,
-                               n_intervals=n_intervals)
-    tpce = tpce_like_trace(scale=scale, seed=seed)
+    runner = runner or ParallelRunner()
+    workloads = (("exchange", 9), ("tpce", 13))
+    per_workload = runner.run([
+        Cell("fig11", label, _cell_rates,
+             (label, scale, n_intervals, seed, n_dev))
+        for label, n_dev in workloads])
     rows: List[List[object]] = []
-    for label, parts, n_dev in (("exchange", exch, 9),
-                                ("tpce", tpce, 13)):
-        rates = match_rates(parts, n_dev)
+    for (label, _), rates in zip(workloads, per_workload):
         for i, r in enumerate(rates):
             rows.append([label, i, round(100 * r, 2)])
         mean = statistics.mean(rates[1:]) if len(rates) > 1 else 0.0

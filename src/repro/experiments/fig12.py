@@ -11,12 +11,12 @@ algorithm avoids.  Paper: online saves ~0.12 ms (Exchange) and
 from __future__ import annotations
 
 import statistics
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult, play_workload
-from repro.traces.exchange import exchange_like_trace
+from repro.experiments.fig8 import make_parts
+from repro.runner import Cell, ParallelRunner
 from repro.traces.records import Trace
-from repro.traces.tpce import tpce_like_trace
 
 __all__ = ["run", "run_workload"]
 
@@ -43,11 +43,14 @@ def _per_part_delays(parts: Sequence[Trace], n_devices: int,
     return [s / c if c else 0.0 for s, c in zip(sums, counts)]
 
 
-def run_workload(parts: Sequence[Trace], n_devices: int,
-                 label: str) -> List[List[object]]:
-    """Per-interval average delay: online vs design-theoretic."""
-    online = _per_part_delays(parts, n_devices, "online")
-    batch = _per_part_delays(parts, n_devices, "batch")
+def _cell_delays(workload: str, scale: float, n_intervals: int,
+                 seed: int, n_devices: int, mode: str) -> List[float]:
+    parts = make_parts(workload, scale, n_intervals, seed)
+    return _per_part_delays(parts, n_devices, mode)
+
+
+def _workload_rows(label: str, online: Sequence[float],
+                   batch: Sequence[float]) -> List[List[object]]:
     rows: List[List[object]] = []
     for i, (o, b) in enumerate(zip(online, batch)):
         rows.append([label, i, round(o, 4), round(b, 4),
@@ -57,14 +60,27 @@ def run_workload(parts: Sequence[Trace], n_devices: int,
     return rows
 
 
-def run(scale: float = 0.4, n_intervals: int = 12,
-        seed: int = 0) -> ExperimentResult:
+def run_workload(parts: Sequence[Trace], n_devices: int,
+                 label: str) -> List[List[object]]:
+    """Per-interval average delay: online vs design-theoretic."""
+    online = _per_part_delays(parts, n_devices, "online")
+    batch = _per_part_delays(parts, n_devices, "batch")
+    return _workload_rows(label, online, batch)
+
+
+def run(scale: float = 0.4, n_intervals: int = 12, seed: int = 0,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
     """Regenerate Figure 12 for both workloads."""
-    exch = exchange_like_trace(scale=scale, seed=seed,
-                               n_intervals=n_intervals)
-    tpce = tpce_like_trace(scale=scale, seed=seed)
-    rows = (run_workload(exch, 9, "exchange")
-            + run_workload(tpce, 13, "tpce"))
+    runner = runner or ParallelRunner()
+    grid = [(label, n_dev, mode)
+            for label, n_dev in (("exchange", 9), ("tpce", 13))
+            for mode in ("online", "batch")]
+    delays = runner.run([
+        Cell("fig12", f"{label}-{mode}", _cell_delays,
+             (label, scale, n_intervals, seed, n_dev, mode))
+        for label, n_dev, mode in grid])
+    rows = (_workload_rows("exchange", delays[0], delays[1])
+            + _workload_rows("tpce", delays[2], delays[3]))
     return ExperimentResult(
         name="Figure 12 -- avg delay: online vs design-theoretic",
         headers=["workload", "interval", "online delay",

@@ -8,11 +8,12 @@ P7=0.98, P8=0.95, P9=0.75, P10=1; dips recur at multiples of 9.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.allocation.design_theoretic import DesignTheoreticAllocation
 from repro.core.sampling import OptimalRetrievalSampler
 from repro.experiments.common import ExperimentResult
+from repro.runner import Cell, ParallelRunner
 
 __all__ = ["run", "PAPER_FIG4"]
 
@@ -21,15 +22,27 @@ PAPER_FIG4: Dict[int, float] = {5: 1.0, 6: 0.99, 7: 0.98, 8: 0.95,
                                 9: 0.75, 10: 1.0}
 
 
-def run(max_k: int = 20, trials: int = 3000, seed: int = 0,
-        n_devices: int = 9, replication: int = 3) -> ExperimentResult:
-    """Regenerate the Figure 4 curve for ``k = 1..max_k``."""
+def _cell_pk(k: int, trials: int, seed: int, n_devices: int,
+             replication: int) -> float:
+    """One point of the curve (the sampler derives its own per-``k``
+    stream from ``seed``, so cells match the former serial loop)."""
     alloc = DesignTheoreticAllocation.from_parameters(n_devices,
                                                       replication)
     sampler = OptimalRetrievalSampler(alloc, trials=trials, seed=seed)
+    return sampler.probability(k)
+
+
+def run(max_k: int = 20, trials: int = 3000, seed: int = 0,
+        n_devices: int = 9, replication: int = 3,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
+    """Regenerate the Figure 4 curve for ``k = 1..max_k``."""
+    runner = runner or ParallelRunner()
+    probabilities = runner.run([
+        Cell("fig4", f"k={k}", _cell_pk,
+             (k, trials, seed, n_devices, replication))
+        for k in range(1, max_k + 1)])
     rows: List[List[object]] = []
-    for k in range(1, max_k + 1):
-        p = sampler.probability(k)
+    for k, p in zip(range(1, max_k + 1), probabilities):
         paper = PAPER_FIG4.get(k)
         rows.append([k, "" if paper is None else f"{paper:.2f}",
                      round(p, 4)])

@@ -9,11 +9,12 @@ flat, much higher per-interval volume.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.experiments.common import ExperimentResult
+from repro.runner import Cell, ParallelRunner
 from repro.traces.exchange import exchange_like_trace
 from repro.traces.stats import interval_statistics
 from repro.traces.tpce import TPCE_PART_FRACTIONS, tpce_like_trace
@@ -21,26 +22,17 @@ from repro.traces.tpce import TPCE_PART_FRACTIONS, tpce_like_trace
 __all__ = ["run", "run_exchange", "run_tpce"]
 
 
-def run_exchange(scale: float = 0.5, n_intervals: int = 24,
-                 seed: int = 0) -> ExperimentResult:
-    """Fig 6(a,b): Exchange-like per-interval statistics."""
+def _exchange_rows(scale: float, n_intervals: int,
+                   seed: int) -> List[List[object]]:
     parts = exchange_like_trace(scale=scale, seed=seed,
                                 n_intervals=n_intervals)
     stats = interval_statistics(parts, interval_ms=60.0,
                                 rate_window_ms=5.0)
-    rows: List[List[object]] = [
-        [s.index, s.total_requests, round(s.avg_req_per_sec, 1),
-         round(s.max_req_per_sec, 1)] for s in stats]
-    return ExperimentResult(
-        name="Figure 6(a,b) -- Exchange-like trace statistics",
-        headers=["interval", "total reads", "avg req/s", "max req/s"],
-        rows=rows,
-        notes="Shape: diurnal variation across intervals; max >> avg.",
-    )
+    return [[s.index, s.total_requests, round(s.avg_req_per_sec, 1),
+             round(s.max_req_per_sec, 1)] for s in stats]
 
 
-def run_tpce(scale: float = 0.5, seed: int = 0) -> ExperimentResult:
-    """Fig 6(c,d): TPC-E-like per-part statistics."""
+def _tpce_rows(scale: float, seed: int) -> List[List[object]]:
     parts = tpce_like_trace(scale=scale, seed=seed)
     total = 360.0
     frac_sum = sum(TPCE_PART_FRACTIONS)
@@ -48,28 +40,47 @@ def run_tpce(scale: float = 0.5, seed: int = 0) -> ExperimentResult:
                         for f in TPCE_PART_FRACTIONS])
     stats = interval_statistics(parts, boundaries_ms=list(bounds),
                                 rate_window_ms=5.0)
-    rows: List[List[object]] = [
-        [s.index, s.total_requests, round(s.avg_req_per_sec, 1),
-         round(s.max_req_per_sec, 1)] for s in stats]
+    return [[s.index, s.total_requests, round(s.avg_req_per_sec, 1),
+             round(s.max_req_per_sec, 1)] for s in stats]
+
+
+def run_exchange(scale: float = 0.5, n_intervals: int = 24,
+                 seed: int = 0) -> ExperimentResult:
+    """Fig 6(a,b): Exchange-like per-interval statistics."""
+    return ExperimentResult(
+        name="Figure 6(a,b) -- Exchange-like trace statistics",
+        headers=["interval", "total reads", "avg req/s", "max req/s"],
+        rows=_exchange_rows(scale, n_intervals, seed),
+        notes="Shape: diurnal variation across intervals; max >> avg.",
+    )
+
+
+def run_tpce(scale: float = 0.5, seed: int = 0) -> ExperimentResult:
+    """Fig 6(c,d): TPC-E-like per-part statistics."""
     return ExperimentResult(
         name="Figure 6(c,d) -- TPC-E-like trace statistics",
         headers=["part", "total reads", "avg req/s", "max req/s"],
-        rows=rows,
+        rows=_tpce_rows(scale, seed),
         notes="Shape: six parts, near-flat high rate.",
     )
 
 
-def run(scale: float = 0.5, seed: int = 0,
-        n_intervals: int = 24) -> ExperimentResult:
+def run(scale: float = 0.5, seed: int = 0, n_intervals: int = 24,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
     """Both halves of Figure 6, concatenated."""
-    ex = run_exchange(scale=scale, seed=seed, n_intervals=n_intervals)
-    tp = run_tpce(scale=scale, seed=seed)
-    rows = ([["exchange"] + r for r in ex.rows]
-            + [["tpce"] + r for r in tp.rows])
+    runner = runner or ParallelRunner()
+    ex_rows, tp_rows = runner.run([
+        Cell("fig6", "exchange", _exchange_rows,
+             (scale, n_intervals, seed)),
+        Cell("fig6", "tpce", _tpce_rows, (scale, seed)),
+    ])
+    rows = ([["exchange"] + r for r in ex_rows]
+            + [["tpce"] + r for r in tp_rows])
     return ExperimentResult(
         name="Figure 6 -- trace statistics",
         headers=["workload", "interval", "total reads",
                  "avg req/s", "max req/s"],
         rows=rows,
-        notes=ex.notes + " " + tp.notes,
+        notes="Shape: diurnal variation across intervals; max >> avg. "
+              "Shape: six parts, near-flat high rate.",
     )

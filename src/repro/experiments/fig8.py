@@ -12,7 +12,7 @@ Four panels per trace interval:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     ExperimentResult,
@@ -20,10 +20,13 @@ from repro.experiments.common import (
     play_original,
     play_workload,
 )
+from repro.runner import Cell, ParallelRunner
 from repro.traces.exchange import exchange_like_trace
 from repro.traces.records import Trace
+from repro.traces.tpce import tpce_like_trace
 
-__all__ = ["run", "run_parts", "PAPER_NOTES"]
+__all__ = ["run", "run_parts", "run_cells", "make_parts",
+           "PAPER_NOTES"]
 
 PAPER_NOTES = (
     "Paper shape: QoS avg/max flat at 0.132507 ms in every interval; "
@@ -32,22 +35,50 @@ PAPER_NOTES = (
 )
 
 
-def run_parts(parts: Sequence[Trace], n_devices: int,
-              title: str) -> ExperimentResult:
-    """Shared Fig 8/9 runner over pre-generated trace parts."""
+def make_parts(workload: str, scale: float, n_intervals: int,
+               seed: int) -> List[Trace]:
+    """Regenerate a workload model by name (cells call this in the
+    worker, so only primitives cross the process boundary)."""
+    if workload == "exchange":
+        return exchange_like_trace(scale=scale, seed=seed,
+                                   n_intervals=n_intervals)
+    if workload == "tpce":
+        return tpce_like_trace(scale=scale, seed=seed)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def _cell_qos(workload: str, scale: float, n_intervals: int, seed: int,
+              n_devices: int) -> List[Tuple[float, float, float, float]]:
+    """Deterministic-QoS play-through; per-part summary tuples."""
+    parts = make_parts(workload, scale, n_intervals, seed)
     qos_run: WorkloadRun = play_workload(parts, n_devices=n_devices,
                                          epsilon=0.0, mode="online")
-    qos_series = qos_run.per_part_series()
-    orig_series = play_original(parts, n_devices)
+    series = qos_run.per_part_series()
+    return [(series.stats(i).avg, series.stats(i).max,
+             series.stats(i).avg_delay, series.stats(i).pct_delayed)
+            for i in range(len(parts))]
+
+
+def _cell_orig(workload: str, scale: float, n_intervals: int, seed: int,
+               n_devices: int) -> List[Tuple[float, float]]:
+    """Original-stand baseline; per-part (avg, max)."""
+    parts = make_parts(workload, scale, n_intervals, seed)
+    series = play_original(parts, n_devices)
+    return [(series.stats(i).avg, series.stats(i).max)
+            for i in range(len(parts))]
+
+
+def _assemble(qos: Sequence[Tuple[float, float, float, float]],
+              orig: Sequence[Tuple[float, float]],
+              title: str) -> ExperimentResult:
     rows: List[List[object]] = []
-    for i in range(len(parts)):
-        q = qos_series.stats(i)
-        o = orig_series.stats(i)
+    for i, ((q_avg, q_max, q_delay, q_pct), (o_avg, o_max)) \
+            in enumerate(zip(qos, orig)):
         rows.append([
             i,
-            round(q.avg, 6), round(o.avg, 6),
-            round(q.max, 6), round(o.max, 6),
-            round(q.avg_delay, 4), round(q.pct_delayed, 2),
+            round(q_avg, 6), round(o_avg, 6),
+            round(q_max, 6), round(o_max, 6),
+            round(q_delay, 4), round(q_pct, 2),
         ])
     return ExperimentResult(
         name=title,
@@ -58,11 +89,41 @@ def run_parts(parts: Sequence[Trace], n_devices: int,
     )
 
 
-def run(scale: float = 0.5, n_intervals: int = 24,
-        seed: int = 0) -> ExperimentResult:
+def run_parts(parts: Sequence[Trace], n_devices: int,
+              title: str) -> ExperimentResult:
+    """Shared Fig 8/9 runner over pre-generated trace parts."""
+    qos_run: WorkloadRun = play_workload(parts, n_devices=n_devices,
+                                         epsilon=0.0, mode="online")
+    qos_series = qos_run.per_part_series()
+    orig_series = play_original(parts, n_devices)
+    qos = [(qos_series.stats(i).avg, qos_series.stats(i).max,
+            qos_series.stats(i).avg_delay,
+            qos_series.stats(i).pct_delayed)
+           for i in range(len(parts))]
+    orig = [(orig_series.stats(i).avg, orig_series.stats(i).max)
+            for i in range(len(parts))]
+    return _assemble(qos, orig, title)
+
+
+def run_cells(experiment: str, workload: str, scale: float,
+              n_intervals: int, seed: int, n_devices: int,
+              title: str,
+              runner: Optional[ParallelRunner]) -> ExperimentResult:
+    """Shared Fig 8/9 cell fan-out: one QoS cell, one baseline cell."""
+    runner = runner or ParallelRunner()
+    params = (workload, scale, n_intervals, seed, n_devices)
+    qos, orig = runner.run([
+        Cell(experiment, f"{workload}-qos", _cell_qos, params),
+        Cell(experiment, f"{workload}-orig", _cell_orig, params),
+    ])
+    return _assemble(qos, orig, title)
+
+
+def run(scale: float = 0.5, n_intervals: int = 24, seed: int = 0,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
     """Regenerate Figure 8 on the Exchange-like workload."""
-    parts = exchange_like_trace(scale=scale, seed=seed,
-                                n_intervals=n_intervals)
-    return run_parts(parts, n_devices=9,
+    return run_cells("fig8", "exchange", scale, n_intervals, seed,
+                     n_devices=9,
                      title="Figure 8 -- Exchange deterministic QoS "
-                           "(online retrieval)")
+                           "(online retrieval)",
+                     runner=runner)

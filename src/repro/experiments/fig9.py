@@ -9,9 +9,11 @@ requests ~2-3 % with ~0.03 ms average delay.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import ExperimentResult
-from repro.experiments.fig8 import run_parts
-from repro.traces.tpce import tpce_like_trace
+from repro.experiments.fig8 import run_cells
+from repro.runner import ParallelRunner
 
 __all__ = ["run", "PAPER_NOTES"]
 
@@ -22,11 +24,12 @@ PAPER_NOTES = (
 )
 
 
-def run(scale: float = 0.5, seed: int = 0) -> ExperimentResult:
+def run(scale: float = 0.5, seed: int = 0,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
     """Regenerate Figure 9 on the TPC-E-like workload."""
-    parts = tpce_like_trace(scale=scale, seed=seed)
-    result = run_parts(parts, n_devices=13,
+    result = run_cells("fig9", "tpce", scale, 0, seed, n_devices=13,
                        title="Figure 9 -- TPC-E deterministic QoS "
-                             "(online retrieval)")
+                             "(online retrieval)",
+                       runner=runner)
     result.notes = PAPER_NOTES
     return result

@@ -15,7 +15,7 @@ access counts for both algorithms, plus the theoretical DTR guarantee.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List, Set
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.core.guarantees import required_accesses
 from repro.experiments.common import ExperimentResult
 from repro.retrieval.design_theoretic import design_theoretic_retrieval
 from repro.retrieval.online import online_access_count
+from repro.runner import Cell, ParallelRunner, spawn_seeds
 
 __all__ = ["run", "PAPER_TABLE2"]
 
@@ -45,38 +46,54 @@ def _format(values: Set[int]) -> str:
     return " or ".join(str(v) for v in ordered)
 
 
-def run(max_size: int = 6, samples: int = 4000,
-        seed: int = 0) -> ExperimentResult:
+def _cell_size(s: int, samples: int,
+               seed: int) -> Tuple[List[int], List[int], int]:
+    """Observed DTR/OLR access counts for request size ``s``.
+
+    Each size draws from its own seeded generator (derived from the
+    root seed via ``SeedSequence.spawn``), so sizes are independent
+    cells rather than consumers of one shared stream.
+    """
+    alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+    blocks = [alloc.devices_for(b) for b in range(alloc.n_buckets)]
+    dtr_seen: Set[int] = set()
+    olr_seen: Set[int] = set()
+    if s <= 3:
+        pools = combinations(range(alloc.n_buckets), s)
+        batches = (list(c) for c in pools)
+    else:
+        rng = np.random.default_rng(seed)
+        batches = (
+            list(rng.choice(alloc.n_buckets, size=s, replace=False))
+            for _ in range(samples))
+    guarantee = required_accesses(s, alloc.replication)
+    for batch in batches:
+        cands = [blocks[b] for b in batch]
+        dtr = design_theoretic_retrieval(
+            cands, alloc.n_devices, guarantee_level=True,
+            replication=alloc.replication)
+        dtr_seen.add(dtr.accesses)
+        olr_seen.add(online_access_count(cands, alloc.n_devices))
+    return sorted(dtr_seen), sorted(olr_seen), guarantee
+
+
+def run(max_size: int = 6, samples: int = 4000, seed: int = 0,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
     """Regenerate Table II.
 
     For ``s <= 3`` all combinations are enumerated; larger sizes use
     ``samples`` random distinct sets.
     """
-    alloc = DesignTheoreticAllocation.from_parameters(9, 3)
-    blocks = [alloc.devices_for(b) for b in range(alloc.n_buckets)]
-    rng = np.random.default_rng(seed)
+    runner = runner or ParallelRunner()
+    seeds = spawn_seeds(seed, max_size)
+    outcomes = runner.run([
+        Cell("table2", f"s={s}", _cell_size, (s, samples, seeds[s - 1]))
+        for s in range(1, max_size + 1)])
     rows: List[List[object]] = []
-    for s in range(1, max_size + 1):
-        dtr_seen: Set[int] = set()
-        olr_seen: Set[int] = set()
-        if s <= 3:
-            pools = combinations(range(alloc.n_buckets), s)
-            batches = (list(c) for c in pools)
-        else:
-            batches = (
-                list(rng.choice(alloc.n_buckets, size=s, replace=False))
-                for _ in range(samples))
-        guarantee = required_accesses(s, alloc.replication)
-        for batch in batches:
-            cands = [blocks[b] for b in batch]
-            dtr = design_theoretic_retrieval(
-                cands, alloc.n_devices, guarantee_level=True,
-                replication=alloc.replication)
-            dtr_seen.add(dtr.accesses)
-            olr_seen.add(online_access_count(cands, alloc.n_devices))
+    for s, (dtr_seen, olr_seen, guarantee) in enumerate(outcomes, 1):
         paper_dtr, paper_olr = PAPER_TABLE2.get(s, ("?", "?"))
-        rows.append([s, paper_dtr, _format(dtr_seen),
-                     paper_olr, _format(olr_seen), guarantee])
+        rows.append([s, paper_dtr, _format(set(dtr_seen)),
+                     paper_olr, _format(set(olr_seen)), guarantee])
     return ExperimentResult(
         name="Table II -- comparison of retrieval algorithms (9,3,1)",
         headers=["s", "DTR (paper)", "DTR (measured)",

@@ -14,14 +14,14 @@ from __future__ import annotations
 
 import time
 import tracemalloc
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.fig8 import make_parts
 from repro.mining.apriori import apriori
 from repro.mining.transactions import transactions_from_trace
-from repro.traces.exchange import exchange_like_trace
+from repro.runner import Cell, ParallelRunner
 from repro.traces.records import Trace
-from repro.traces.tpce import tpce_like_trace
 
 __all__ = ["run", "measure_fim", "PAPER_TABLE4"]
 
@@ -53,20 +53,35 @@ def _extremes(parts: Sequence[Trace]) -> Tuple[int, int]:
     return sizes.index(min(sizes)), sizes.index(max(sizes))
 
 
-def run(scale: float = 1.0, n_intervals: int = 24,
-        seed: int = 0) -> ExperimentResult:
+def _cell_fim(workload: str, which: str, support: int, scale: float,
+              n_intervals: int,
+              seed: int) -> Tuple[int, float, float, int]:
+    """Mine one extreme interval of a regenerated workload."""
+    parts = make_parts(workload, scale, n_intervals, seed)
+    lo, hi = _extremes(parts)
+    part = parts[lo if which == "small" else hi]
+    return measure_fim(part, support)
+
+
+def run(scale: float = 1.0, n_intervals: int = 24, seed: int = 0,
+        runner: Optional[ParallelRunner] = None) -> ExperimentResult:
     """Regenerate Table IV on the scaled workloads."""
+    runner = runner or ParallelRunner()
+    cases = [("exch-small", "exchange", "small", 1),
+             ("exch-large", "exchange", "large", 1),
+             ("tpce-small", "tpce", "small", 1),
+             ("tpce-large", "tpce", "large", 1),
+             ("tpce-large", "tpce", "large", 3)]
+    # Never cached: the value is a wall-time/memory *measurement* of
+    # this host, not a pure function of the parameters.
+    measured = runner.run([
+        Cell("table4", f"{label}-sup={support}", _cell_fim,
+             (workload, which, support, scale, n_intervals, seed),
+             cacheable=False)
+        for label, workload, which, support in cases])
     rows: List[List[object]] = []
-    exch = exchange_like_trace(scale=scale, seed=seed,
-                               n_intervals=n_intervals)
-    tpce = tpce_like_trace(scale=scale, seed=seed)
-    lo, hi = _extremes(exch)
-    cases = [("exch-small", exch[lo], 1), ("exch-large", exch[hi], 1)]
-    lo, hi = _extremes(tpce)
-    cases += [("tpce-small", tpce[lo], 1), ("tpce-large", tpce[hi], 1),
-              ("tpce-large", tpce[hi], 3)]
-    for label, part, support in cases:
-        n, secs, mb, pairs = measure_fim(part, support)
+    for (label, _, _, support), (n, secs, mb, pairs) \
+            in zip(cases, measured):
         rows.append([label, n, support, round(secs, 4), round(mb, 2),
                      pairs])
     return ExperimentResult(

@@ -13,11 +13,18 @@ Two drivers mirror the paper's two retrieval modes:
   replica* (statistical QoS with ``Q < ε``), or *delay to the next
   interval* (budget overflow).
 
-Both drivers execute the actual service through the DES flash array, so
-reported response times come from simulated queueing, not closed-form
-shortcuts; the online driver keeps a busy-until mirror only to make
-placement decisions (service times are deterministic, so the mirror is
-exact and is cross-checked by tests against the DES outcome).
+Both drivers support two interchangeable playback engines (see
+:func:`resolve_engine`): the DES, which executes the actual service
+through the simulated flash array, and a closed-form *fast* engine.
+The online driver keeps a busy-until mirror to make placement
+decisions; with deterministic service times the mirror is exact, so on
+homogeneous constant-latency configurations the fast engine reads the
+completion times straight off the mirror (and the batch player off the
+Lindley recurrence, :mod:`repro.flash.fastpath`) instead of stepping
+the event loop.  The engines are bit-for-bit identical where both
+apply -- enforced by property tests and the determinism probes -- and
+``"auto"`` falls back to the DES whenever an FTL or a custom module
+type makes service times state-dependent.
 """
 
 from __future__ import annotations
@@ -29,12 +36,51 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.allocation.base import AllocationScheme
 from repro.core.admission import DeterministicAdmission, StatisticalAdmission
 from repro.flash.array import FlashArray, IORequest
+from repro.flash.fastpath import supports_fast_playback
 from repro.flash.metrics import IntervalSeries
+from repro.flash.params import FlashParams
 from repro.retrieval.design_theoretic import design_theoretic_retrieval
 from repro.retrieval.policy import combined_retrieval
 from repro.sim import Environment
 
-__all__ = ["BatchTracePlayer", "OnlineTracePlayer", "PlayedRequest"]
+__all__ = ["BatchTracePlayer", "OnlineTracePlayer", "PlayedRequest",
+           "resolve_engine"]
+
+
+def resolve_engine(engine: str, module_factory=None,
+                   ftl_factory=None) -> str:
+    """Pick the playback engine for a player configuration.
+
+    ``"auto"`` (the default everywhere) selects the closed-form fast
+    path whenever the configuration is eligible (see
+    :func:`repro.flash.fastpath.supports_fast_playback`) and the DES
+    otherwise; ``"fast"`` insists and raises on ineligible
+    configurations; ``"des"`` always steps the event loop.  Both
+    engines produce bit-identical results on eligible configurations --
+    enforced by the property tests and the ``fastpath`` determinism
+    probe.
+    """
+    if engine not in ("auto", "des", "fast"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "des":
+        return "des"
+    eligible = supports_fast_playback(module_factory=module_factory,
+                                      ftl_factory=ftl_factory)
+    if engine == "fast" and not eligible:
+        raise ValueError(
+            "fast playback requires homogeneous constant-latency FCFS "
+            "modules (no module_factory, no ftl_factory)")
+    return "fast" if eligible else "des"
+
+
+def _collect_series(played: Sequence["PlayedRequest"]) -> IntervalSeries:
+    series = IntervalSeries()
+    for pr in played:
+        if pr.rejected:
+            continue
+        series.record(pr.interval, pr.io.response_ms,
+                      pr.io.delay_ms if pr.delayed else 0.0)
+    return series
 
 
 @dataclass
@@ -81,11 +127,15 @@ class BatchTracePlayer:
         ``"combined"`` (DTR + max-flow fallback, §III-C, default) or
         ``"guarantee"`` (plain DTR targeting the guarantee level
         ``M(b)``, the Table II semantics).
+    engine:
+        ``"auto"`` (closed-form fast path when eligible, else DES),
+        ``"des"`` or ``"fast"`` -- see :func:`resolve_engine`.
     """
 
     def __init__(self, allocation: AllocationScheme, interval_ms: float,
                  retrieval: str = "combined",
-                 params=None, module_factory=None):
+                 params=None, module_factory=None,
+                 engine: str = "auto"):
         if interval_ms <= 0:
             raise ValueError("interval_ms must be positive")
         if retrieval not in ("combined", "guarantee", "greedy"):
@@ -97,6 +147,8 @@ class BatchTracePlayer:
         #: optional custom module constructor (e.g. HDDModule for the
         #: flash-vs-HDD motivation ablation)
         self.module_factory = module_factory
+        self.engine = resolve_engine(engine,
+                                     module_factory=module_factory)
 
     def _schedule(self, candidates, carry):
         """Device assignment for one interval batch.
@@ -146,6 +198,8 @@ class BatchTracePlayer:
         if reads is not None and not all(reads):
             raise ValueError("BatchTracePlayer is read-only; use "
                              "OnlineTracePlayer for writes")
+        if self.engine == "fast":
+            return self._play_fast(arrivals, buckets)
         env = Environment()
         array = FlashArray(env, self.allocation.n_devices, self.params,
                            module_factory=self.module_factory)
@@ -164,7 +218,7 @@ class BatchTracePlayer:
                 if any(arrivals[i] > start + 1e-9 for i in member):
                     batch_time = (idx + 1) * self.interval_ms
                 if batch_time > env.now:
-                    yield env.timeout(batch_time - env.now)
+                    yield env.timeout_until(batch_time)
                 cands = [self.allocation.devices_for(int(buckets[i]))
                          for i in member]
                 carry = [max(0.0, b - batch_time) / service
@@ -182,12 +236,43 @@ class BatchTracePlayer:
 
         env.process(run())
         env.run()
+        return _collect_series(played), played
 
-        series = IntervalSeries()
-        for pr in played:
-            series.record(pr.interval, pr.io.response_ms,
-                          pr.io.delay_ms if pr.delayed else 0.0)
-        return series, played
+    def _play_fast(self, arrivals: Sequence[float],
+                   buckets: Sequence[int],
+                   ) -> Tuple[IntervalSeries, List[PlayedRequest]]:
+        """Closed-form batch playback: the busy-until recurrence IS the
+        module behaviour when service times are constant, so the DES
+        adds nothing -- same scheduling decisions, same floats."""
+        params = self.params or FlashParams()
+        groups = _group_by_interval(arrivals, self.interval_ms)
+        played: List[PlayedRequest] = []
+        service = params.read_ms
+        busy_until = [0.0] * self.allocation.n_devices
+        for idx in sorted(groups):
+            member = groups[idx]
+            start = idx * self.interval_ms
+            batch_time = start
+            if any(arrivals[i] > start + 1e-9 for i in member):
+                batch_time = (idx + 1) * self.interval_ms
+            cands = [self.allocation.devices_for(int(buckets[i]))
+                     for i in member]
+            carry = [max(0.0, b - batch_time) / service
+                     for b in busy_until]
+            schedule = self._schedule(cands, carry)
+            for i, dev in zip(member, schedule.assignment):
+                io = IORequest(arrival=float(arrivals[i]),
+                               bucket=int(buckets[i]))
+                io.device = dev
+                io.issued_at = batch_time
+                io.enqueued_at = batch_time
+                io.started_at = max(busy_until[dev], batch_time)
+                busy_until[dev] = io.started_at + service
+                io.completed_at = busy_until[dev]
+                played.append(PlayedRequest(
+                    io=io, interval=idx, index=i,
+                    delayed=io.issued_at > io.arrival + 1e-9))
+        return _collect_series(played), played
 
 
 class OnlineTracePlayer:
@@ -217,7 +302,8 @@ class OnlineTracePlayer:
                  ftl_factory=None,
                  tenant_budgets: Optional[Dict[str, int]] = None,
                  overflow: str = "delay",
-                 module_factory=None):
+                 module_factory=None,
+                 engine: str = "auto"):
         if interval_ms <= 0:
             raise ValueError("interval_ms must be positive")
         if epsilon > 0 and probabilities is None:
@@ -246,6 +332,9 @@ class OnlineTracePlayer:
         #: heuristic and the deterministic guarantee does not hold --
         #: which is the point of the HDD counterfactual.
         self.module_factory = module_factory
+        self.engine = resolve_engine(engine,
+                                     module_factory=module_factory,
+                                     ftl_factory=ftl_factory)
 
     def _make_admission(self):
         if self.epsilon > 0:
@@ -283,10 +372,17 @@ class OnlineTracePlayer:
                     "tenant budgets require an aligned apps sequence")
         is_read = ([True] * len(buckets) if reads is None
                    else [bool(r) for r in reads])
-        env = Environment()
-        array = FlashArray(env, self.allocation.n_devices, self.params,
-                           ftl_factory=self.ftl_factory,
-                           module_factory=self.module_factory)
+        fast = self.engine == "fast"
+        if fast:
+            env = None
+            array = None
+            params = self.params or FlashParams()
+        else:
+            env = Environment()
+            array = FlashArray(env, self.allocation.n_devices, self.params,
+                               ftl_factory=self.ftl_factory,
+                               module_factory=self.module_factory)
+            params = array.params
         admission = self._make_admission()
         tenant = None
         if self.tenant_budgets is not None:
@@ -296,7 +392,7 @@ class OnlineTracePlayer:
                                      self.allocation.replication,
                                      self.accesses)
         interval_ms = self.interval_ms
-        service = array.params.read_ms
+        service = params.read_ms
         busy_until = [0.0] * self.allocation.n_devices
         played: List[PlayedRequest] = []
 
@@ -310,77 +406,83 @@ class OnlineTracePlayer:
         def interval_of(t: float) -> int:
             return int(t / interval_ms + 1e-9)
 
-        def run():
+        def process_now(t: float) -> None:
+            """One wake-up: admit and place everything due at ``t``.
+
+            Shared verbatim by both engines, so the only difference
+            between them is who serves the requests -- the DES modules
+            or the (provably identical) busy-until arithmetic.
+            """
             nonlocal seq_counter, current_interval
+            # Roll the admission window forward.
+            idx = interval_of(t)
+            while current_interval < idx:
+                admission.start_interval()
+                if tenant is not None:
+                    tenant.start_interval()
+                current_interval += 1
+            # Gather the batch of simultaneous arrivals.
+            batch: List[int] = []
+            while heap and heap[0][0] <= t + 1e-12:
+                _, _, orig = heapq.heappop(heap)
+                batch.append(orig)
+            admitted: List[int] = []
+            admitted_writes: List[int] = []
+            for orig in batch:
+                cost = 1 if is_read[orig] else \
+                    self.allocation.replication
+                if tenant is not None:
+                    granted = bool(tenant.offer(apps[orig], cost))
+                else:
+                    granted = bool(admission.offer(cost))
+                if granted:
+                    if is_read[orig]:
+                        admitted.append(orig)
+                    else:
+                        admitted_writes.append(orig)
+                elif self.overflow == "reject":
+                    io = IORequest(
+                        arrival=float(arrivals[orig]),
+                        bucket=int(buckets[orig]),
+                        is_read=is_read[orig])
+                    played.append(PlayedRequest(
+                        io=io, interval=idx, index=orig,
+                        delayed=False, rejected=True))
+                else:
+                    # Budget overflow: delay to the next interval.
+                    next_start = (idx + 1) * interval_ms
+                    heapq.heappush(
+                        heap, (next_start, seq_counter, orig))
+                    seq_counter += 1
+            if admitted:
+                self._dispatch(admitted, t, idx, arrivals, buckets,
+                               busy_until, service, array, played,
+                               admission)
+            for orig in admitted_writes:
+                self._issue_write(orig, t, idx, arrivals, buckets,
+                                  busy_until, params, array, played,
+                                  admission)
+
+        if fast:
             while heap:
-                t_eff = heap[0][0]
-                if t_eff > env.now:
-                    yield env.timeout(t_eff - env.now)
-                t = env.now
-                # Roll the admission window forward.
-                idx = interval_of(t)
-                while current_interval < idx:
-                    admission.start_interval()
-                    if tenant is not None:
-                        tenant.start_interval()
-                    current_interval += 1
-                # Gather the batch of simultaneous arrivals.
-                batch: List[int] = []
-                while heap and heap[0][0] <= t + 1e-12:
-                    _, _, orig = heapq.heappop(heap)
-                    batch.append(orig)
-                admitted: List[int] = []
-                admitted_writes: List[int] = []
-                for orig in batch:
-                    cost = 1 if is_read[orig] else \
-                        self.allocation.replication
-                    if tenant is not None:
-                        granted = bool(tenant.offer(apps[orig], cost))
-                    else:
-                        granted = bool(admission.offer(cost))
-                    if granted:
-                        if is_read[orig]:
-                            admitted.append(orig)
-                        else:
-                            admitted_writes.append(orig)
-                    elif self.overflow == "reject":
-                        io = IORequest(
-                            arrival=float(arrivals[orig]),
-                            bucket=int(buckets[orig]),
-                            is_read=is_read[orig])
-                        played.append(PlayedRequest(
-                            io=io, interval=idx, index=orig,
-                            delayed=False, rejected=True))
-                    else:
-                        # Budget overflow: delay to the next interval.
-                        next_start = (idx + 1) * interval_ms
-                        heapq.heappush(
-                            heap, (next_start, seq_counter, orig))
-                        seq_counter += 1
-                if admitted:
-                    self._dispatch(admitted, t, idx, arrivals, buckets,
-                                   busy_until, service, array, played,
-                                   admission)
-                for orig in admitted_writes:
-                    self._issue_write(orig, t, idx, arrivals, buckets,
-                                      busy_until, array, played,
-                                      admission)
+                process_now(heap[0][0])
+        else:
+            def run():
+                while heap:
+                    t_eff = heap[0][0]
+                    if t_eff > env.now:
+                        yield env.timeout_until(t_eff)
+                    process_now(env.now)
 
-        env.process(run())
-        env.run()
+            env.process(run())
+            env.run()
 
-        series = IntervalSeries()
-        for pr in played:
-            if pr.rejected:
-                continue
-            series.record(pr.interval, pr.io.response_ms,
-                          pr.io.delay_ms if pr.delayed else 0.0)
-        return series, played
+        return _collect_series(played), played
 
     # -- placement ---------------------------------------------------------
     def _dispatch(self, admitted: List[int], t: float, idx: int,
                   arrivals, buckets, busy_until: List[float],
-                  service: float, array: FlashArray,
+                  service: float, array: Optional[FlashArray],
                   played: List[PlayedRequest], admission) -> None:
         """Place an admitted batch of simultaneous requests."""
         cands = [self.allocation.devices_for(int(buckets[i]))
@@ -405,7 +507,7 @@ class OnlineTracePlayer:
 
     def _issue_one(self, orig: int, dev: int, t: float, idx: int,
                    arrivals, buckets, busy_until: List[float],
-                   service: float, array: FlashArray,
+                   service: float, array: Optional[FlashArray],
                    played: List[PlayedRequest], admission) -> None:
         io = IORequest(arrival=float(arrivals[orig]),
                        bucket=int(buckets[orig]))
@@ -434,9 +536,20 @@ class OnlineTracePlayer:
             # conflict) absorbs the wait into the response (Fig 10b).
             issue_at = t
             delayed = io.arrival + 1e-9 < t  # delayed by budget earlier
-        busy_until[dev] = max(busy_until[dev], issue_at) + service
-        array.env.process(
-            self._issue_process(array, io, dev, issue_at))
+        started = max(busy_until[dev], issue_at)
+        busy_until[dev] = started + service
+        if array is None:
+            # Fast engine: with constant service times the busy-until
+            # mirror *is* the module, so fill the timestamps directly
+            # (same max, same single addition as the service loop).
+            io.device = dev
+            io.issued_at = issue_at
+            io.enqueued_at = issue_at
+            io.started_at = started
+            io.completed_at = busy_until[dev]
+        else:
+            array.env.process(
+                self._issue_process(array, io, dev, issue_at))
         played.append(PlayedRequest(io=io, interval=idx, index=orig,
                                     delayed=delayed))
 
@@ -444,14 +557,15 @@ class OnlineTracePlayer:
     def _issue_process(array: FlashArray, io: IORequest, dev: int,
                        issue_at: float):
         if issue_at > array.env.now:
-            yield array.env.timeout(issue_at - array.env.now)
+            yield array.env.timeout_until(issue_at)
         done = array.issue(io, dev)
         yield done
 
     # -- writes --------------------------------------------------------------
     def _issue_write(self, orig: int, t: float, idx: int,
                      arrivals, buckets, busy_until: List[float],
-                     array: FlashArray, played: List[PlayedRequest],
+                     params: FlashParams, array: Optional[FlashArray],
+                     played: List[PlayedRequest],
                      admission) -> None:
         """Apply a write to every live replica of its bucket.
 
@@ -460,8 +574,8 @@ class OnlineTracePlayer:
         for all replicas to go idle, statistical QoS may queue).
         """
         devices = self.allocation.devices_for(int(buckets[orig]))
-        write_service = array.params.write_ms
-        read_service = array.params.read_ms
+        write_service = params.write_ms
+        read_service = params.read_ms
         master = IORequest(arrival=float(arrivals[orig]),
                            bucket=int(buckets[orig]), is_read=False)
         guarantee = self.accesses * read_service
@@ -479,8 +593,12 @@ class OnlineTracePlayer:
             delayed = master.arrival + 1e-9 < t
         for d in devices:
             busy_until[d] = max(busy_until[d], issue_at) + write_service
-        array.env.process(
-            self._write_process(array, master, devices, issue_at))
+        if array is None:
+            master.issued_at = issue_at
+            master.completed_at = max(busy_until[d] for d in devices)
+        else:
+            array.env.process(
+                self._write_process(array, master, devices, issue_at))
         played.append(PlayedRequest(io=master, interval=idx, index=orig,
                                     delayed=delayed))
 
@@ -490,7 +608,7 @@ class OnlineTracePlayer:
         from repro.sim import AllOf
 
         if issue_at > array.env.now:
-            yield array.env.timeout(issue_at - array.env.now)
+            yield array.env.timeout_until(issue_at)
         master.issued_at = array.env.now
         events = []
         for d in devices:

@@ -1,0 +1,138 @@
+"""Closed-form constant-latency playback (the vectorized fast path).
+
+The paper's default array is the degenerate queueing regime: every
+module is a deterministic constant-rate FCFS server (one 8 KB read =
+0.132507 ms, no positional delays).  In that regime stepping the event
+loop request-by-request computes nothing the Lindley recurrence does
+not give in closed form:
+
+.. math::
+
+    c_i = \\max(u_i, c_{i-1}) + s
+
+where ``u_i`` is the issue time of the *i*-th request on a module,
+``s`` the constant service time and ``c_i`` its completion time.  This
+module evaluates that recurrence with numpy instead of the DES --
+bit-for-bit identical to the event loop, which the property tests and
+the ``fastpath`` determinism probe enforce on randomized traces.
+
+Exactness is the delicate part.  The textbook vectorization
+
+.. math::
+
+    c_i = (i + 1) s + \\max_{j \\le i} (u_j - j s)
+
+re-associates the floating-point additions (``k * s`` instead of ``s``
+added ``k`` times), so it can differ from the event loop by ulps.  We
+therefore use it only to *locate busy periods*, then replay each busy
+period with ``np.add.accumulate`` -- whose strict left-to-right
+accumulation performs exactly the event loop's additions -- and verify
+the located boundaries against the exact completions, falling back to
+the sequential recurrence in the (ulp-rare) case a boundary moved.
+
+The fast path only applies when the module population is homogeneous
+constant-latency FCFS: an FTL (garbage-collection erase stalls), a
+custom module type (HDD, channel geometry) or priority queues make
+service times state-dependent, and the drivers fall back to the DES --
+see :func:`supports_fast_playback`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["fcfs_completion_times", "supports_fast_playback"]
+
+
+def supports_fast_playback(module_factory=None, ftl_factory=None,
+                           priority_queues: bool = False) -> bool:
+    """True when playback is computable in closed form.
+
+    Any hook that makes per-request service time state-dependent --
+    a custom module type (``module_factory``: HDD seek/rotation,
+    channel-bus geometry), an FTL whose garbage collection stalls the
+    module, or priority scheduling -- disqualifies the closed form;
+    the drivers then run the DES.
+    """
+    return (module_factory is None and ftl_factory is None
+            and not priority_queues)
+
+
+def _sequential_completions(issue_ms: np.ndarray,
+                            service_ms: float) -> np.ndarray:
+    """Reference scalar Lindley recurrence (exact by definition)."""
+    out = np.empty_like(issue_ms)
+    prev = -np.inf
+    for i in range(issue_ms.size):
+        u = issue_ms[i]
+        prev = (u if u > prev else prev) + service_ms
+        out[i] = prev
+    return out
+
+
+def _accumulate_busy_periods(issue_ms: np.ndarray, service_ms: float,
+                             starts: np.ndarray) -> np.ndarray:
+    """Exact completions given busy-period start flags.
+
+    Within a busy period starting at index ``a`` the recurrence
+    degenerates to repeated addition ``c_a = u_a + s; c_i = c_{i-1} + s``,
+    which ``np.add.accumulate`` reproduces exactly (strict left-to-right
+    accumulation, unlike the pairwise-summing ``np.sum``).
+    """
+    n = issue_ms.size
+    out = np.empty(n, dtype=np.float64)
+    bounds = np.flatnonzero(starts)
+    ends = np.append(bounds[1:], n)
+    lengths = ends - bounds
+    single = lengths == 1
+    # Idle-start singletons in bulk: c = u + s.
+    lone = bounds[single]
+    out[lone] = issue_ms[lone] + service_ms
+    for a, b in zip(bounds[~single], ends[~single]):
+        seg = np.full(b - a, service_ms)
+        seg[0] = issue_ms[a] + service_ms
+        np.add.accumulate(seg, out=out[a:b])
+    return out
+
+
+def fcfs_completion_times(issue_ms, service_ms: float) -> np.ndarray:
+    """Completion times of FCFS requests on one constant-rate module.
+
+    Parameters
+    ----------
+    issue_ms:
+        Nondecreasing times at which requests enter the module queue.
+    service_ms:
+        The constant per-request service time.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``c`` with ``c[i] = max(issue[i], c[i-1]) + service``,
+        bit-identical to what the DES module would record.
+    """
+    u = np.ascontiguousarray(issue_ms, dtype=np.float64)
+    if u.ndim != 1:
+        raise ValueError("issue times must be one-dimensional")
+    n = u.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    s = float(service_ms)
+    if s < 0:
+        raise ValueError("service time must be >= 0")
+    if n > 1 and np.any(u[1:] < u[:-1]):
+        raise ValueError("issue times must be nondecreasing (FCFS)")
+    idx = np.arange(n)
+    # Closed-form candidate, used only to locate busy-period starts.
+    approx = np.maximum.accumulate(u - idx * s) + (idx + 1) * s
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = u[1:] > approx[:-1]
+    out = _accumulate_busy_periods(u, s, starts)
+    # A boundary is real iff the *exact* completion agrees with the
+    # classification; ulp drift in `approx` near a tie can move one.
+    if n > 1 and not np.array_equal(starts[1:], u[1:] > out[:-1]):
+        return _sequential_completions(u, s)
+    return out

@@ -1,0 +1,20 @@
+"""Parallel experiment engine: cells, process fan-out, result cache.
+
+``repro.runner`` executes experiment *cells* -- independent picklable
+units of work -- either serially or across a
+``concurrent.futures.ProcessPoolExecutor``, with per-cell seeds
+derived deterministically in the parent
+(:func:`~repro.runner.parallel.spawn_seeds`) so results are
+byte-identical at any ``jobs`` count, and an optional
+content-addressed on-disk cache keyed by cell identity and a
+source-tree fingerprint (:mod:`repro.runner.cache`).
+
+See docs/performance.md for the design discussion and measured
+numbers, and ``tools/bench_runner.py`` for the benchmark harness.
+"""
+
+from repro.runner.cache import ResultCache, source_fingerprint
+from repro.runner.parallel import Cell, ParallelRunner, spawn_seeds
+
+__all__ = ["Cell", "ParallelRunner", "ResultCache",
+           "source_fingerprint", "spawn_seeds"]

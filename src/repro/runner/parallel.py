@@ -1,0 +1,154 @@
+"""Deterministic parallel execution of experiment cells.
+
+An experiment decomposes into *cells*: independent, picklable pieces
+of work (one ``k`` of the Figure 4 curve, one ``(workload, epsilon)``
+point of Figure 10, one Table III row/scheme pair).  The runner
+executes cells serially or across a process pool; results are
+identical either way because
+
+* every cell is a module-level function of explicit parameters -- no
+  shared state, no ambient RNG;
+* per-cell seeds are derived in the *parent* at submission time via
+  :func:`spawn_seeds` (``numpy.random.SeedSequence.spawn``), so what a
+  cell computes never depends on which worker runs it or in what
+  order;
+* results are mapped back by submission index, not completion order.
+
+The ``repro.check`` determinism probe ``runner`` double-runs a
+jobs=1-vs-jobs=2 comparison to enforce this bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runner.cache import ResultCache
+
+__all__ = ["Cell", "ParallelRunner", "spawn_seeds"]
+
+
+def spawn_seeds(root_seed: int, n: int) -> List[int]:
+    """``n`` independent per-cell seeds derived from ``root_seed``.
+
+    Uses ``SeedSequence.spawn`` so the per-cell streams are
+    statistically independent *and* a pure function of
+    ``(root_seed, index)`` -- the derivation never touches global
+    state, which is what makes serial and parallel runs agree.
+    """
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return [int(c.generate_state(1, dtype=np.uint32)[0])
+            for c in children]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of experiment work.
+
+    ``fn`` must be a module-level callable and ``args``/``kwargs``
+    picklable (they cross the process boundary); the return value must
+    be picklable plain data, not a live DES object graph.
+    """
+
+    experiment: str
+    name: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: set False for cells whose value is a *measurement* (wall time,
+    #: memory) rather than a pure function of the parameters
+    cacheable: bool = True
+
+    @property
+    def fn_ref(self) -> str:
+        return f"{self.fn.__module__}.{self.fn.__qualname__}"
+
+    def params(self) -> Dict[str, Any]:
+        """Canonical parameter mapping for cache keying."""
+        return {"args": list(self.args), "kwargs": dict(self.kwargs)}
+
+
+def _execute(fn: Callable[..., Any], args: Tuple[Any, ...],
+             kwargs: Dict[str, Any]) -> Any:
+    """Worker entry point (module-level so it pickles)."""
+    return fn(*args, **kwargs)
+
+
+class ParallelRunner:
+    """Run cells serially (``jobs=1``) or across a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` runs in-process (no pool, no
+        pickling round-trip) but computes the *same* results.
+    cache:
+        Optional :class:`~repro.runner.cache.ResultCache`; cached
+        cells are answered without executing anything.
+
+    Attributes
+    ----------
+    timings:
+        ``(experiment, cell_name, seconds, from_cache)`` per cell of
+        the most recent :meth:`run` calls (appended across calls;
+        consumed by ``tools/bench_runner.py``).
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.timings: List[Tuple[str, str, float, bool]] = []
+
+    def run(self, cells: Sequence[Cell]) -> List[Any]:
+        """Execute ``cells``; returns results in submission order."""
+        results: List[Any] = [None] * len(cells)
+        pending: List[Tuple[int, Cell, Optional[str]]] = []
+        for i, cell in enumerate(cells):
+            key = None
+            if self.cache is not None and cell.cacheable:
+                key = self.cache.key(cell.experiment, cell.name,
+                                     cell.fn_ref, cell.params())
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[i] = value
+                    self.timings.append(
+                        (cell.experiment, cell.name, 0.0, True))
+                    continue
+            pending.append((i, cell, key))
+        if not pending:
+            return results
+        if self.jobs == 1 or len(pending) == 1:
+            for i, cell, key in pending:
+                t0 = time.perf_counter()  # repro: allow[wall-clock]
+                value = _execute(cell.fn, cell.args, dict(cell.kwargs))
+                self._finish(results, i, cell, key, value,
+                             time.perf_counter() - t0)  # repro: allow[wall-clock]
+        else:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                submitted = []
+                for i, cell, key in pending:
+                    t0 = time.perf_counter()  # repro: allow[wall-clock]
+                    fut = pool.submit(_execute, cell.fn, cell.args,
+                                      dict(cell.kwargs))
+                    submitted.append((i, cell, key, t0, fut))
+                for i, cell, key, t0, fut in submitted:
+                    value = fut.result()
+                    self._finish(results, i, cell, key, value,
+                                 time.perf_counter() - t0)  # repro: allow[wall-clock]
+        return results
+
+    def _finish(self, results: List[Any], i: int, cell: Cell,
+                key: Optional[str], value: Any,
+                seconds: float) -> None:
+        results[i] = value
+        if key is not None:
+            self.cache.put(key, value)
+        self.timings.append((cell.experiment, cell.name, seconds, False))

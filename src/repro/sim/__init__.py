@@ -20,7 +20,8 @@ traces.
 """
 
 from repro.sim.core import Environment
-from repro.sim.events import AllOf, AnyOf, Event, Interrupted, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, Interrupted, \
+    Timeout, TimeoutUntil
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
 
@@ -34,4 +35,5 @@ __all__ = [
     "Resource",
     "Store",
     "Timeout",
+    "TimeoutUntil",
 ]

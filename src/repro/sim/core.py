@@ -12,7 +12,7 @@ import heapq
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.check import sanitizers
-from repro.sim.events import Event, Timeout
+from repro.sim.events import Event, Timeout, TimeoutUntil
 from repro.sim.process import Process
 
 __all__ = ["Environment", "EmptySchedule"]
@@ -77,14 +77,30 @@ class Environment:
         """Create an event firing ``delay`` units from now."""
         return Timeout(self, delay, value)
 
+    def timeout_until(self, when: float, value: Any = None) -> TimeoutUntil:
+        """Create an event firing at the absolute time ``when``.
+
+        Prefer this over ``timeout(when - now)`` when the target time
+        is a meaningful float (a trace arrival, an interval boundary):
+        the round-trip through a relative delay is not exact in
+        floating point.
+        """
+        return TimeoutUntil(self, when, value)
+
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` from a generator."""
         return Process(self, generator)
 
     # -- scheduling ------------------------------------------------------
-    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        """Place a triggered event on the queue ``delay`` from now."""
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+    def _schedule_event(self, event: Event, delay: float = 0.0,
+                        at: Optional[float] = None) -> None:
+        """Place a triggered event on the queue ``delay`` from now.
+
+        ``at`` overrides ``delay`` with an exact absolute time (used by
+        :class:`~repro.sim.events.TimeoutUntil` to avoid float drift).
+        """
+        when = self._now + delay if at is None else at
+        heapq.heappush(self._queue, (when, self._seq, event))
         self._seq += 1
 
     def peek(self) -> float:

@@ -12,7 +12,8 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Environment
 
-__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Interrupted"]
+__all__ = ["Event", "Timeout", "TimeoutUntil", "AllOf", "AnyOf",
+           "Interrupted"]
 
 _PENDING = object()
 
@@ -131,6 +132,36 @@ class Timeout(Event):
 
     def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
         raise RuntimeError("Timeout events cannot be re-triggered")
+
+
+class TimeoutUntil(Event):
+    """An event that fires at the *absolute* simulation time ``when``.
+
+    Unlike ``Timeout(when - env.now)``, the wake-up time is stored
+    exactly: computing a relative delay and re-adding it to the clock
+    accumulates floating-point round-off (``now + (t - now) != t`` in
+    general), which would make closed-form response-time computations
+    disagree with the event loop by ulps.  Trace players schedule
+    arrivals and deferred issues with this event so simulated
+    timestamps equal the trace floats bit-for-bit.
+    """
+
+    def __init__(self, env: "Environment", when: float, value: Any = None):
+        if when < env.now:
+            raise ValueError(f"target time {when!r} is in the past "
+                             f"(now={env.now!r})")
+        super().__init__(env)
+        self.when = when
+        self._value = value
+        self._ok = True
+        env._schedule_event(self, at=when)
+
+    # Triggered at construction, like Timeout.
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise RuntimeError("TimeoutUntil events cannot be re-triggered")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise RuntimeError("TimeoutUntil events cannot be re-triggered")
 
 
 class _Condition(Event):

@@ -36,6 +36,23 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_jobs_flag_output_identical(self, capsys):
+        assert main(["table2", "--fast", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table2", "--fast", "--no-cache",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_flag_threads_through(self, tmp_path, monkeypatch,
+                                        capsys):
+        # Default cache root is CWD-relative; point it at tmp_path.
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig6", "--fast"]) == 0
+        first = capsys.readouterr().out
+        assert list((tmp_path / ".benchmarks" / "cache").rglob("*.pkl"))
+        assert main(["fig6", "--fast"]) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestCharts:
     def test_chart_flag_appends_sparkline(self, capsys):

@@ -82,6 +82,20 @@ class TestResultJson:
         assert back.rows == r.rows
         assert back.notes == r.notes
 
+    def test_render_survives_roundtrip(self):
+        r = ExperimentResult("name", ["a", "b"],
+                             [[1, "x"], [2.5, "y"], [0.123456, ""]],
+                             notes="shape note")
+        back = ExperimentResult.from_json(r.to_json())
+        assert back.render() == r.render()
+
+    def test_render_survives_roundtrip_real_experiment(self):
+        from repro.experiments import fig8
+
+        r = fig8.run(scale=0.1, n_intervals=2)
+        back = ExperimentResult.from_json(r.to_json())
+        assert back.render() == r.render()
+
     def test_missing_fields_rejected(self):
         with pytest.raises(ValueError, match="missing"):
             ExperimentResult.from_json('{"name": "x"}')

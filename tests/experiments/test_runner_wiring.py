@@ -1,0 +1,68 @@
+"""Experiments through the parallel runner: jobs=N changes nothing.
+
+The contract the ISSUE pins down: fanning an experiment's cells
+across a process pool must yield ``ExperimentResult.rows`` identical
+to the serial run -- same values, same order, byte for byte.
+"""
+
+import pytest
+
+from repro.experiments import fig4, fig8, fig10, table2, table3
+from repro.runner import Cell, ParallelRunner, ResultCache
+
+
+@pytest.mark.parametrize("run_small", [
+    pytest.param(lambda r: fig4.run(trials=40, runner=r), id="fig4"),
+    pytest.param(lambda r: fig8.run(scale=0.1, n_intervals=3,
+                                    runner=r), id="fig8"),
+    pytest.param(lambda r: fig10.run(scale=0.1, n_intervals=3,
+                                     runner=r), id="fig10"),
+    pytest.param(lambda r: table2.run(samples=40, runner=r),
+                 id="table2"),
+    pytest.param(lambda r: table3.run(total_requests=150, runner=r),
+                 id="table3"),
+])
+def test_parallel_rows_identical_to_serial(run_small):
+    serial = run_small(ParallelRunner(jobs=1))
+    for jobs in (2, 4):
+        parallel = run_small(ParallelRunner(jobs=jobs))
+        assert parallel.headers == serial.headers
+        assert parallel.rows == serial.rows
+        assert parallel.notes == serial.notes
+
+
+def test_default_runner_is_serial_uncached():
+    # run(runner=None) must not silently read a stale cache.
+    first = fig8.run(scale=0.1, n_intervals=2)
+    second = fig8.run(scale=0.1, n_intervals=2)
+    assert first.rows == second.rows
+
+
+def test_cached_rerun_matches_fresh(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    fresh = table3.run(total_requests=150,
+                       runner=ParallelRunner(jobs=1, cache=cache))
+    runner = ParallelRunner(jobs=1, cache=cache)
+    cached = table3.run(total_requests=150, runner=runner)
+    assert cached.rows == fresh.rows
+    assert cache.hits == 9  # 3 workloads x 3 schemes, all from disk
+    assert all(from_cache for _, _, _, from_cache in runner.timings)
+
+
+def test_seed_changes_cache_key(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    table2.run(samples=30, seed=0,
+               runner=ParallelRunner(jobs=1, cache=cache))
+    table2.run(samples=30, seed=1,
+               runner=ParallelRunner(jobs=1, cache=cache))
+    assert cache.hits == 0
+
+
+def test_cells_are_picklable():
+    import pickle
+
+    cell = Cell("table3", "row0", table3._cell_scheme,
+                (0, "RAID-1 Mirrored", 100, 0, 9, 3))
+    clone = pickle.loads(pickle.dumps(cell))
+    assert clone.fn is table3._cell_scheme
+    assert clone.args == cell.args

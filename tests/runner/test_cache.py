@@ -1,0 +1,76 @@
+"""Unit tests for the content-addressed result cache."""
+
+from repro.runner import ResultCache, source_fingerprint
+
+
+class TestSourceFingerprint:
+    def test_stable_for_same_tree(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        first = source_fingerprint(tmp_path, refresh=True)
+        assert source_fingerprint(tmp_path, refresh=True) == first
+
+    def test_changes_on_edit(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        before = source_fingerprint(tmp_path, refresh=True)
+        f.write_text("x = 2\n")
+        assert source_fingerprint(tmp_path, refresh=True) != before
+
+    def test_changes_on_rename(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        before = source_fingerprint(tmp_path, refresh=True)
+        f.rename(tmp_path / "b.py")
+        assert source_fingerprint(tmp_path, refresh=True) != before
+
+    def test_memoized_without_refresh(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        before = source_fingerprint(tmp_path, refresh=True)
+        f.write_text("x = 2\n")
+        assert source_fingerprint(tmp_path) == before
+
+
+class TestResultCache:
+    def _cache(self, tmp_path, fingerprint="fp"):
+        return ResultCache(root=tmp_path, fingerprint=fingerprint)
+
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = self._cache(tmp_path)
+        key = cache.key("exp", "cell", "mod.fn", {"args": [1]})
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"rows": [1, 2.5, "x"]})
+        assert cache.get(key) == (True, {"rows": [1, 2.5, "x"]})
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_key_sensitive_to_every_component(self, tmp_path):
+        cache = self._cache(tmp_path)
+        base = cache.key("exp", "cell", "mod.fn", {"args": [1]})
+        assert cache.key("exp2", "cell", "mod.fn", {"args": [1]}) != base
+        assert cache.key("exp", "cell2", "mod.fn", {"args": [1]}) != base
+        assert cache.key("exp", "cell", "mod.fn2", {"args": [1]}) != base
+        assert cache.key("exp", "cell", "mod.fn", {"args": [2]}) != base
+
+    def test_fingerprint_invalidates(self, tmp_path):
+        old = self._cache(tmp_path, fingerprint="v1")
+        key = old.key("exp", "cell", "mod.fn", {})
+        old.put(key, 42)
+        new = self._cache(tmp_path, fingerprint="v2")
+        hit, _ = new.get(new.key("exp", "cell", "mod.fn", {}))
+        assert not hit
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = self._cache(tmp_path)
+        key = cache.key("exp", "cell", "mod.fn", {})
+        cache.put(key, 42)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.get(key)
+        assert (hit, value) == (False, None)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cache = self._cache(tmp_path)
+        for i in range(5):
+            cache.put(cache.key("e", f"c{i}", "f", {}), i)
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert len(list(tmp_path.rglob("*.pkl"))) == 5

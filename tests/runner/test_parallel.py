@@ -1,0 +1,94 @@
+"""Unit tests for the parallel cell runner and seed fan-out."""
+
+import pytest
+
+from repro.runner import Cell, ParallelRunner, ResultCache, spawn_seeds
+
+
+def _square_plus(x, offset=0):
+    """Module-level so cells built on it pickle across the pool."""
+    return x * x + offset
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(0, 3) == spawn_seeds(0, 3)
+
+    def test_distinct_per_cell_and_per_root(self):
+        seeds = spawn_seeds(0, 8)
+        assert len(set(seeds)) == 8
+        assert spawn_seeds(1, 8) != seeds
+
+    def test_prefix_stable(self):
+        # Adding cells must not reshuffle the seeds of existing ones.
+        assert spawn_seeds(7, 4) == spawn_seeds(7, 9)[:4]
+
+    def test_values_fit_uint32(self):
+        assert all(0 <= s < 2**32 for s in spawn_seeds(123, 16))
+
+
+class TestParallelRunner:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+    def test_serial_results_in_submission_order(self):
+        cells = [Cell("t", f"c{i}", _square_plus, (i, 1))
+                 for i in range(5)]
+        assert ParallelRunner(jobs=1).run(cells) == [1, 2, 5, 10, 17]
+
+    def test_parallel_matches_serial(self):
+        cells = [Cell("t", f"c{i}", _square_plus, (i,), {"offset": i})
+                 for i in range(6)]
+        serial = ParallelRunner(jobs=1).run(cells)
+        parallel = ParallelRunner(jobs=2).run(cells)
+        assert serial == parallel
+
+    def test_timings_recorded(self):
+        runner = ParallelRunner(jobs=1)
+        runner.run([Cell("exp", "a", _square_plus, (2, 0))])
+        assert len(runner.timings) == 1
+        experiment, name, seconds, cached = runner.timings[0]
+        assert (experiment, name, cached) == ("exp", "a", False)
+        assert seconds >= 0.0
+
+    def test_empty_run(self):
+        assert ParallelRunner(jobs=2).run([]) == []
+
+
+class TestRunnerWithCache:
+    def test_second_run_hits(self, tmp_path):
+        cache = ResultCache(root=tmp_path, fingerprint="f")
+        cells = [Cell("t", f"c{i}", _square_plus, (i, 3))
+                 for i in range(4)]
+        first = ParallelRunner(jobs=1, cache=cache).run(cells)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        second = runner.run(cells)
+        assert first == second
+        assert cache.hits == 4
+        assert all(cached for _, _, _, cached in runner.timings)
+
+    def test_uncacheable_cells_always_execute(self, tmp_path):
+        cache = ResultCache(root=tmp_path, fingerprint="f")
+        cell = Cell("t", "c", _square_plus, (5, 0), cacheable=False)
+        ParallelRunner(jobs=1, cache=cache).run([cell])
+        ParallelRunner(jobs=1, cache=cache).run([cell])
+        assert cache.hits == 0
+        assert list(tmp_path.rglob("*.pkl")) == []
+
+    def test_parallel_run_populates_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path, fingerprint="f")
+        cells = [Cell("t", f"c{i}", _square_plus, (i, 0))
+                 for i in range(4)]
+        ParallelRunner(jobs=2, cache=cache).run(cells)
+        assert len(list(tmp_path.rglob("*.pkl"))) == 4
+
+
+class TestCellIdentity:
+    def test_fn_ref_is_qualified(self):
+        cell = Cell("t", "c", _square_plus)
+        assert cell.fn_ref == f"{__name__}._square_plus"
+
+    def test_params_canonicalized(self):
+        cell = Cell("t", "c", _square_plus, (1, 2), {"k": 3})
+        assert cell.params() == {"args": [1, 2], "kwargs": {"k": 3}}

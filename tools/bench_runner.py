@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Benchmark the parallel experiment engine and the playback fast path.
+
+Measures three things and writes ``BENCH_runner.json`` at the repo
+root (schema below):
+
+1. **engine**: the vectorized constant-latency playback vs the DES on
+   the Figure 8 Exchange workload at its default scale -- the ISSUE's
+   ``>= 10x`` criterion.
+2. **harness serial vs parallel**: every experiment's cells through
+   ``ParallelRunner(jobs=1)`` and ``ParallelRunner(jobs=N)``
+   (uncached both times), asserting identical rows.
+3. **cache**: a warm rerun against a fresh on-disk cache.
+
+Run after engine or runner changes::
+
+    PYTHONPATH=src python tools/bench_runner.py [--jobs N] [--full]
+
+``--fast-scale`` (default) uses the CLI's ``--fast`` workload sizes so
+the benchmark finishes in minutes; ``--full`` uses paper scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+OUT = ROOT / "BENCH_runner.json"
+
+
+def bench_engine(repeats: int = 3) -> dict:
+    """DES vs fast playback on fig8's Exchange trace, default scale."""
+    from repro.experiments.common import play_original
+    from repro.experiments.fig8 import make_parts
+
+    parts = make_parts("exchange", 0.5, 24, 0)
+    n = sum(len(p) for p in parts)
+    timings = {}
+    for engine in ("des", "fast"):
+        best = min(_timed(play_original, parts, 13, engine=engine)[1]
+                   for _ in range(repeats))
+        timings[engine] = best
+    # cross-check: both engines must agree float-exactly
+    des = play_original(parts, 13, engine="des")
+    fast = play_original(parts, 13, engine="fast")
+    for i in des.intervals():
+        if fast.stats(i).samples != des.stats(i).samples:
+            raise AssertionError("fast playback diverged from DES")
+    return {
+        "workload": "fig8 exchange scale=0.5 n_intervals=24",
+        "n_requests": n,
+        "des_seconds": round(timings["des"], 6),
+        "fast_seconds": round(timings["fast"], 6),
+        "speedup": round(timings["des"] / timings["fast"], 2),
+        "float_exact": True,
+    }
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def _harness(runner, fast: bool):
+    """Run every experiment through ``runner``; returns their rows."""
+    from repro.experiments import ablations
+    from repro.experiments.cli import RUNNERS
+
+    rows = {name: fn(fast, runner=runner).rows
+            for name, fn in RUNNERS.items()}
+    rows["ablations"] = [r.rows for r in
+                         ablations.run(runner=runner)]
+    return rows
+
+
+def _stable(rows: dict) -> dict:
+    """Strip wall-time/memory measurement columns before comparing."""
+    out = dict(rows)
+    out["table4"] = [[r[0], r[1], r[2], r[5]] for r in rows["table4"]]
+    out["ablations"] = [
+        [[cell for cell in row if not isinstance(cell, float)]
+         for row in table]
+        for table in rows["ablations"]]
+    return out
+
+
+def bench_harness(jobs: int, fast: bool) -> dict:
+    from repro.runner import ParallelRunner, ResultCache
+
+    serial_runner = ParallelRunner(jobs=1, cache=None)
+    serial_rows, serial_s = _timed(_harness, serial_runner, fast)
+
+    parallel_runner = ParallelRunner(jobs=jobs, cache=None)
+    parallel_rows, parallel_s = _timed(_harness, parallel_runner, fast)
+
+    if _stable(serial_rows) != _stable(parallel_rows):
+        raise AssertionError("parallel rows diverged from serial")
+
+    import shutil
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-cache-")
+    try:
+        cache = ResultCache(root=Path(cache_dir))
+        _harness(ParallelRunner(jobs=jobs, cache=cache), fast)
+        warm = ResultCache(root=Path(cache_dir))
+        warm_runner = ParallelRunner(jobs=jobs, cache=warm)
+        _, cached_s = _timed(_harness, warm_runner, fast)
+        cache_stats = {"hits": warm.hits, "misses": warm.misses}
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    per_cell = {}
+    for experiment, name, seconds, _ in serial_runner.timings:
+        per_cell.setdefault(experiment, 0.0)
+        per_cell[experiment] += seconds
+    return {
+        "scale": "paper" if not fast else "fast",
+        "jobs": jobs,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+        "rows_identical": True,
+        "cached_rerun_seconds": round(cached_s, 3),
+        "cache": cache_stats,
+        "serial_seconds_by_experiment": {
+            k: round(v, 3) for k, v in sorted(per_cell.items())},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, os.cpu_count() or 1))
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale workloads (slow)")
+    args = parser.parse_args(argv)
+
+    report = {
+        "host": {"cpus": os.cpu_count(),
+                 "python": sys.version.split()[0]},
+        "engine": bench_engine(),
+        "harness": bench_harness(args.jobs, fast=not args.full),
+    }
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
