@@ -83,12 +83,60 @@ def _fastpath_small(seed: int) -> str:
         series = play_original(parts, 13, engine=engine)
         payload.append(";".join(
             f"{i}:{series.stats(i).n_total}:"
-            f"{series.stats(i).samples!r}"
+            f"{series.stats(i).state()!r}"
             for i in series.intervals()))
     if payload[0] != payload[1]:
         raise ValueError(
             "fast playback diverged from the DES on the probe trace")
     return "|".join(payload)
+
+
+def _obs_small(seed: int) -> str:
+    """Observability sanitizer probe: one fig8 cell with obs on.
+
+    Asserts (a) experiment outputs are byte-identical with
+    observability enabled vs disabled, (b) both playback engines
+    produce identical request-section payloads, and (c) on the DES
+    every span opened at issue time is closed by drain time.  The
+    returned blob (plain outputs + canonical payloads) then guards the
+    instrumentation's own determinism across runs.
+    """
+    import json
+
+    from repro import obs
+    from repro.experiments import fig8
+    from repro.experiments.common import play_workload
+    from repro.obs.session import request_sections
+
+    plain = fig8.run(scale=0.15, n_intervals=3, seed=seed).to_json()
+    with obs.observed():
+        observed = fig8.run(scale=0.15, n_intervals=3,
+                            seed=seed).to_json()
+    if plain != observed:
+        raise ValueError(
+            "experiment output changed when observability was enabled")
+
+    parts = fig8.make_parts("exchange", 0.15, 3, seed)
+    payloads = {}
+    for engine in ("des", "fast"):
+        with obs.observed() as session:
+            play_workload(parts, n_devices=9, engine=engine)
+        payloads[engine] = session.to_payload()
+    sections = {engine: json.dumps(request_sections(payload),
+                                   sort_keys=True)
+                for engine, payload in payloads.items()}
+    if sections["des"] != sections["fast"]:
+        raise ValueError("observability payloads diverge between "
+                         "the DES and the fast engine")
+    kernel = payloads["des"]["kernel"]
+    if kernel["live_opened"] != kernel["live_closed"] \
+            or kernel["live_opened"] == 0:
+        raise ValueError(
+            f"unbalanced spans at drain time: "
+            f"{kernel['live_opened']} opened, "
+            f"{kernel['live_closed']} closed")
+    return plain + "|" + sections["des"] + "|" + \
+        json.dumps(kernel, sort_keys=True)
 
 
 #: name -> callable(seed) -> serialized result string
@@ -98,6 +146,7 @@ PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "selfcheck": _selfcheck_small,
     "runner": _runner_small,
     "fastpath": _fastpath_small,
+    "obs": _obs_small,
 }
 
 

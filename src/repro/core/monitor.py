@@ -15,6 +15,8 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["SLAMonitor", "SLAViolation"]
 
 
@@ -67,6 +69,8 @@ class SLAMonitor:
                 response_ms: float) -> None:
         """Record one completed request."""
         ok = response_ms <= self.guarantee_ms + 1e-9
+        if obs.ACTIVE:
+            obs.SESSION.on_sla_observation(ok)
         self._window.append(ok)
         self._responses.append(response_ms)
         self.n_observed += 1

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.allocation.design_theoretic import DesignTheoreticAllocation
 from repro.core.guarantees import guarantee_capacity
 from repro.core.sampling import OptimalRetrievalSampler
@@ -213,7 +214,10 @@ class QoSFlashArray:
                                   retrieval=retrieval, params=self.params,
                                   engine=self.engine)
         series, played = player.play(arrivals, buckets)
-        return QoSReport(series, played, self.guarantee_ms)
+        report = QoSReport(series, played, self.guarantee_ms)
+        if obs.ACTIVE:
+            obs.SESSION.record_qos_report(report)
+        return report
 
     def run_online(self, arrivals: Sequence[float],
                    buckets: Sequence[int],
@@ -235,4 +239,7 @@ class QoSFlashArray:
             engine=self.engine)
         series, played = player.play(arrivals, buckets, reads=reads,
                                      apps=apps)
-        return QoSReport(series, played, self.guarantee_ms)
+        report = QoSReport(series, played, self.guarantee_ms)
+        if obs.ACTIVE:
+            obs.SESSION.record_qos_report(report)
+        return report

@@ -105,6 +105,24 @@ def main(argv: List[str] | None = None) -> int:
                              "(results are byte-identical to --jobs 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
+    parser.add_argument("--cache-prune", action="store_true",
+                        help="prune the result cache (oldest entries "
+                             "first) down to --cache-max-mb before "
+                             "running; without --cache-max-mb, clears "
+                             "it entirely")
+    parser.add_argument("--cache-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="result-cache size cap; enforced after "
+                             "the run (and before it with "
+                             "--cache-prune)")
+    parser.add_argument("--obs", action="store_true",
+                        help="record observability (metrics, spans, "
+                             "per-module series) and emit artefacts "
+                             "next to the figure data; numeric "
+                             "outputs are unchanged")
+    parser.add_argument("--obs-dir", metavar="DIR", default=None,
+                        help="where to write obs artefacts (default: "
+                             "--out DIR, else .benchmarks/obs)")
     parser.add_argument("--chart", action="store_true",
                         help="append ASCII sparkline charts to figures")
     parser.add_argument("--out", metavar="DIR",
@@ -132,21 +150,69 @@ def main(argv: List[str] | None = None) -> int:
 
     from repro.runner import ParallelRunner, ResultCache
 
-    runner = ParallelRunner(
-        jobs=args.jobs,
-        cache=None if args.no_cache else ResultCache())
+    cache = None if args.no_cache else ResultCache()
+    cap_bytes = None if args.cache_max_mb is None else \
+        int(args.cache_max_mb * 1024 * 1024)
+    if cache is not None and args.cache_prune:
+        pruned = cache.prune(cap_bytes or 0)
+        print(f"cache: pruned {pruned['removed']} entries "
+              f"({pruned['removed_bytes']} bytes), "
+              f"{pruned['kept_bytes']} bytes kept")
+    runner = ParallelRunner(jobs=args.jobs, cache=cache)
+
+    obs_dir = None
+    if args.obs:
+        from pathlib import Path
+
+        obs_dir = Path(args.obs_dir or args.out or
+                       Path(".benchmarks") / "obs")
+        obs_dir.mkdir(parents=True, exist_ok=True)
+
+    def observed_run(name: str, fn):
+        """Run one experiment; with --obs, inside a recording session
+        whose artefacts are written next to the figure data."""
+        if obs_dir is None:
+            return fn()
+        import json
+
+        from repro import obs
+        from repro.obs import export as obs_export
+
+        with obs.observed() as session:
+            result = fn()
+        payload = session.to_payload()
+        (obs_dir / f"{name}.obs.json").write_text(
+            json.dumps(payload, sort_keys=True) + "\n")
+        (obs_dir / f"{name}.obs-summary.json").write_text(
+            obs_export.to_json_summary(payload))
+        trace = obs_export.to_chrome_trace(payload)
+        obs_export.validate_chrome_trace(trace)
+        (obs_dir / f"{name}.trace.json").write_text(
+            json.dumps(trace, sort_keys=True) + "\n")
+        (obs_dir / f"{name}.series.csv").write_text(
+            obs_export.to_csv_series(payload))
+        (obs_dir / f"{name}.prom").write_text(
+            obs_export.to_prometheus(payload))
+        print(f"[obs] wrote {obs_dir / name}.{{obs.json,"
+              f"obs-summary.json,trace.json,series.csv,prom}}")
+        return result
 
     wanted = args.experiments or ["all"]
     if "all" in wanted:
         wanted = [*RUNNERS, "ablations"]
     for name in wanted:
         if name == "ablations":
-            for i, result in enumerate(
-                    ablations.run(seed=args.seed, runner=runner)):
+            for i, result in enumerate(observed_run(
+                    "ablations",
+                    lambda: ablations.run(seed=args.seed,
+                                          runner=runner))):
                 emit(f"ablation_{i}", result)
             continue
-        emit(name, RUNNERS[name](args.fast, seed=args.seed,
-                                 runner=runner))
+        emit(name, observed_run(
+            name, lambda: RUNNERS[name](args.fast, seed=args.seed,
+                                        runner=runner)))
+    if cache is not None and cap_bytes is not None:
+        cache.prune(cap_bytes)
     return 0
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.qos import QoSFlashArray, QoSReport
 from repro.flash.metrics import IntervalSeries
 from repro.mining.apriori import apriori
@@ -211,6 +212,11 @@ def play_original(parts: Sequence[Trace], n_devices: int,
     series = IntervalSeries()
     for part_idx, io in records:
         series.record(part_idx, io.response_ms)
+    if obs.ACTIVE:
+        import numpy as np
+
+        obs.SESSION.observe_responses_array(np.asarray(
+            [io.response_ms for _, io in records], dtype=np.float64))
     return series
 
 
@@ -251,8 +257,9 @@ def _play_original_fast(parts: Sequence[Trace],
         u = issue[mask]
         response[mask] = fcfs_completion_times(u, service) - u
     for p in np.unique(part_idx):
-        stats = series.stats(int(p))
-        samples = response[part_idx == p]
-        stats.samples.extend(samples.tolist())
-        stats.n_total += int(samples.size)
+        series.stats(int(p)).record_array(response[part_idx == p])
+    if obs.ACTIVE:
+        # same stream-order bulk record as the DES loop above; the
+        # fold state is order-independent, so payloads stay identical
+        obs.SESSION.observe_responses_array(response)
     return series

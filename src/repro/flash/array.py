@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.flash.metrics import ResponseStats
 from repro.flash.module import FlashModule
 from repro.flash.params import FlashParams
@@ -104,11 +105,15 @@ class FlashArray:
         request.issued_at = self.env.now
         request.done = self.env.event()
         request.done.add_callback(self._on_complete)
+        if obs.ACTIVE:
+            obs.SESSION.on_issue()
         self.modules[device].submit(request)
         return request.done
 
     def _on_complete(self, event: Event) -> None:
         request: IORequest = event.value
+        if obs.ACTIVE:
+            obs.SESSION.on_complete()
         self.stats.record(request.response_ms, request.delay_ms)
 
     def queue_depths(self) -> List[int]:

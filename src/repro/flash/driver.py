@@ -33,6 +33,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.allocation.base import AllocationScheme
 from repro.core.admission import DeterministicAdmission, StatisticalAdmission
 from repro.flash.array import FlashArray, IORequest
@@ -74,13 +75,30 @@ def resolve_engine(engine: str, module_factory=None,
 
 
 def _collect_series(played: Sequence["PlayedRequest"]) -> IntervalSeries:
+    # Observability sees every played request here -- the one pass both
+    # engines share -- so instrumented metrics/spans are derived from
+    # the same bit-identical timestamps regardless of engine.
+    session = obs.SESSION if obs.ACTIVE else None
     series = IntervalSeries()
     for pr in played:
+        if session is not None:
+            session.observe_request(pr)
         if pr.rejected:
             continue
         series.record(pr.interval, pr.io.response_ms,
                       pr.io.delay_ms if pr.delayed else 0.0)
     return series
+
+
+def _finish_play(played: List["PlayedRequest"], n_devices: int,
+                 interval_ms: float,
+                 ) -> Tuple[IntervalSeries, List["PlayedRequest"]]:
+    """Shared play() epilogue: stats collection plus, when enabled,
+    the per-module utilisation/queue-depth series."""
+    series = _collect_series(played)
+    if obs.ACTIVE:
+        obs.SESSION.record_module_series(played, n_devices, interval_ms)
+    return series, played
 
 
 @dataclass
@@ -236,7 +254,8 @@ class BatchTracePlayer:
 
         env.process(run())
         env.run()
-        return _collect_series(played), played
+        return _finish_play(played, self.allocation.n_devices,
+                            self.interval_ms)
 
     def _play_fast(self, arrivals: Sequence[float],
                    buckets: Sequence[int],
@@ -272,7 +291,8 @@ class BatchTracePlayer:
                 played.append(PlayedRequest(
                     io=io, interval=idx, index=i,
                     delayed=io.issued_at > io.arrival + 1e-9))
-        return _collect_series(played), played
+        return _finish_play(played, self.allocation.n_devices,
+                            self.interval_ms)
 
 
 class OnlineTracePlayer:
@@ -477,7 +497,8 @@ class OnlineTracePlayer:
             env.process(run())
             env.run()
 
-        return _collect_series(played), played
+        return _finish_play(played, self.allocation.n_devices,
+                            self.interval_ms)
 
     # -- placement ---------------------------------------------------------
     def _dispatch(self, admitted: List[int], t: float, idx: int,

@@ -5,32 +5,65 @@ response times, which is defined as the time between sending the I/O
 request and receiving the corresponding response" (§V-C1).  This module
 accumulates those samples and reports the avg / std / max rows of
 Table III as well as per-interval series for Figures 8-10 and 12.
+
+Storage is *bounded*: instead of keeping every sample in a Python
+list, :class:`ResponseStats` folds samples into a mergeable log-bucket
+histogram (:class:`repro.obs.metrics.Histogram`) plus exact streaming
+moments (error-free Shewchuk accumulation of ``x - K`` and
+``(x - K)**2``, shifted by the first sample ``K`` so constant-latency
+runs report a standard deviation of exactly zero).  The fold state is
+order-independent, so the DES and the vectorized fast path -- which
+record the same samples, possibly in different groupings -- expose
+bit-identical statistics; :meth:`ResponseStats.state` is the
+comparable signature the identity tests and determinism probes hash.
+
+Recording stays cheap on the hot path: :meth:`ResponseStats.record`
+only appends to a pending buffer; folding happens on first read or
+when the buffer reaches :data:`FOLD_THRESHOLD`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ResponseStats", "IntervalSeries"]
+from repro.obs.metrics import ExactSum, Histogram
+
+__all__ = ["ResponseStats", "IntervalSeries", "FOLD_THRESHOLD"]
+
+#: fold the pending sample buffer into the histogram/moments once it
+#: reaches this many entries (bounds memory without changing results:
+#: the fold state is order- and grouping-independent)
+FOLD_THRESHOLD = 32768
 
 
-@dataclass
 class ResponseStats:
-    """Streaming response-time statistics.
+    """Streaming response-time statistics (bounded memory).
 
-    Samples are recorded via :meth:`record`; summary statistics use
-    numpy over the collected array (simplicity first; the sample counts
-    in this project are modest).
+    Samples are recorded via :meth:`record` (scalar) or
+    :meth:`record_array` (vectorized); summaries read from the folded
+    histogram-plus-moments state, never from a stored sample list.
+    Percentiles other than 0 and 100 are therefore log-bucket
+    estimates (within one bucket width, ~3.9 % relative); avg, std,
+    max, min and the delay accounting remain exact.
     """
 
-    samples: List[float] = field(default_factory=list)
-    delays: List[float] = field(default_factory=list)
-    n_delayed: int = 0
-    n_total: int = 0
+    __slots__ = ("n_total", "n_delayed", "_pending", "_hist",
+                 "_shift", "_m1", "_m2", "_delay_sum")
 
+    def __init__(self):
+        self.n_total = 0
+        self.n_delayed = 0
+        self._pending: List[float] = []
+        self._hist: Optional[Histogram] = None
+        self._shift: Optional[float] = None
+        self._m1 = ExactSum()
+        self._m2 = ExactSum()
+        self._delay_sum = ExactSum()
+
+    # -- recording -------------------------------------------------------
     def record(self, response_ms: float, delay_ms: float = 0.0) -> None:
         """Record one completed request.
 
@@ -42,35 +75,90 @@ class ResponseStats:
             Admission delay before issue; > 0 marks the request as
             *delayed* for the Figure 8(c,d) accounting.
         """
-        self.samples.append(response_ms)
+        self._pending.append(response_ms)
         self.n_total += 1
         if delay_ms > 0:
-            self.delays.append(delay_ms)
+            self._delay_sum.add(delay_ms)
             self.n_delayed += 1
+        if len(self._pending) >= FOLD_THRESHOLD:
+            self._fold()
+
+    def record_array(self, responses: np.ndarray,
+                     delays: Optional[np.ndarray] = None) -> None:
+        """Vectorized record: ``responses`` (and aligned ``delays``,
+        where positive entries mark delayed requests)."""
+        arr = np.ascontiguousarray(responses, dtype=np.float64)
+        if arr.size == 0:
+            return
+        self._pending.extend(arr.tolist())
+        self.n_total += int(arr.size)
+        if delays is not None:
+            d = np.ascontiguousarray(delays, dtype=np.float64)
+            d = d[d > 0]
+            self.n_delayed += int(d.size)
+            for value in d.tolist():
+                self._delay_sum.add(value)
+        if len(self._pending) >= FOLD_THRESHOLD:
+            self._fold()
+
+    def _fold(self) -> None:
+        if not self._pending:
+            return
+        arr = np.asarray(self._pending, dtype=np.float64)
+        self._pending = []
+        if self._hist is None:
+            self._hist = Histogram()
+        self._hist.record_array(arr)
+        if self._shift is None:
+            self._shift = float(arr[0])
+        centred = arr - self._shift
+        self._m1.add_many(centred.tolist())
+        self._m2.add_many((centred * centred).tolist())
 
     # -- summary ---------------------------------------------------------
-    def _arr(self) -> np.ndarray:
-        return np.asarray(self.samples, dtype=np.float64)
-
     @property
     def avg(self) -> float:
-        return float(self._arr().mean()) if self.samples else 0.0
+        self._fold()
+        if self.n_total == 0 or self._shift is None:
+            return 0.0
+        return self._shift + self._m1.value / self.n_total
 
     @property
     def std(self) -> float:
-        return float(self._arr().std()) if self.samples else 0.0
+        self._fold()
+        if self.n_total == 0:
+            return 0.0
+        mean_centred = self._m1.value / self.n_total
+        var = self._m2.value / self.n_total - mean_centred * mean_centred
+        return math.sqrt(var) if var > 0 else 0.0
 
     @property
     def max(self) -> float:
-        return float(self._arr().max()) if self.samples else 0.0
+        self._fold()
+        return self._hist.max if self._hist is not None else 0.0
+
+    @property
+    def min(self) -> float:
+        self._fold()
+        return self._hist.min if self._hist is not None else 0.0
+
+    def histogram(self) -> Optional[Histogram]:
+        """The folded response-time histogram (None when empty)."""
+        self._fold()
+        return self._hist
 
     def percentile(self, q: float) -> float:
-        """Response-time percentile ``q`` in [0, 100]."""
+        """Response-time percentile ``q`` in [0, 100].
+
+        Exact at 0 and 100 (tracked min/max); elsewhere a log-bucket
+        estimate within one bucket width of the sample percentile.
+        """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self.samples:
+        self._fold()
+        if self._hist is None:
             return 0.0
-        return float(np.percentile(self._arr(), q))
+        return self._hist.quantile(q)
 
     @property
     def p50(self) -> float:
@@ -83,7 +171,9 @@ class ResponseStats:
     @property
     def avg_delay(self) -> float:
         """Mean delay over *delayed* requests only (paper Fig 8c)."""
-        return (float(np.mean(self.delays)) if self.delays else 0.0)
+        if self.n_delayed == 0:
+            return 0.0
+        return self._delay_sum.value / self.n_delayed
 
     @property
     def pct_delayed(self) -> float:
@@ -95,6 +185,51 @@ class ResponseStats:
         return {"avg": self.avg, "std": self.std, "max": self.max,
                 "avg_delay": self.avg_delay,
                 "pct_delayed": self.pct_delayed, "n": float(self.n_total)}
+
+    # -- identity / merging ---------------------------------------------
+    def state(self) -> Tuple:
+        """Full comparable state.
+
+        Two stats objects that folded the same multiset of samples --
+        in any order, through either playback engine -- have equal
+        state; the fastpath identity tests and the determinism probes
+        compare/hash exactly this.
+        """
+        self._fold()
+        return (self.n_total, self.n_delayed, self._shift,
+                self._m1.value, self._m2.value, self._delay_sum.value,
+                self._hist.state() if self._hist is not None else None)
+
+    def merge(self, other: "ResponseStats") -> None:
+        """Fold another stats object in (used by interval roll-ups and
+        the parallel runner's cross-process aggregation)."""
+        other._fold()
+        self._fold()
+        self.n_total += other.n_total
+        self.n_delayed += other.n_delayed
+        self._delay_sum.merge(other._delay_sum)
+        if other._hist is None:
+            return
+        if self._hist is None:
+            self._hist = Histogram()
+        self._hist.merge(other._hist)
+        n = other.n_total
+        if self._shift is None:
+            self._shift = other._shift
+            self._m1.merge(other._m1)
+            self._m2.merge(other._m2)
+            return
+        # re-shift the other side's moments from its K to ours:
+        #   sum(x - Ks)   = sum(x - Ko) + n * (Ko - Ks)
+        #   sum((x-Ks)^2) = sum((x-Ko)^2) + 2d*sum(x-Ko) + n*d^2
+        delta = (other._shift - self._shift) \
+            if other._shift is not None else 0.0
+        self._m1.merge(other._m1)
+        self._m2.merge(other._m2)
+        if delta:
+            self._m1.add(n * delta)
+            self._m2.add(2.0 * delta * other._m1.value)
+            self._m2.add(n * delta * delta)
 
 
 class IntervalSeries:
@@ -126,9 +261,6 @@ class IntervalSeries:
     def overall(self) -> ResponseStats:
         """Merge all intervals into one summary."""
         merged = ResponseStats()
-        for st in self._stats.values():
-            merged.samples.extend(st.samples)
-            merged.delays.extend(st.delays)
-            merged.n_delayed += st.n_delayed
-            merged.n_total += st.n_total
+        for interval in self.intervals():
+            merged.merge(self._stats[interval])
         return merged

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro import obs
 from repro.check import sanitizers
 from repro.flash.params import FlashParams
 from repro.sim import Environment, Store
@@ -97,5 +98,7 @@ class FlashModule:
             self.busy = False
             self.busy_time += service
             self.n_served += 1
+            if obs.ACTIVE:
+                obs.SESSION.on_service(self.module_id)
             request.completed_at = self.env.now
             request.done.succeed(request)

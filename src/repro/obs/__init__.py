@@ -1,0 +1,108 @@
+"""``repro.obs``: simulation-native observability.
+
+The paper's whole evaluation is a set of latency/QoS measurements, but
+measuring *why* a scheme misses a deadline (queue depth, per-module
+utilisation, admission decisions) needs more than the response-time
+lists the experiments keep.  This package provides:
+
+* a **metrics registry** (:class:`~repro.obs.metrics.Counter`,
+  :class:`~repro.obs.metrics.Gauge`,
+  :class:`~repro.obs.metrics.Histogram`) whose histogram is a
+  deterministic fixed-bucket log-scale *mergeable* latency histogram --
+  merging is exactly associative and commutative, so
+  :mod:`repro.runner` can combine per-cell results across processes
+  without losing percentiles;
+* **request-lifecycle tracing**: admission -> queue -> service spans in
+  simulation time, plus per-module utilisation and queue-depth series
+  sampled at interval boundaries;
+* **exporters** (:mod:`repro.obs.export`): JSON summary, CSV series,
+  Prometheus text format and Chrome ``trace_event`` JSON (loadable in
+  Perfetto / ``chrome://tracing``), with a ``python -m repro.obs`` CLI
+  that summarises recorded artefacts;
+* **wiring** through the DES kernel, the flash array/modules, both
+  trace players (the vectorized fast path synthesises identical
+  metrics), the QoS facade (a violation ledger) and the parallel
+  runner (deterministic merge by submission index).
+
+Observability is **off by default** behind a module-level flag, the
+same pattern as :mod:`repro.check.sanitizers`: hot paths pay one
+attribute load and a falsy branch per checkpoint, and no per-request
+object is allocated while disabled.  Everything is recorded in
+simulation time only -- no wall clock -- so instrumented runs stay
+bit-reproducible and ``repro.check`` stays green.
+
+Enable programmatically::
+
+    from repro import obs
+
+    with obs.observed() as session:
+        report = qos.run_online(arrivals, buckets)
+    payload = session.to_payload()
+
+or pass ``--obs`` to ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.ledger import ViolationLedger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.series import ModuleSeries
+from repro.obs.session import ObsSession, request_sections
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "ACTIVE", "SESSION", "enable", "disable", "observed",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "ModuleSeries", "ObsSession", "Span", "Tracer",
+    "ViolationLedger", "request_sections",
+]
+
+#: The master switch.  Hot paths read this module attribute directly
+#: (``if obs.ACTIVE:``), so the disabled cost is one attribute load
+#: and a falsy branch per checkpoint -- measured by
+#: ``tools/bench_obs.py``.
+ACTIVE: bool = False
+
+#: The process-wide recording session while observability is enabled.
+SESSION: Optional[ObsSession] = None
+
+
+def enable(session: Optional[ObsSession] = None) -> ObsSession:
+    """Turn observability on for this process; returns the session."""
+    global ACTIVE, SESSION
+    SESSION = session if session is not None else ObsSession()
+    ACTIVE = True
+    return SESSION
+
+
+def disable() -> None:
+    """Turn observability off and drop the session."""
+    global ACTIVE, SESSION
+    ACTIVE = False
+    SESSION = None
+
+
+@contextmanager
+def observed(session: Optional[ObsSession] = None,
+             ) -> Iterator[ObsSession]:
+    """Scoped enable: record into a fresh (or given) session.
+
+    Restores the previous state on exit, so sessions nest -- the
+    parallel runner uses this to give worker cells their own session
+    whose payload the parent then merges.
+    """
+    global ACTIVE, SESSION
+    previous = (ACTIVE, SESSION)
+    current = enable(session)
+    try:
+        yield current
+    finally:
+        ACTIVE, SESSION = previous

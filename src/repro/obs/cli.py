@@ -1,0 +1,92 @@
+"""``python -m repro.obs``: inspect recorded observability artefacts.
+
+Subcommands:
+
+``summarize payload.json``
+    Print the compact JSON summary of a recorded payload (as written
+    by ``python -m repro.experiments --obs``).
+
+``export payload.json --format chrome|prometheus|csv|summary``
+    Re-export a payload in any supported format.
+
+``validate trace.json``
+    Schema-check a Chrome ``trace_event`` file (exit 1 on failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import export as obs_export
+
+__all__ = ["main"]
+
+_FORMATS = ("summary", "chrome", "prometheus", "csv")
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _render(payload, fmt: str) -> str:
+    if fmt == "summary":
+        return obs_export.to_json_summary(payload)
+    if fmt == "chrome":
+        trace = obs_export.to_chrome_trace(payload)
+        obs_export.validate_chrome_trace(trace)
+        return json.dumps(trace, indent=2, sort_keys=True) + "\n"
+    if fmt == "prometheus":
+        return obs_export.to_prometheus(payload)
+    if fmt == "csv":
+        return obs_export.to_csv_series(payload)
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro.obs observability artefacts.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize",
+                           help="print the JSON summary of a payload")
+    p_sum.add_argument("payload", help="recorded obs payload (JSON)")
+
+    p_exp = sub.add_parser("export",
+                           help="re-export a payload in another format")
+    p_exp.add_argument("payload", help="recorded obs payload (JSON)")
+    p_exp.add_argument("--format", choices=_FORMATS, default="summary")
+    p_exp.add_argument("-o", "--out", default=None,
+                       help="output file (default: stdout)")
+
+    p_val = sub.add_parser("validate",
+                           help="schema-check a Chrome trace_event file")
+    p_val.add_argument("trace", help="Chrome trace_event JSON file")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "validate":
+        try:
+            obs_export.validate_chrome_trace(_load(args.trace))
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"OK: {args.trace} is a valid trace_event file")
+        return 0
+
+    payload = _load(args.payload)
+    if args.command == "summarize":
+        sys.stdout.write(_render(payload, "summary"))
+        return 0
+
+    text = _render(payload, args.format)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0

@@ -1,0 +1,220 @@
+"""Exporters for recorded observability payloads.
+
+All exporters are pure functions of the payload dict produced by
+:meth:`repro.obs.session.ObsSession.to_payload`, so they can run in a
+different process (or much later, via ``python -m repro.obs``) than
+the recording.  Four formats:
+
+* :func:`summarize_payload` / :func:`to_json_summary` -- a compact
+  JSON summary (counts, latency percentiles, violation totals);
+* :func:`to_csv_series` -- the per-module interval series as CSV;
+* :func:`to_prometheus` -- Prometheus text exposition format;
+* :func:`to_chrome_trace` -- Chrome ``trace_event`` JSON, loadable in
+  Perfetto / ``chrome://tracing`` (:func:`validate_chrome_trace`
+  checks the schema).
+
+Simulation time is milliseconds throughout the payload; the Chrome
+format wants microseconds, so span timestamps are scaled by 1000 on
+export.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+from typing import Dict, List
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["summarize_payload", "to_json_summary", "to_csv_series",
+           "to_prometheus", "to_chrome_trace", "validate_chrome_trace"]
+
+
+# -- JSON summary --------------------------------------------------------
+def summarize_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Compact human-oriented summary of a payload."""
+    request = payload["request"]  # type: ignore[index]
+    metrics = request["metrics"]
+    histograms = {}
+    for name, data in metrics["histograms"].items():
+        hist = Histogram.from_dict(data)
+        histograms[name] = {
+            "count": hist.count,
+            "mean": hist.mean,
+            "min": hist.min,
+            "max": hist.max,
+            **hist.percentiles(),
+        }
+    ledger = request["ledger"]
+    series = request["series"]
+    kernel = payload["kernel"]  # type: ignore[index]
+    kernel_counters = kernel["metrics"]["counters"]
+    return {
+        "version": payload["version"],  # type: ignore[index]
+        "counters": dict(metrics["counters"]),
+        "gauges": dict(metrics["gauges"]),
+        "histograms": histograms,
+        "violations": {
+            "total": ledger["total"],
+            "by_tenant": dict(ledger["by_tenant"]),
+        },
+        "spans": {
+            "recorded": len(request["tracer"]["spans"]),
+            "dropped": request["tracer"]["dropped"],
+            "live_opened": kernel["live_opened"],
+            "live_closed": kernel["live_closed"],
+        },
+        "series": {
+            "interval_ms": series["interval_ms"],
+            "n_devices": series["n_devices"],
+            "n_rows": len(series["rows"]),
+        },
+        "kernel_events": sum(
+            v for k, v in kernel_counters.items()
+            if k.startswith("sim.events.")),
+    }
+
+
+def to_json_summary(payload: Dict[str, object]) -> str:
+    return json.dumps(summarize_payload(payload), indent=2,
+                      sort_keys=True) + "\n"
+
+
+# -- CSV series ----------------------------------------------------------
+def to_csv_series(payload: Dict[str, object]) -> str:
+    """Per-module interval series as CSV text."""
+    series = payload["request"]["series"]  # type: ignore[index]
+    interval_ms = float(series["interval_ms"])
+    out = io.StringIO()
+    out.write("device,interval,busy_ms,utilisation,queue_depth\n")
+    for device, interval, busy, depth in series["rows"]:
+        util = busy / interval_ms if interval_ms > 0 else 0.0
+        out.write(f"{device},{interval},{busy:.9g},{util:.9g},{depth}\n")
+    return out.getvalue()
+
+
+# -- Prometheus text format ----------------------------------------------
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def _prom_float(value: float) -> str:
+    return repr(float(value))
+
+
+def to_prometheus(payload: Dict[str, object]) -> str:
+    """Prometheus text exposition (counters, gauges, histograms).
+
+    Histogram buckets are emitted cumulatively with ``le`` edges;
+    empty buckets are collapsed (only edges where the cumulative count
+    changes appear, plus the mandatory ``+Inf``).
+    """
+    metrics = payload["request"]["metrics"]  # type: ignore[index]
+    out = io.StringIO()
+    for name, value in metrics["counters"].items():
+        prom = _prom_name(name)
+        out.write(f"# TYPE {prom} counter\n{prom}_total {value}\n")
+    for name, value in metrics["gauges"].items():
+        prom = _prom_name(name)
+        out.write(f"# TYPE {prom} gauge\n{prom} {_prom_float(value)}\n")
+    for name, data in metrics["histograms"].items():
+        prom = _prom_name(name)
+        hist = Histogram.from_dict(data)
+        out.write(f"# TYPE {prom} histogram\n")
+        edges = hist.edges()
+        cum = 0
+        for i, count in enumerate(hist.counts):
+            if count == 0:
+                continue
+            cum += int(count)
+            if i < len(edges):
+                le = _prom_float(edges[i])
+                out.write(f'{prom}_bucket{{le="{le}"}} {cum}\n')
+        out.write(f'{prom}_bucket{{le="+Inf"}} {hist.count}\n')
+        out.write(f"{prom}_sum {_prom_float(hist.sum)}\n")
+        out.write(f"{prom}_count {hist.count}\n")
+    return out.getvalue()
+
+
+# -- Chrome trace_event JSON ---------------------------------------------
+#: span category -> Chrome trace colour name (cname is advisory)
+_TRACE_COLOURS = {"admission": "thread_state_iowait",
+                  "queue": "thread_state_runnable",
+                  "service": "thread_state_running"}
+
+
+def to_chrome_trace(payload: Dict[str, object]) -> Dict[str, object]:
+    """Chrome ``trace_event`` JSON (object format, complete events).
+
+    Every span becomes an ``"X"`` (complete) event on pid 0, with the
+    device index as the thread id (-1, replicated writes, maps to the
+    ``writes`` pseudo-thread).  Timestamps/durations are microseconds
+    as the format requires.
+    """
+    request = payload["request"]  # type: ignore[index]
+    events: List[Dict[str, object]] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": "repro flash array (simulated)"},
+    }]
+    tids = set()
+    for span in request["tracer"]["spans"]:
+        tid = int(span["tid"])
+        tids.add(tid)
+        event = {
+            "name": span["name"],
+            "cat": span["cat"],
+            "ph": "X",
+            "pid": 0,
+            "tid": tid,
+            "ts": float(span["start_ms"]) * 1000.0,
+            "dur": (float(span["end_ms"])
+                    - float(span["start_ms"])) * 1000.0,
+            "args": {str(k): v for k, v in span["args"]},
+        }
+        cname = _TRACE_COLOURS.get(str(span["cat"]))
+        if cname:
+            event["cname"] = cname
+        events.append(event)
+    for tid in sorted(tids):
+        label = f"module {tid}" if tid >= 0 else "writes"
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": tid, "args": {"name": label}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(trace: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``trace`` is schema-valid.
+
+    Checks the object-format envelope and, per event, the fields the
+    trace_event spec requires: ``ph``/``pid``/``tid``/``name`` always,
+    plus numeric non-negative ``ts``/``dur`` for complete events.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace.traceEvents must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                raise ValueError(f"event {i} missing {key!r}")
+        ph = event["ph"]
+        if ph not in ("X", "B", "E", "M", "I", "C"):
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"event {i} field {key!r} must be numeric")
+                if value < 0:
+                    raise ValueError(
+                        f"event {i} field {key!r} must be >= 0")
+            if not isinstance(event.get("args", {}), dict):
+                raise ValueError(f"event {i} args must be an object")

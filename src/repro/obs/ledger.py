@@ -1,0 +1,92 @@
+"""The QoS-violation ledger: who missed, when, and by how much.
+
+The paper's guarantee is binary per run (``guarantee_met``); operations
+work needs the detail -- which tenant, in which interval, by what
+excess.  The ledger keeps exact per-tenant counts and excess totals
+plus a bounded list of individual entries (past the cap we keep
+counting, we just stop storing rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["ViolationLedger", "ViolationEntry"]
+
+DEFAULT_MAX_ENTRIES = 10_000
+
+
+@dataclass(frozen=True)
+class ViolationEntry:
+    """One guarantee violation."""
+
+    tenant: str
+    interval: int
+    excess_ms: float
+
+    def to_list(self) -> List[object]:
+        return [self.tenant, self.interval, self.excess_ms]
+
+
+class ViolationLedger:
+    """Exact violation accounting with bounded per-entry detail."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.max_entries = max_entries
+        self.entries: List[ViolationEntry] = []
+        self.dropped = 0
+        #: exact, unbounded: (count, total excess) per tenant
+        self.by_tenant: Dict[str, Tuple[int, float]] = {}
+
+    @property
+    def total(self) -> int:
+        return sum(n for n, _ in self.by_tenant.values())
+
+    def record(self, tenant: str, interval: int,
+               excess_ms: float) -> None:
+        n, excess = self.by_tenant.get(tenant, (0, 0.0))
+        self.by_tenant[tenant] = (n + 1, excess + excess_ms)
+        if len(self.entries) < self.max_entries:
+            self.entries.append(
+                ViolationEntry(tenant, interval, excess_ms))
+        else:
+            self.dropped += 1
+
+    def merge(self, other: "ViolationLedger") -> None:
+        for tenant, (n, excess) in sorted(other.by_tenant.items()):
+            mine_n, mine_excess = self.by_tenant.get(tenant, (0, 0.0))
+            self.by_tenant[tenant] = (mine_n + n, mine_excess + excess)
+        for entry in other.entries:
+            if len(self.entries) < self.max_entries:
+                self.entries.append(entry)
+            else:
+                self.dropped += 1
+        self.dropped += other.dropped
+
+    # -- (de)serialisation ----------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "dropped": self.dropped,
+            "by_tenant": {t: [n, excess] for t, (n, excess)
+                          in sorted(self.by_tenant.items())},
+            "entries": [e.to_list() for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object],
+                  max_entries: int = DEFAULT_MAX_ENTRIES,
+                  ) -> "ViolationLedger":
+        ledger = cls(max_entries=max_entries)
+        for tenant, (n, excess) in sorted(
+                dict(data.get("by_tenant", {})).items()):
+            ledger.by_tenant[tenant] = (int(n), float(excess))
+        for tenant, interval, excess in data.get("entries", ()):  # type: ignore[union-attr]
+            if len(ledger.entries) < ledger.max_entries:
+                ledger.entries.append(ViolationEntry(
+                    str(tenant), int(interval), float(excess)))
+        ledger.dropped = int(data.get("dropped", 0))  # type: ignore[arg-type]
+        return ledger

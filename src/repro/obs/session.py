@@ -1,0 +1,183 @@
+"""The recording session: where all observability hooks land.
+
+An :class:`ObsSession` groups the registry, tracer, module series and
+violation ledger behind the hook methods the instrumented code calls.
+Its exported *payload* (a plain picklable/JSON-able dict) has two
+sections:
+
+``request``
+    Everything derived from played request timestamps -- latency
+    histograms, lifecycle spans, per-module series, the violation
+    ledger.  Both playback engines produce **identical** request
+    sections on eligible configurations, because the hooks run over
+    the same bit-identical timestamps (enforced by the fastpath
+    identity tests and the ``obs`` determinism probe).
+
+``kernel``
+    DES-internal accounting -- simulation event counts, per-module
+    served counters, live span open/close tallies.  The fast path has
+    no kernel, so this section is engine-specific by design and
+    excluded from cross-engine identity checks
+    (:func:`request_sections` selects the comparable part).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.ledger import ViolationLedger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.series import ModuleSeries, module_interval_series
+from repro.obs.spans import Tracer
+
+__all__ = ["ObsSession", "request_sections"]
+
+PAYLOAD_VERSION = 1
+
+
+def request_sections(payload: Dict[str, object]) -> Dict[str, object]:
+    """The engine-independent part of a payload.
+
+    Two runs of the same workload -- DES or fast path, one process or
+    many -- must agree on this section exactly.
+    """
+    return payload["request"]  # type: ignore[return-value]
+
+
+class ObsSession:
+    """One recording session (typically: one experiment cell)."""
+
+    def __init__(self, max_spans: Optional[int] = None):
+        #: engine-independent metrics (latency histograms, counters)
+        self.registry = MetricsRegistry()
+        #: DES-internal metrics (event counts, module served counts)
+        self.kernel = MetricsRegistry()
+        self.tracer = Tracer() if max_spans is None else \
+            Tracer(max_spans=max_spans)
+        self.series = ModuleSeries()
+        self.ledger = ViolationLedger()
+
+    # -- kernel-side hooks (DES only) ------------------------------------
+    def on_kernel_event(self, event_type: str) -> None:
+        """One event popped off the simulation queue."""
+        self.kernel.counter(f"sim.events.{event_type}").inc()
+
+    def on_service(self, module_id: int) -> None:
+        """One request served by a flash module's service loop."""
+        self.kernel.counter(f"module.{module_id}.served").inc()
+
+    def on_issue(self) -> None:
+        """A request was issued to a module (span opens)."""
+        self.tracer.open_live()
+
+    def on_complete(self) -> None:
+        """A request completed on a module (span closes)."""
+        self.tracer.close_live()
+
+    # -- request-side hooks (engine-independent) -------------------------
+    def observe_request(self, pr) -> None:
+        """Fold one :class:`~repro.flash.driver.PlayedRequest` in.
+
+        Called from the shared series-collection pass, so DES and fast
+        playback observe the same requests with the same floats.
+        """
+        reg = self.registry
+        reg.counter("requests.total").inc()
+        io = pr.io
+        if pr.rejected:
+            reg.counter("requests.rejected").inc()
+            return
+        if not io.is_read:
+            reg.counter("requests.writes").inc()
+        reg.histogram("latency.response_ms").record(io.response_ms)
+        reg.histogram("latency.total_ms").record(io.total_ms)
+        if pr.delayed:
+            reg.counter("requests.delayed").inc()
+            reg.histogram("latency.delay_ms").record(io.delay_ms)
+        self.tracer.emit_request(io, pr.interval, pr.index, pr.delayed)
+
+    def observe_responses_array(self, responses: np.ndarray) -> None:
+        """Bulk-record response times with no per-request detail.
+
+        For vectorized paths that never materialise ``PlayedRequest``
+        objects (the original-array baseline playback): histograms and
+        counts still land, spans/series do not.
+        """
+        arr = np.ascontiguousarray(responses, dtype=np.float64)
+        self.registry.counter("requests.total").inc(int(arr.size))
+        self.registry.histogram("latency.response_ms").record_array(arr)
+
+    def record_module_series(self, played: Sequence, n_devices: int,
+                             interval_ms: float) -> None:
+        """Compute and fold in the per-module interval series."""
+        self.series.merge(module_interval_series(
+            played, n_devices, interval_ms))
+
+    # -- QoS hooks --------------------------------------------------------
+    def record_qos_report(self, report, tenant: str = "") -> None:
+        """Ledger every guarantee violation in a QoS report.
+
+        ``tenant`` defaults to each request's application name (empty
+        for single-tenant runs).
+        """
+        guarantee = report.guarantee_ms
+        reg = self.registry
+        for pr in report.requests:
+            if pr.rejected:
+                continue
+            excess = pr.io.response_ms - guarantee
+            if excess > 1e-9:
+                reg.counter("qos.violations").inc()
+                self.ledger.record(tenant or pr.io.app, pr.interval,
+                                   excess)
+        reg.counter("qos.requests").inc(len(report.requests))
+
+    def on_sla_observation(self, ok: bool) -> None:
+        """One observation fed to a :class:`repro.core.monitor.SLAMonitor`."""
+        self.registry.counter("sla.observed").inc()
+        if not ok:
+            self.registry.counter("sla.violations").inc()
+
+    # -- payload -----------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """Deterministic, picklable export of everything recorded."""
+        tracer = self.tracer.to_dict()
+        live_opened = tracer.pop("live_opened")
+        live_closed = tracer.pop("live_closed")
+        return {
+            "version": PAYLOAD_VERSION,
+            "request": {
+                "metrics": self.registry.to_dict(),
+                "tracer": tracer,
+                "series": self.series.to_dict(),
+                "ledger": self.ledger.to_dict(),
+            },
+            "kernel": {
+                "metrics": self.kernel.to_dict(),
+                "live_opened": live_opened,
+                "live_closed": live_closed,
+            },
+        }
+
+    def merge_payload(self, payload: Dict[str, object]) -> None:
+        """Fold an exported payload into this session.
+
+        The parallel runner calls this once per cell, in submission
+        order, so merged artefacts are deterministic regardless of
+        worker scheduling.
+        """
+        version = payload.get("version")
+        if version != PAYLOAD_VERSION:
+            raise ValueError(
+                f"unsupported obs payload version {version!r}")
+        request = payload["request"]  # type: ignore[index]
+        self.registry.merge_dict(request["metrics"])
+        self.tracer.merge_dict(request["tracer"])
+        self.series.merge(ModuleSeries.from_dict(request["series"]))
+        self.ledger.merge(ViolationLedger.from_dict(request["ledger"]))
+        kernel = payload["kernel"]  # type: ignore[index]
+        self.kernel.merge_dict(kernel["metrics"])
+        self.tracer.live_opened += int(kernel["live_opened"])
+        self.tracer.live_closed += int(kernel["live_closed"])

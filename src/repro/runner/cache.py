@@ -115,3 +115,53 @@ class ResultCache:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_bytes(pickle.dumps(value, protocol=4))
         tmp.replace(path)
+
+    # -- maintenance -----------------------------------------------------
+    def entries(self) -> list:
+        """All ``(path, size_bytes, mtime)`` entries, oldest first.
+
+        Stale ``.tmp`` leftovers from interrupted writes count too --
+        pruning should sweep them up.
+        """
+        rows = []
+        if not self.root.is_dir():
+            return rows
+        for path in self.root.rglob("*.pkl*"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append((path, stat.st_size, stat.st_mtime))
+        rows.sort(key=lambda r: (r[2], str(r[0])))
+        return rows
+
+    def size_bytes(self) -> int:
+        """Total bytes currently stored."""
+        return sum(size for _, size, _ in self.entries())
+
+    def prune(self, max_bytes: int = 0) -> Dict[str, int]:
+        """Evict oldest entries until at most ``max_bytes`` remain.
+
+        ``max_bytes=0`` clears the cache entirely.  Eviction is by
+        modification time (oldest first; path as the tie-break), so
+        recently validated results survive.  Missing files are
+        ignored -- concurrent runs may prune the same tree.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        rows = self.entries()
+        total = sum(size for _, size, _ in rows)
+        removed = 0
+        removed_bytes = 0
+        for path, size, _ in rows:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            removed_bytes += size
+        return {"removed": removed, "removed_bytes": removed_bytes,
+                "kept_bytes": total}

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.runner.cache import ResultCache
 
 __all__ = ["Cell", "ParallelRunner", "spawn_seeds"]
@@ -78,6 +79,20 @@ def _execute(fn: Callable[..., Any], args: Tuple[Any, ...],
     return fn(*args, **kwargs)
 
 
+def _execute_observed(fn: Callable[..., Any], args: Tuple[Any, ...],
+                      kwargs: Dict[str, Any],
+                      ) -> Tuple[Any, Dict[str, Any]]:
+    """Observed worker entry point: run the cell inside its own obs
+    session and ship the payload back with the result.
+
+    Used for serial execution too, so serial and pooled runs fold the
+    exact same per-cell payloads into the parent session.
+    """
+    with obs.observed() as session:
+        value = fn(*args, **kwargs)
+    return value, session.to_payload()
+
+
 class ParallelRunner:
     """Run cells serially (``jobs=1``) or across a process pool.
 
@@ -107,12 +122,23 @@ class ParallelRunner:
         self.timings: List[Tuple[str, str, float, bool]] = []
 
     def run(self, cells: Sequence[Cell]) -> List[Any]:
-        """Execute ``cells``; returns results in submission order."""
+        """Execute ``cells``; returns results in submission order.
+
+        With observability enabled in the caller, every cell runs
+        inside its own :func:`repro.obs.observed` session (serially or
+        in a worker process) and the per-cell payloads are folded into
+        the caller's session **in submission order** -- merged metrics
+        are deterministic regardless of worker scheduling.  The result
+        cache is bypassed while observing: a cached value carries no
+        observability payload.
+        """
+        observing = obs.ACTIVE
         results: List[Any] = [None] * len(cells)
         pending: List[Tuple[int, Cell, Optional[str]]] = []
         for i, cell in enumerate(cells):
             key = None
-            if self.cache is not None and cell.cacheable:
+            if self.cache is not None and cell.cacheable \
+                    and not observing:
                 key = self.cache.key(cell.experiment, cell.name,
                                      cell.fn_ref, cell.params())
                 hit, value = self.cache.get(key)
@@ -124,30 +150,37 @@ class ParallelRunner:
             pending.append((i, cell, key))
         if not pending:
             return results
+        worker = _execute_observed if observing else _execute
         if self.jobs == 1 or len(pending) == 1:
             for i, cell, key in pending:
                 t0 = time.perf_counter()  # repro: allow[wall-clock]
-                value = _execute(cell.fn, cell.args, dict(cell.kwargs))
+                value = worker(cell.fn, cell.args, dict(cell.kwargs))
                 self._finish(results, i, cell, key, value,
-                             time.perf_counter() - t0)  # repro: allow[wall-clock]
+                             time.perf_counter() - t0,  # repro: allow[wall-clock]
+                             observing)
         else:
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 submitted = []
                 for i, cell, key in pending:
                     t0 = time.perf_counter()  # repro: allow[wall-clock]
-                    fut = pool.submit(_execute, cell.fn, cell.args,
+                    fut = pool.submit(worker, cell.fn, cell.args,
                                       dict(cell.kwargs))
                     submitted.append((i, cell, key, t0, fut))
                 for i, cell, key, t0, fut in submitted:
                     value = fut.result()
                     self._finish(results, i, cell, key, value,
-                                 time.perf_counter() - t0)  # repro: allow[wall-clock]
+                                 time.perf_counter() - t0,  # repro: allow[wall-clock]
+                                 observing)
         return results
 
     def _finish(self, results: List[Any], i: int, cell: Cell,
-                key: Optional[str], value: Any,
-                seconds: float) -> None:
+                key: Optional[str], value: Any, seconds: float,
+                observing: bool = False) -> None:
+        if observing:
+            value, payload = value
+            if obs.ACTIVE:
+                obs.SESSION.merge_payload(payload)
         results[i] = value
         if key is not None:
             self.cache.put(key, value)

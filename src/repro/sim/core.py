@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Tuple
 
+from repro import obs
 from repro.check import sanitizers
 from repro.sim.events import Event, Timeout, TimeoutUntil
 from repro.sim.process import Process
@@ -121,6 +122,8 @@ class Environment:
         if sanitizers.ACTIVE:
             sanitizers.check_event_order(self._last_key, (when, seq))
             self._last_key = (when, seq)
+        if obs.ACTIVE:
+            obs.SESSION.on_kernel_event(type(event).__name__)
         if when < self._now:  # pragma: no cover - guarded by Timeout ctor
             raise RuntimeError("event scheduled in the past")
         self._now = when

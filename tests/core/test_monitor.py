@@ -15,7 +15,9 @@ class TestPercentiles:
         st = ResponseStats()
         for v in range(1, 101):
             st.record(float(v))
-        assert st.p50 == pytest.approx(50.5)
+        # interior percentiles are log-bucket estimates (within one
+        # ~3.9% bucket width); the extremes stay exact via min/max
+        assert st.p50 == pytest.approx(50.5, rel=0.05)
         assert st.percentile(0) == 1.0
         assert st.percentile(100) == 100.0
         assert st.p99 > st.p50

@@ -114,7 +114,7 @@ class TestPlayOriginalFastVsDes:
             des = play_original(parts, n_devices, engine="des")
             assert fast.intervals() == des.intervals()
             for i in fast.intervals():
-                assert fast.stats(i).samples == des.stats(i).samples
+                assert fast.stats(i).state() == des.stats(i).state()
                 assert fast.stats(i).n_total == des.stats(i).n_total
 
     def test_empty_trace(self):
@@ -162,7 +162,7 @@ class TestOnlinePlayerFastVsDes:
             assert [played_key(p) for p in fp] \
                 == [played_key(p) for p in dp]
             for i in fs.intervals():
-                assert fs.stats(i).samples == ds.stats(i).samples
+                assert fs.stats(i).state() == ds.stats(i).state()
 
     def test_engines_agree_reject_policy(self, alloc):
         rng = np.random.default_rng(11)
@@ -196,4 +196,4 @@ class TestBatchPlayerFastVsDes:
             assert [played_key(p) for p in fp] \
                 == [played_key(p) for p in dp]
             for i in fs.intervals():
-                assert fs.stats(i).samples == ds.stats(i).samples
+                assert fs.stats(i).state() == ds.stats(i).state()

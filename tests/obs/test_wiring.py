@@ -1,0 +1,183 @@
+"""Instrumentation wiring: engines, runner merge, cache interaction.
+
+The acceptance bar mirrors the fastpath suite: the engine-independent
+("request") payload section must be *byte-identical* between the DES
+and the vectorized fast path on randomized traces, and identical
+between serial and pooled runner executions.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.flash.driver import OnlineTracePlayer
+from repro.obs.session import request_sections
+from repro.runner import Cell, ParallelRunner, ResultCache
+
+T = 0.133
+
+
+def random_trace(rng, alloc, n, writes=False):
+    arrivals = np.sort(rng.uniform(0, 8 * T, size=n)).tolist()
+    buckets = [int(b) for b in rng.integers(0, alloc.n_buckets, size=n)]
+    reads = ([bool(r) for r in rng.random(n) > 0.25]
+             if writes else None)
+    return arrivals, buckets, reads
+
+
+def play_observed(alloc, engine, arrivals, buckets, reads, **kwargs):
+    with obs.observed() as session:
+        player = OnlineTracePlayer(alloc, T, engine=engine, **kwargs)
+        player.play(arrivals, buckets, reads)
+    return session.to_payload()
+
+
+class TestEngineIdentity:
+    @pytest.fixture(scope="class")
+    def alloc(self):
+        return DesignTheoreticAllocation.from_parameters(9, 3)
+
+    def test_request_sections_identical_randomized(self, alloc):
+        rng = np.random.default_rng(17)
+        for trial in range(8):
+            arrivals, buckets, reads = random_trace(
+                rng, alloc, int(rng.integers(10, 80)),
+                writes=trial % 2 == 1)
+            fast = play_observed(alloc, "fast", arrivals, buckets,
+                                 reads)
+            des = play_observed(alloc, "des", arrivals, buckets, reads)
+            assert json.dumps(request_sections(fast), sort_keys=True) \
+                == json.dumps(request_sections(des), sort_keys=True)
+
+    def test_request_sections_identical_reject_policy(self, alloc):
+        rng = np.random.default_rng(11)  # known to trigger rejects
+        arrivals, buckets, _ = random_trace(rng, alloc, 60)
+        fast = play_observed(alloc, "fast", arrivals, buckets, None,
+                             overflow="reject")
+        des = play_observed(alloc, "des", arrivals, buckets, None,
+                            overflow="reject")
+        assert json.dumps(request_sections(fast), sort_keys=True) \
+            == json.dumps(request_sections(des), sort_keys=True)
+        counters = fast["request"]["metrics"]["counters"]
+        assert counters.get("requests.rejected", 0) > 0
+
+    def test_des_spans_balance_at_drain(self, alloc):
+        rng = np.random.default_rng(5)
+        arrivals, buckets, reads = random_trace(rng, alloc, 40,
+                                                writes=True)
+        des = play_observed(alloc, "des", arrivals, buckets, reads)
+        kernel = des["kernel"]
+        assert kernel["live_opened"] == kernel["live_closed"] > 0
+        # the fast path has no kernel by design
+        fast = play_observed(alloc, "fast", arrivals, buckets, reads)
+        assert fast["kernel"]["live_opened"] == 0
+        assert fast["kernel"]["metrics"]["counters"] == {}
+
+    def test_series_populated_and_consistent(self, alloc):
+        rng = np.random.default_rng(29)
+        arrivals, buckets, _ = random_trace(rng, alloc, 60)
+        payload = play_observed(alloc, "fast", arrivals, buckets, None)
+        series = payload["request"]["series"]
+        assert series["interval_ms"] == T
+        assert series["n_devices"] == alloc.n_devices
+        assert series["rows"]
+        for device, interval, busy, depth in series["rows"]:
+            assert 0 <= device < alloc.n_devices
+            assert 0.0 <= busy <= series["interval_ms"] * 1.0001
+            assert depth >= 0
+
+    def test_play_original_engines_agree(self):
+        from repro.experiments.common import play_original
+        from repro.experiments.fig8 import make_parts
+
+        parts = make_parts("exchange", 0.15, 2, 0)
+        payloads = {}
+        for engine in ("fast", "des"):
+            with obs.observed() as session:
+                play_original(parts, 13, engine=engine)
+            payloads[engine] = session.to_payload()
+        fast = payloads["fast"]["request"]["metrics"]
+        des = payloads["des"]["request"]["metrics"]
+        assert json.dumps(fast, sort_keys=True) \
+            == json.dumps(des, sort_keys=True)
+        assert fast["counters"]["requests.total"] \
+            == sum(len(p) for p in parts)
+
+
+def observed_cell(seed):
+    """Module-level cell body (must pickle across the pool)."""
+    alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+    rng = np.random.default_rng(seed)
+    arrivals, buckets, reads = random_trace(rng, alloc, 40)
+    player = OnlineTracePlayer(alloc, T)
+    player.play(arrivals, buckets, reads)
+    return seed
+
+
+class TestRunnerMerge:
+    def _run(self, jobs, cache=None):
+        cells = [Cell("obs-test", f"cell{s}", observed_cell, (s,))
+                 for s in (1, 2, 3)]
+        with obs.observed() as session:
+            results = ParallelRunner(jobs=jobs, cache=cache).run(cells)
+        assert results == [1, 2, 3]
+        return session.to_payload()
+
+    def test_serial_and_pooled_payloads_identical(self):
+        serial = self._run(jobs=1)
+        pooled = self._run(jobs=2)
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(pooled, sort_keys=True)
+        counters = serial["request"]["metrics"]["counters"]
+        assert counters["requests.total"] == 120
+
+    def test_cache_bypassed_while_observing(self, tmp_path):
+        cache = ResultCache(root=tmp_path, fingerprint="fp")
+        self._run(jobs=1, cache=cache)
+        first = self._run(jobs=1, cache=cache)
+        second = self._run(jobs=1, cache=cache)
+        # no hits: cached values carry no payload, so observing runs
+        # must recompute -- and the payloads stay complete
+        assert cache.hits == 0
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(second, sort_keys=True)
+
+    def test_cache_still_used_when_not_observing(self, tmp_path):
+        cache = ResultCache(root=tmp_path, fingerprint="fp")
+        cells = [Cell("obs-test", "cell9", observed_cell, (9,))]
+        ParallelRunner(jobs=1, cache=cache).run(cells)
+        ParallelRunner(jobs=1, cache=cache).run(cells)
+        assert cache.hits == 1
+
+
+class TestQoSHooks:
+    def test_violation_ledger_and_counters(self):
+        from repro.core.qos import QoSFlashArray
+
+        qos = QoSFlashArray(n_devices=9, replication=3)
+        rng = np.random.default_rng(31)
+        # saturate: simultaneous arrivals force queueing past the
+        # guarantee so at least some violations are plausible; the
+        # assertion only requires consistent accounting either way
+        arrivals = [0.0] * 50
+        buckets = [int(b) for b in rng.integers(0, 9, size=50)]
+        with obs.observed() as session:
+            report = qos.run_online(arrivals, buckets)
+        counters = session.registry.to_dict()["counters"]
+        assert counters["qos.requests"] == len(report.requests)
+        assert session.ledger.total \
+            == counters.get("qos.violations", 0)
+
+    def test_sla_monitor_hook(self):
+        from repro.core.monitor import SLAMonitor
+
+        monitor = SLAMonitor(guarantee_ms=1.0)
+        with obs.observed() as session:
+            for at, value in ((1.0, 0.5), (2.0, 2.0), (3.0, 0.7)):
+                monitor.observe(at, value)
+        counters = session.registry.to_dict()["counters"]
+        assert counters["sla.observed"] == 3
+        assert counters["sla.violations"] == 1

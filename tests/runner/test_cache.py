@@ -74,3 +74,65 @@ class TestResultCache:
             cache.put(cache.key("e", f"c{i}", "f", {}), i)
         assert list(tmp_path.rglob("*.tmp")) == []
         assert len(list(tmp_path.rglob("*.pkl"))) == 5
+
+
+class TestPrune:
+    def _filled(self, tmp_path, n=5):
+        import os
+        import time
+
+        cache = ResultCache(root=tmp_path, fingerprint="fp")
+        keys = []
+        for i in range(n):
+            key = cache.key("e", f"c{i}", "f", {})
+            cache.put(key, list(range(100)))
+            # force distinct, ordered mtimes without sleeping
+            mtime = time.time() - (n - i) * 10
+            os.utime(cache._path(key), (mtime, mtime))
+            keys.append(key)
+        return cache, keys
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache, _ = self._filled(tmp_path)
+        report = cache.prune(0)
+        assert report["removed"] == 5
+        assert report["kept_bytes"] == 0
+        assert cache.size_bytes() == 0
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache, keys = self._filled(tmp_path)
+        entry_size = cache.size_bytes() // 5
+        report = cache.prune(entry_size * 2)
+        assert report["removed"] == 3
+        # the two newest entries survive
+        assert cache.get(keys[4])[0]
+        assert cache.get(keys[3])[0]
+        assert not cache.get(keys[0])[0]
+
+    def test_prune_noop_when_under_cap(self, tmp_path):
+        cache, _ = self._filled(tmp_path)
+        before = cache.size_bytes()
+        report = cache.prune(before + 1)
+        assert report == {"removed": 0, "removed_bytes": 0,
+                          "kept_bytes": before}
+
+    def test_prune_sweeps_stale_tmp_files(self, tmp_path):
+        cache, _ = self._filled(tmp_path)
+        stale = tmp_path / "ab" / "deadbeef.pkl.1234.tmp"
+        stale.parent.mkdir(exist_ok=True)
+        stale.write_bytes(b"partial write")
+        cache.prune(0)
+        assert not stale.exists()
+
+    def test_prune_validates(self, tmp_path):
+        cache = ResultCache(root=tmp_path, fingerprint="fp")
+        import pytest
+
+        with pytest.raises(ValueError):
+            cache.prune(-1)
+
+    def test_prune_empty_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "missing",
+                            fingerprint="fp")
+        assert cache.prune(0) == {"removed": 0, "removed_bytes": 0,
+                                  "kept_bytes": 0}

@@ -51,7 +51,7 @@ def bench_engine(repeats: int = 3) -> dict:
     des = play_original(parts, 13, engine="des")
     fast = play_original(parts, 13, engine="fast")
     for i in des.intervals():
-        if fast.stats(i).samples != des.stats(i).samples:
+        if fast.stats(i).state() != des.stats(i).state():
             raise AssertionError("fast playback diverged from DES")
     return {
         "workload": "fig8 exchange scale=0.5 n_intervals=24",
