@@ -139,6 +139,40 @@ def _obs_small(seed: int) -> str:
         json.dumps(kernel, sort_keys=True)
 
 
+def _kernels_small(seed: int) -> str:
+    """Kernel-equivalence probe: bitset kernels vs legacy solvers.
+
+    Runs the retrieval-heavy workloads (the Figure 4 sampler plus the
+    three batch-solving ablations) twice -- once with the
+    ``repro.graph.kernels`` fast paths enabled, once with them forced
+    off -- and raises unless the serialized outputs are byte-identical.
+    Caches are cleared on both sides so the comparison covers the cold
+    path, not a memoized answer.  The returned blob then guards the
+    kernels' own run-to-run determinism.
+    """
+    from repro.experiments import ablations, fig4
+    from repro.graph import kernels
+
+    def harvest() -> str:
+        kernels.clear_caches()
+        parts = [fig4.run(max_k=12, trials=300, seed=seed).to_json(),
+                 ablations.allocation_zoo(trials=60,
+                                          seed=seed).to_json(),
+                 ablations.query_types(trials=60, seed=seed).to_json(),
+                 ablations.failure_degradation(trials=40,
+                                               seed=seed).to_json()]
+        return "|".join(parts)
+
+    fast = harvest()
+    with kernels.disabled():
+        legacy = harvest()
+    if fast != legacy:
+        raise ValueError(
+            "retrieval kernels diverged from the legacy solvers on "
+            "the probe workloads")
+    return fast
+
+
 #: name -> callable(seed) -> serialized result string
 PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "fig8": _fig8_small,
@@ -147,6 +181,7 @@ PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "runner": _runner_small,
     "fastpath": _fastpath_small,
     "obs": _obs_small,
+    "kernels": _kernels_small,
 }
 
 

@@ -14,7 +14,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.check.lint import LintContext, Violation
 from repro.check.rules import Rule, SIM_CRITICAL
 
-__all__ = ["UnseededRng", "WallClock", "GlobalRngSeed",
+__all__ = ["UnseededRng", "WallClock", "DurationClock", "GlobalRngSeed",
            "SeedDefaultNone", "RULES"]
 
 #: attribute access spelled out, e.g. ``np.random.default_rng`` ->
@@ -129,6 +129,38 @@ class WallClock(Rule):
                     f"simulation state must not depend on it")
 
 
+class DurationClock(Rule):
+    """Durations are measured with ``perf_counter``, never ``time.time``."""
+
+    rule_id = "duration-clock"
+    title = "measure durations with time.perf_counter()"
+    rationale = ("time.time() is the wall clock: NTP slews and DST "
+                 "steps make it jump, so intervals computed from it "
+                 "are wrong exactly when timing matters.  Benchmarks "
+                 "and cost measurements must use the monotonic "
+                 "high-resolution time.perf_counter(); a genuine "
+                 "wall-time *stamp* (log line, report header) carries "
+                 "a pragma saying so.")
+    scope = None  # everywhere; sim-critical code is stricter still
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if ctx.in_package(SIM_CRITICAL):
+            # WallClock already bans every host-clock read here;
+            # double-reporting the same call helps nobody.
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted == ("time", "time") \
+                    or dotted == ("time", "time_ns"):
+                yield self.violation(
+                    ctx, node.lineno,
+                    f"{'.'.join(dotted)}() follows the adjustable wall "
+                    f"clock; use time.perf_counter() for durations, or "
+                    f"pragma a deliberate wall-time stamp")
+
+
 class GlobalRngSeed(Rule):
     """Never reseed process-global RNG state."""
 
@@ -187,4 +219,5 @@ class SeedDefaultNone(Rule):
                         f"(entropy-seeded); default to an integer seed")
 
 
-RULES = [UnseededRng, WallClock, GlobalRngSeed, SeedDefaultNone]
+RULES = [UnseededRng, WallClock, DurationClock, GlobalRngSeed,
+         SeedDefaultNone]

@@ -24,10 +24,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
 from repro.core.guarantees import guarantee_capacity
+from repro.graph.kernels import WarmStartMatcher
 
 __all__ = [
     "AdmissionDecision",
     "DeterministicAdmission",
+    "ExactAdmission",
     "StatisticalAdmission",
 ]
 
@@ -188,3 +190,62 @@ class StatisticalAdmission:
             self._violations += 1
             return AdmissionDecision(True, self._count, q=q)
         return AdmissionDecision(False, self._count, q=q)
+
+
+class ExactAdmission:
+    """Admission by *exact* per-interval feasibility (ε = 0).
+
+    The deterministic controller admits at most ``S = (c-1)M^2 + cM``
+    requests per interval -- the worst-case guarantee of paper §III-A1,
+    which rejects many intervals the array could in fact serve.  This
+    controller instead maintains a warm-started maximum matching
+    (:class:`repro.graph.kernels.WarmStartMatcher`) over the interval's
+    admitted requests and admits a request iff the matching proves the
+    *whole interval* still fits the access budget ``M``:
+
+    * a read adds one request whose candidates are its bucket's
+      replica devices;
+    * a write adds one pinned request per replica (every copy must be
+      updated), so it consumes ``c`` units exactly like the counting
+      controllers.
+
+    Each offer costs one augmenting-path attempt (plus rollbacks on
+    denial) rather than a from-scratch solve, and the answer is exact:
+    admitted intervals are always retrievable in ``M`` accesses, and
+    every denial is a certified infeasibility, never slack in a
+    worst-case bound.  Admissions are therefore a superset of
+    :class:`DeterministicAdmission`'s (``S`` is a lower bound on what
+    a matching can place).
+    """
+
+    def __init__(self, allocation, accesses: int = 1):
+        if accesses < 1:
+            raise ValueError(f"accesses must be >= 1, got {accesses}")
+        self.allocation = allocation
+        self.accesses = accesses
+        self._matcher = WarmStartMatcher(allocation.n_devices, accesses)
+
+    @property
+    def interval_count(self) -> int:
+        """Requests admitted in the current interval."""
+        return len(self._matcher)
+
+    def start_interval(self) -> None:
+        """Reset at an interval boundary."""
+        self._matcher = WarmStartMatcher(self.allocation.n_devices,
+                                         self.accesses)
+
+    def offer_bucket(self, bucket: int,
+                     is_read: bool = True) -> AdmissionDecision:
+        """Offer one request for ``bucket``; writes pin every replica."""
+        matcher = self._matcher
+        devices = self.allocation.devices_for(int(bucket))
+        if is_read:
+            added = [matcher.add(devices)]
+        else:
+            added = [matcher.add((d,)) for d in devices]
+        if matcher.feasible:
+            return AdmissionDecision(True, len(matcher))
+        for rid in added:
+            matcher.remove(rid)
+        return AdmissionDecision(False, len(matcher))

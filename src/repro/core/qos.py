@@ -109,6 +109,11 @@ class QoSFlashArray:
         Playback engine: ``"auto"`` (closed-form fast path when the
         configuration is eligible, DES otherwise), ``"des"`` or
         ``"fast"`` -- see :func:`repro.flash.driver.resolve_engine`.
+    admission:
+        Online admission mode: ``"counting"`` (the paper's
+        controllers, default) or ``"exact"`` (per-interval feasibility
+        via warm-started matching; deterministic QoS only) -- see
+        :class:`repro.core.admission.ExactAdmission`.
     """
 
     def __init__(self, n_devices: int = 9, replication: int = 3,
@@ -116,7 +121,7 @@ class QoSFlashArray:
                  epsilon: float = 0.0,
                  params: Optional[FlashParams] = None,
                  sampler_trials: int = 1000, seed: int = 0,
-                 engine: str = "auto"):
+                 engine: str = "auto", admission: str = "counting"):
         self.params = params or MSR_SSD_PARAMS
         self.design = get_design(n_devices, replication)
         self._base_allocation = DesignTheoreticAllocation(self.design)
@@ -131,6 +136,7 @@ class QoSFlashArray:
         self.seed = seed
         self._probabilities: Optional[Dict[int, float]] = None
         self.engine = engine
+        self.admission = admission
 
     # -- failure handling -----------------------------------------------
     @property
@@ -236,7 +242,7 @@ class QoSFlashArray:
             self.allocation, self.interval_ms, epsilon=self.epsilon,
             probabilities=probs, accesses=self.accesses,
             params=self.params, tenant_budgets=tenant_budgets,
-            engine=self.engine)
+            engine=self.engine, admission=self.admission)
         series, played = player.play(arrivals, buckets, reads=reads,
                                      apps=apps)
         report = QoSReport(series, played, self.guarantee_ms)

@@ -35,7 +35,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.allocation.base import AllocationScheme
-from repro.core.admission import DeterministicAdmission, StatisticalAdmission
+from repro.core.admission import (
+    DeterministicAdmission,
+    ExactAdmission,
+    StatisticalAdmission,
+)
 from repro.flash.array import FlashArray, IORequest
 from repro.flash.fastpath import supports_fast_playback
 from repro.flash.metrics import IntervalSeries
@@ -313,6 +317,15 @@ class OnlineTracePlayer:
     accesses:
         Access budget ``M`` per interval (default 1, as in the paper's
         real-trace experiments where ``T`` fits one access).
+    admission:
+        ``"counting"`` (the paper's controllers: the deterministic
+        ``S``-cap or the statistical ``Q < ε`` rule, default) or
+        ``"exact"`` -- per-interval feasibility via a warm-started
+        matching (:class:`repro.core.admission.ExactAdmission`), which
+        admits every interval the array can provably serve instead of
+        stopping at the worst-case bound.  Exact admission is a
+        deterministic-QoS refinement: it requires ``epsilon == 0`` and
+        no tenant budgets.
     """
 
     def __init__(self, allocation: AllocationScheme, interval_ms: float,
@@ -323,13 +336,23 @@ class OnlineTracePlayer:
                  tenant_budgets: Optional[Dict[str, int]] = None,
                  overflow: str = "delay",
                  module_factory=None,
-                 engine: str = "auto"):
+                 engine: str = "auto",
+                 admission: str = "counting"):
         if interval_ms <= 0:
             raise ValueError("interval_ms must be positive")
         if epsilon > 0 and probabilities is None:
             raise ValueError("statistical mode requires probabilities")
         if overflow not in ("delay", "reject"):
             raise ValueError(f"unknown overflow policy {overflow!r}")
+        if admission not in ("counting", "exact"):
+            raise ValueError(f"unknown admission mode {admission!r}")
+        if admission == "exact" and epsilon > 0:
+            raise ValueError(
+                "exact admission is a deterministic-QoS refinement; "
+                "use epsilon == 0")
+        if admission == "exact" and tenant_budgets is not None:
+            raise ValueError(
+                "exact admission does not support tenant budgets")
         self.allocation = allocation
         self.interval_ms = interval_ms
         self.epsilon = epsilon
@@ -352,11 +375,14 @@ class OnlineTracePlayer:
         #: heuristic and the deterministic guarantee does not hold --
         #: which is the point of the HDD counterfactual.
         self.module_factory = module_factory
+        self.admission = admission
         self.engine = resolve_engine(engine,
                                      module_factory=module_factory,
                                      ftl_factory=ftl_factory)
 
     def _make_admission(self):
+        if self.admission == "exact":
+            return ExactAdmission(self.allocation, self.accesses)
         if self.epsilon > 0:
             return StatisticalAdmission(
                 self.probabilities, self.epsilon,
@@ -453,6 +479,9 @@ class OnlineTracePlayer:
                     self.allocation.replication
                 if tenant is not None:
                     granted = bool(tenant.offer(apps[orig], cost))
+                elif self.admission == "exact":
+                    granted = bool(admission.offer_bucket(
+                        int(buckets[orig]), is_read[orig]))
                 else:
                     granted = bool(admission.offer(cost))
                 if granted:

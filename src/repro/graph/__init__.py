@@ -9,11 +9,16 @@ provides the from-scratch substrate:
   flow network with residual edges,
 * :func:`~repro.graph.dinic.max_flow` -- Dinic's algorithm,
 * :mod:`~repro.graph.matching` -- bipartite assignment helpers built on
-  top of the flow solver.
+  top of the flow solver,
+* :mod:`~repro.graph.kernels` -- vectorized bitset feasibility,
+  warm-started incremental matching and memoized schedules for the
+  retrieval hot path (exact, cross-checked against the solvers above).
 """
 
+from repro.graph import kernels
 from repro.graph.dinic import max_flow
 from repro.graph.flownet import FlowNetwork
 from repro.graph.matching import bounded_degree_assignment
 
-__all__ = ["FlowNetwork", "max_flow", "bounded_degree_assignment"]
+__all__ = ["FlowNetwork", "kernels", "max_flow",
+           "bounded_degree_assignment"]

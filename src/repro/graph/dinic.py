@@ -36,26 +36,52 @@ def _bfs_levels(net: FlowNetwork, source: int, sink: int,
     return levels[sink] >= 0
 
 
-def _dfs_block(net: FlowNetwork, u: int, sink: int, pushed: float,
+def _dfs_block(net: FlowNetwork, source: int, sink: int, pushed: float,
                levels: List[int], iters: List[int]) -> float:
-    """Send up to ``pushed`` units from ``u`` toward the sink."""
-    if u == sink:
-        return pushed
-    head = net._head[u]
+    """Send up to ``pushed`` units from ``source`` toward the sink.
+
+    Explicit-stack path walk (the recursive formulation overflows
+    Python's recursion limit on long level graphs -- e.g. a chain of
+    thousands of nodes): advance along the current admissible edge of
+    each node, retreat past dead ends, and push the path's bottleneck
+    when the sink is reached.  Edge selection order is exactly the
+    recursive one -- ``iters[u]`` advances only when edge ``u -> v``
+    proved useless (dead end behind it), never on a successful push.
+    """
+    all_heads = net._head
     to = net._to
     cap = net._cap
-    while iters[u] < len(head):
-        idx = head[iters[u]]
-        v = to[idx]
-        if cap[idx] > 0 and levels[v] == levels[u] + 1:
-            sent = _dfs_block(net, v, sink, min(pushed, cap[idx]),
-                              levels, iters)
-            if sent > 0:
+    path: List[int] = []
+    u = source
+    while True:
+        if u == sink:
+            sent = pushed
+            for idx in path:
+                if cap[idx] < sent:
+                    sent = cap[idx]
+            for idx in path:
                 cap[idx] -= sent
                 cap[idx ^ 1] += sent
-                return sent
+            return sent
+        head = all_heads[u]
+        advanced = False
+        while iters[u] < len(head):
+            idx = head[iters[u]]
+            v = to[idx]
+            if cap[idx] > 0 and levels[v] == levels[u] + 1:
+                path.append(idx)
+                u = v
+                advanced = True
+                break
+            iters[u] += 1
+        if advanced:
+            continue
+        if u == source:
+            return 0
+        # Dead end: retreat and retire the edge that led here.
+        idx = path.pop()
+        u = to[idx ^ 1]
         iters[u] += 1
-    return 0
 
 
 def max_flow(net: FlowNetwork, source: int, sink: int,

@@ -78,6 +78,12 @@ SESSION: Optional[ObsSession] = None
 def enable(session: Optional[ObsSession] = None) -> ObsSession:
     """Turn observability on for this process; returns the session."""
     global ACTIVE, SESSION
+    # Retrieval-kernel memo caches persist across sessions; start each
+    # instrumented session cold so its hit/miss counters (and the
+    # double-run determinism probe) do not depend on process history.
+    from repro.graph import kernels as _kernels
+
+    _kernels.clear_caches()
     SESSION = session if session is not None else ObsSession()
     ACTIVE = True
     return SESSION

@@ -76,6 +76,20 @@ class ObsSession:
         """A request completed on a module (span closes)."""
         self.tracer.close_live()
 
+    def on_kernel_cache(self, cache: str, hit: bool) -> None:
+        """One lookup in a retrieval-kernel memo cache."""
+        outcome = "hit" if hit else "miss"
+        self.kernel.counter(f"kernels.{cache}.{outcome}").inc()
+
+    def on_warm_start(self, repaired: bool) -> None:
+        """One warm-started matcher update (arrival or departure).
+
+        ``repaired`` is True when the incremental augmenting-path
+        repair kept the assignment maximum without a full re-solve.
+        """
+        outcome = "repaired" if repaired else "pending"
+        self.kernel.counter(f"kernels.warm_start.{outcome}").inc()
+
     # -- request-side hooks (engine-independent) -------------------------
     def observe_request(self, pr) -> None:
         """Fold one :class:`~repro.flash.driver.PlayedRequest` in.

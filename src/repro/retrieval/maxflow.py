@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.check import sanitizers
+from repro.graph import kernels
 from repro.graph.kuhn import capacitated_assignment
 from repro.retrieval.schedule import RetrievalSchedule, optimal_accesses
 
@@ -23,11 +24,16 @@ def is_retrievable_in(candidates: Sequence[Sequence[int]], n_devices: int,
                       accesses: int) -> bool:
     """Feasibility: can the batch complete within ``accesses`` rounds?
 
-    Answered by the specialised capacitated matcher
-    (:mod:`repro.graph.kuhn`), which is an order of magnitude faster
-    than building a flow network per query -- this call sits on the
-    sampler's hot path.
+    On the kernel path (:mod:`repro.graph.kernels`, the default) the
+    answer comes from a memoized bitset feasibility check -- it is a
+    boolean, so the cache key is the *canonical* mask multiset and
+    Zipf-repeated batches hit regardless of request order.  The legacy
+    answer is one run of the specialised capacitated matcher
+    (:mod:`repro.graph.kuhn`); both are exact, so the call sites cannot
+    tell them apart.
     """
+    if kernels.ENABLED:
+        return kernels.feasible_cached(candidates, n_devices, accesses)
     return capacitated_assignment(
         candidates, n_devices, accesses) is not None
 
@@ -40,17 +46,35 @@ def maxflow_retrieval(candidates: Sequence[Sequence[int]],
     networks -- inside the paper's ``O(b^3)`` bound -- with the number
     of probes bounded by how far the optimum sits above ``ceil(b/N)``
     (at most a couple of steps for design-based allocations).
+
+    On the kernel path the verbatim legacy schedule is memoized on the
+    *exact ordered* candidate tuple (the matcher's device choices are
+    order-sensitive, so a canonical key would return merely equivalent
+    schedules and break byte-identity).
     """
     b = len(candidates)
     if b == 0:
         return RetrievalSchedule((), n_devices)
+    use_cache = kernels.ENABLED
+    if use_cache:
+        key = kernels.schedule_key(candidates, n_devices, "maxflow")
+        cached = kernels.SCHEDULE_CACHE.get(key)
+        if cached is not kernels.MISS:
+            if sanitizers.ACTIVE:
+                sanitizers.check_schedule(
+                    candidates, list(cached.assignment),
+                    cached.accesses)
+            return cached
     m = optimal_accesses(b, n_devices)
     while True:
         assignment = capacitated_assignment(candidates, n_devices, m)
         if assignment is not None:
             if sanitizers.ACTIVE:
                 sanitizers.check_schedule(candidates, assignment, m)
-            return RetrievalSchedule(tuple(assignment), n_devices)
+            schedule = RetrievalSchedule(tuple(assignment), n_devices)
+            if use_cache:
+                kernels.SCHEDULE_CACHE.put(key, schedule)
+            return schedule
         m += 1
         if m > b:  # pragma: no cover - any non-empty candidates terminate
             raise RuntimeError("retrieval search failed to terminate")

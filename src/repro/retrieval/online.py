@@ -18,11 +18,13 @@ stateful, time-based :class:`OnlineRetriever` used by the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from repro.graph.kernels import WarmStartMatcher
 from repro.retrieval.policy import combined_retrieval
 
-__all__ = ["OnlineRetriever", "OnlineDecision", "online_access_count"]
+__all__ = ["OnlineRetriever", "OnlineDecision", "online_access_count",
+           "SlidingWindowScheduler"]
 
 
 def online_access_count(candidates: Sequence[Sequence[int]],
@@ -137,3 +139,68 @@ class OnlineRetriever:
     def earliest_idle(self, candidates: Sequence[int]) -> float:
         """Earliest time any of ``candidates`` becomes free."""
         return min(self.busy_until[d] for d in candidates)
+
+
+class SlidingWindowScheduler:
+    """Warm-started feasibility over a sliding window of requests.
+
+    Wraps :class:`repro.graph.kernels.WarmStartMatcher` for windowed /
+    online retrieval: requests :meth:`admit` and :meth:`retire` one at
+    a time, and the scheduler keeps an exact maximum matching alive by
+    repairing it with augmenting paths instead of re-solving the whole
+    window on each change (the paper's online setting, §IV-B, where
+    batch membership shifts by one request at a time).
+
+    :attr:`feasible` answers "does the current window fit the access
+    budget?" exactly after every update, and :meth:`min_accesses`
+    gives the window's optimal access count by warm-starting each
+    level's matching from the current assignment.
+    """
+
+    def __init__(self, n_devices: int, accesses: int):
+        self._matcher = WarmStartMatcher(n_devices, accesses)
+        #: candidate lists of the live window, keyed by request id
+        self._window: Dict[int, Tuple[int, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def n_devices(self) -> int:
+        return self._matcher.n_devices
+
+    @property
+    def accesses(self) -> int:
+        """The access budget the window is matched against."""
+        return self._matcher.capacity
+
+    @property
+    def feasible(self) -> bool:
+        """Exact: every request in the window fits the budget."""
+        return self._matcher.feasible
+
+    def admit(self, candidates: Sequence[int]) -> int:
+        """Add one request to the window; returns its id."""
+        rid = self._matcher.add(candidates)
+        self._window[rid] = tuple(candidates)
+        return rid
+
+    def retire(self, request_id: int) -> None:
+        """Remove one request (served or expired) from the window."""
+        del self._window[request_id]
+        self._matcher.remove(request_id)
+
+    def assignment_of(self, request_id: int) -> int:
+        """Device of a matched request, ``-1`` while unmatched."""
+        return self._matcher.assignment_of(request_id)
+
+    def min_accesses(self) -> int:
+        """Optimal access count for the current window (exact)."""
+        return self._matcher.min_accesses()
+
+    def window(self) -> Dict[int, Tuple[int, ...]]:
+        """Snapshot of the live window (id -> candidate tuple)."""
+        return dict(self._window)
+
+    def stats(self) -> Dict[str, int]:
+        return self._matcher.stats()

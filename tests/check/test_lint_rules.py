@@ -99,6 +99,41 @@ def test_wall_clock_pragma_on_previous_line():
     assert "wall-clock" not in ids_of(out)
 
 
+# -- duration-clock ------------------------------------------------------
+
+def test_time_time_outside_sim_flagged():
+    out = lint("import time\nt0 = time.time()\n",
+               module="repro.experiments.ablations")
+    assert "duration-clock" in ids_of(out)
+
+
+def test_time_ns_outside_sim_flagged():
+    out = lint("import time\nt0 = time.time_ns()\n",
+               module="tools.bench_retrieval")
+    assert "duration-clock" in ids_of(out)
+
+
+def test_perf_counter_outside_sim_clean():
+    out = lint("import time\nt0 = time.perf_counter()\n",
+               module="repro.experiments.ablations")
+    assert "duration-clock" not in ids_of(out)
+
+
+def test_duration_clock_defers_to_wall_clock_in_sim():
+    # inside sim-critical packages WallClock owns the line; the call
+    # must be flagged exactly once
+    out = lint("import time\nt = time.time()\n")
+    assert ids_of(out).count("wall-clock") == 1
+    assert "duration-clock" not in ids_of(out)
+
+
+def test_duration_clock_pragma():
+    out = lint("import time\n"
+               "stamp = time.time()  # repro: allow[duration-clock]\n",
+               module="repro.obs.export")
+    assert "duration-clock" not in ids_of(out)
+
+
 # -- global-rng-seed -----------------------------------------------------
 
 def test_numpy_global_seed_flagged_everywhere():

@@ -1,0 +1,129 @@
+"""Tests for exact (matching-based) admission control."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.core.admission import DeterministicAdmission, ExactAdmission
+from repro.graph.kuhn import capacitated_feasible
+
+
+@pytest.fixture
+def alloc():
+    return DesignTheoreticAllocation.from_parameters(9, 3)
+
+
+def test_rejects_bad_budget(alloc):
+    with pytest.raises(ValueError):
+        ExactAdmission(alloc, accesses=0)
+
+
+def test_interval_reset(alloc):
+    adm = ExactAdmission(alloc, accesses=1)
+    assert adm.offer_bucket(0)
+    assert adm.interval_count == 1
+    adm.start_interval()
+    assert adm.interval_count == 0
+
+
+def test_admitted_intervals_are_retrievable(alloc):
+    """Every admitted interval must actually fit the budget M."""
+    rng = np.random.default_rng(7)
+    adm = ExactAdmission(alloc, accesses=2)
+    admitted = []
+    for b in rng.integers(0, alloc.n_buckets, size=80):
+        if adm.offer_bucket(int(b)):
+            admitted.append(alloc.devices_for(int(b)))
+    assert capacitated_feasible(admitted, alloc.n_devices, 2)
+    assert adm.interval_count == len(admitted)
+
+
+def test_denial_is_certified_infeasibility(alloc):
+    """A denied read means the interval + request cannot be matched."""
+    rng = np.random.default_rng(13)
+    adm = ExactAdmission(alloc, accesses=1)
+    admitted = []
+    denied = 0
+    for b in rng.integers(0, alloc.n_buckets, size=60):
+        devices = alloc.devices_for(int(b))
+        if adm.offer_bucket(int(b)):
+            admitted.append(devices)
+        else:
+            denied += 1
+            assert not capacitated_feasible(
+                admitted + [devices], alloc.n_devices, 1)
+            # rollback left the interval intact
+            assert adm.interval_count == len(admitted)
+    assert denied > 0
+
+
+def test_writes_pin_every_replica(alloc):
+    adm = ExactAdmission(alloc, accesses=1)
+    assert adm.offer_bucket(0, is_read=False)
+    # a write occupies all c replicas: one unit on each of 3 devices
+    assert adm.interval_count == alloc.replication
+    # a read on the same bucket now has no free replica
+    assert not adm.offer_bucket(0, is_read=True)
+    assert adm.interval_count == alloc.replication
+
+
+def test_admits_superset_of_counting_controller(alloc):
+    """Exact admission never denies what the S-cap would admit."""
+    rng = np.random.default_rng(19)
+    for accesses in (1, 2):
+        counting = DeterministicAdmission(alloc.replication, accesses)
+        exact = ExactAdmission(alloc, accesses)
+        extra = 0
+        for b in rng.integers(0, alloc.n_buckets, size=100):
+            by_count = bool(counting.offer())
+            by_exact = bool(exact.offer_bucket(int(b)))
+            if by_count:
+                assert by_exact
+            extra += by_exact and not by_count
+        assert extra > 0  # and it recovers real capacity
+
+
+def test_online_player_exact_mode(alloc):
+    """The driver wires admission='exact' end to end."""
+    from repro.flash.driver import OnlineTracePlayer
+
+    rng = np.random.default_rng(23)
+    n = 60
+    arrivals = [0.0] * n  # one saturated interval
+    buckets = [int(b) for b in rng.integers(0, alloc.n_buckets,
+                                            size=n)]
+    series_by_mode = {}
+    for mode in ("counting", "exact"):
+        player = OnlineTracePlayer(alloc, 0.133, admission=mode)
+        _, played = player.play(arrivals, buckets)
+        series_by_mode[mode] = played
+    delayed = {mode: sum(r.delay_ms > 0 for r in played)
+               for mode, played in series_by_mode.items()}
+    # exact admission packs at least as many requests per interval
+    assert delayed["exact"] <= delayed["counting"]
+
+
+def test_online_player_exact_mode_validation(alloc):
+    from repro.flash.driver import OnlineTracePlayer
+
+    with pytest.raises(ValueError):
+        OnlineTracePlayer(alloc, 0.133, admission="bogus")
+    with pytest.raises(ValueError):
+        OnlineTracePlayer(alloc, 0.133, admission="exact",
+                          epsilon=0.1)
+    with pytest.raises(ValueError):
+        OnlineTracePlayer(alloc, 0.133, admission="exact",
+                          tenant_budgets={"a": 3})
+
+
+def test_qos_facade_exact_mode():
+    from repro.core.qos import QoSFlashArray
+
+    qos = QoSFlashArray(n_devices=9, replication=3,
+                        admission="exact")
+    rng = np.random.default_rng(29)
+    arrivals = [0.0] * 30
+    buckets = [int(b) for b in rng.integers(0, qos.n_buckets,
+                                            size=30)]
+    report = qos.run_online(arrivals, buckets)
+    assert len(report.requests) == 30

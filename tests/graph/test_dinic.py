@@ -99,3 +99,15 @@ def test_random_graphs_match_networkx(seed):
     expected = nx.maximum_flow_value(g, 0, n - 1) \
         if g.has_node(0) and g.has_node(n - 1) else 0
     assert max_flow(net, 0, n - 1) == expected
+
+
+def test_deep_chain_no_recursion_limit():
+    """The blocking-flow walk is iterative: a level graph thousands of
+    nodes deep must not hit Python's recursion limit."""
+    import sys
+
+    n = sys.getrecursionlimit() * 3
+    net = FlowNetwork(n)
+    for u in range(n - 1):
+        net.add_edge(u, u + 1, 2)
+    assert max_flow(net, 0, n - 1) == 2

@@ -74,7 +74,10 @@ class TestEngineIdentity:
         # the fast path has no kernel by design
         fast = play_observed(alloc, "fast", arrivals, buckets, reads)
         assert fast["kernel"]["live_opened"] == 0
-        assert fast["kernel"]["metrics"]["counters"] == {}
+        # No DES accounting on the fast path; retrieval-kernel cache
+        # counters are engine-agnostic and allowed in either section.
+        counters = fast["kernel"]["metrics"]["counters"]
+        assert all(name.startswith("kernels.") for name in counters)
 
     def test_series_populated_and_consistent(self, alloc):
         rng = np.random.default_rng(29)

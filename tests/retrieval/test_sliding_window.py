@@ -1,0 +1,72 @@
+"""Tests for the warm-started sliding-window scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.graph.kuhn import capacitated_feasible
+from repro.retrieval.maxflow import maxflow_retrieval
+from repro.retrieval.online import SlidingWindowScheduler
+
+
+@pytest.fixture
+def alloc():
+    return DesignTheoreticAllocation.from_parameters(9, 3)
+
+
+def test_empty_window_is_feasible():
+    sched = SlidingWindowScheduler(9, 2)
+    assert sched.feasible
+    assert len(sched) == 0
+    assert sched.min_accesses() == 0
+    assert sched.window() == {}
+    assert sched.n_devices == 9
+    assert sched.accesses == 2
+
+
+def test_admit_retire_roundtrip(alloc):
+    sched = SlidingWindowScheduler(alloc.n_devices, 1)
+    rids = [sched.admit(alloc.devices_for(b)) for b in range(5)]
+    assert len(sched) == 5
+    assert sched.window()[rids[0]] == alloc.devices_for(0)
+    for rid in rids:
+        device = sched.assignment_of(rid)
+        if device >= 0:
+            assert device in sched.window()[rid]
+    for rid in rids:
+        sched.retire(rid)
+    assert len(sched) == 0 and sched.feasible
+
+
+def test_retire_unknown_id_raises(alloc):
+    sched = SlidingWindowScheduler(alloc.n_devices, 1)
+    with pytest.raises(KeyError):
+        sched.retire(99)
+
+
+def test_sliding_playback_matches_scratch_solves(alloc):
+    rng = np.random.default_rng(2)
+    sched = SlidingWindowScheduler(alloc.n_devices, 2)
+    live = []
+    for b in rng.integers(0, alloc.n_buckets, size=200):
+        live.append(sched.admit(alloc.devices_for(int(b))))
+        if len(live) > 15:
+            sched.retire(live.pop(0))
+        window = list(sched.window().values())
+        assert sched.feasible == capacitated_feasible(
+            window, alloc.n_devices, 2)
+    assert sched.min_accesses() == maxflow_retrieval(
+        list(sched.window().values()), alloc.n_devices).accesses
+    stats = sched.stats()
+    assert stats["requests"] == len(sched)
+    assert stats["fast_placements"] > 0
+
+
+def test_feasibility_recovers_after_retire(alloc):
+    # saturate one bucket's replica set past the budget, then drain
+    sched = SlidingWindowScheduler(alloc.n_devices, 1)
+    devices = alloc.devices_for(0)
+    rids = [sched.admit(devices) for _ in range(len(devices) + 1)]
+    assert not sched.feasible
+    sched.retire(rids[0])
+    assert sched.feasible
