@@ -15,6 +15,7 @@ from repro.allocation.partitioned import PartitionedAllocation
 from repro.allocation.periodic import DependentPeriodicAllocation
 from repro.allocation.raid1 import Raid1Chained, Raid1Mirrored
 from repro.allocation.rda import RandomDuplicateAllocation
+from repro.allocation.single import SingleCopyAllocation
 
 __all__ = [
     "AllocationScheme",
@@ -25,4 +26,5 @@ __all__ = [
     "Raid1Chained",
     "Raid1Mirrored",
     "RandomDuplicateAllocation",
+    "SingleCopyAllocation",
 ]

@@ -1,0 +1,38 @@
+"""Unreplicated striping: the no-redundancy baseline.
+
+``SingleCopyAllocation`` stores exactly one copy of every bucket,
+round-robin across the array (plain striping, ``c = 1``).  It exists
+for the fault experiments: with no replicas there is no failure-aware
+retrieval to fall back on, so every module failure makes its share of
+the data unavailable and the violation rate climbs with the failure
+count -- the counterfactual the replication schemes are measured
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.allocation.base import AllocationScheme
+
+__all__ = ["SingleCopyAllocation"]
+
+
+class SingleCopyAllocation(AllocationScheme):
+    """One copy per bucket, striped round-robin over ``n_devices``.
+
+    Bucket ``b`` lives on device ``b mod N`` and nowhere else.  Any
+    single module failure loses ``1/N`` of the buckets outright.
+    """
+
+    def __init__(self, n_devices: int):
+        if n_devices < 1:
+            raise ValueError("need at least one device")
+        self.n_devices = n_devices
+        self.replication = 1
+        self.n_buckets = n_devices
+
+    def devices_for(self, bucket: int) -> Tuple[int, ...]:
+        if bucket < 0:
+            raise ValueError("bucket must be non-negative")
+        return (bucket % self.n_devices,)

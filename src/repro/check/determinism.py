@@ -173,6 +173,61 @@ def _kernels_small(seed: int) -> str:
     return fast
 
 
+def _faults_small(seed: int) -> str:
+    """Fault-injection determinism probe.
+
+    Runs (a) the scripted-crash experiment family and (b) a stochastic
+    :class:`repro.faults.FaultModel` materialization played online,
+    serializing per-request timestamps, devices, retries and failure
+    flags.  Identity across runs proves the entire fault path --
+    seeded event materialization, down-window waits, counter-based
+    read-error draws, driver failover order -- is deterministic.  Also
+    asserts that an *empty* schedule leaves the fast path eligible and
+    byte-identical to the healthy run (fault-free prefix identity).
+    """
+    import json
+
+    from repro.experiments import faults as faults_exp
+    from repro.faults import FaultModel, FaultSchedule
+    from repro.flash.driver import OnlineTracePlayer, resolve_engine
+
+    table = faults_exp.run(n_requests=180, max_failures=3,
+                           seed=seed).to_json()
+
+    if resolve_engine("auto", faults=FaultSchedule.none()) != "fast":
+        raise ValueError("an empty fault schedule must keep the "
+                         "fast path eligible")
+
+    alloc = faults_exp.make_allocation("design", 9)
+    arrivals = [i * 0.3 for i in range(120)]
+    buckets = [i % alloc.n_buckets for i in range(120)]
+
+    def fingerprint(played) -> str:
+        return json.dumps([[p.io.issued_at, p.io.completed_at,
+                            p.io.device, p.io.retries,
+                            int(p.io.faulted), int(p.failed),
+                            p.io.fail_reason] for p in played])
+
+    healthy = OnlineTracePlayer(alloc, interval_ms=0.4)
+    _, base = healthy.play(arrivals, buckets)
+    empty = OnlineTracePlayer(alloc, interval_ms=0.4,
+                              faults=FaultSchedule.none())
+    _, base_empty = empty.play(arrivals, buckets)
+    if fingerprint(base) != fingerprint(base_empty):
+        raise ValueError("an empty fault schedule changed playback")
+
+    model = FaultModel(down_rate=0.4, down_mean_ms=1.0,
+                       slow_rate=0.4, slow_mean_ms=1.0,
+                       slow_factor=3.0, error_rate=0.4,
+                       error_mean_ms=1.0, error_prob=0.5)
+    schedule = model.materialize(9, horizon_ms=40.0, seed=seed + 17)
+    player = OnlineTracePlayer(alloc, interval_ms=0.4,
+                               faults=schedule)
+    _, played = player.play(arrivals, buckets)
+    return table + "|" + schedule.cache_token() + "|" + \
+        fingerprint(played)
+
+
 #: name -> callable(seed) -> serialized result string
 PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "fig8": _fig8_small,
@@ -182,6 +237,7 @@ PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "fastpath": _fastpath_small,
     "obs": _obs_small,
     "kernels": _kernels_small,
+    "faults": _faults_small,
 }
 
 

@@ -21,7 +21,7 @@ stays below the user's threshold ``epsilon``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence
 
 from repro.core.guarantees import guarantee_capacity
 from repro.graph.kernels import WarmStartMatcher
@@ -216,13 +216,24 @@ class ExactAdmission:
     worst-case bound.  Admissions are therefore a superset of
     :class:`DeterministicAdmission`'s (``S`` is a lower bound on what
     a matching can place).
+
+    ``excluded`` names failed devices (:mod:`repro.faults`): the
+    matching runs over live replicas only, so admission capacity
+    degrades *exactly* with the failure level instead of by the
+    worst-case ``(c-f-1)M^2 + (c-f)M`` bound.  A read whose replicas
+    are all excluded is denied outright.
     """
 
-    def __init__(self, allocation, accesses: int = 1):
+    def __init__(self, allocation, accesses: int = 1,
+                 excluded: Sequence[int] = ()):
         if accesses < 1:
             raise ValueError(f"accesses must be >= 1, got {accesses}")
         self.allocation = allocation
         self.accesses = accesses
+        self.excluded = frozenset(excluded)
+        if any(not 0 <= d < allocation.n_devices
+               for d in self.excluded):
+            raise ValueError("excluded device out of range")
         self._matcher = WarmStartMatcher(allocation.n_devices, accesses)
 
     @property
@@ -237,9 +248,19 @@ class ExactAdmission:
 
     def offer_bucket(self, bucket: int,
                      is_read: bool = True) -> AdmissionDecision:
-        """Offer one request for ``bucket``; writes pin every replica."""
+        """Offer one request for ``bucket``; writes pin every replica.
+
+        With ``excluded`` set, reads match over live replicas only
+        (denied when none remain) and writes pin only the live copies
+        (a degraded write; the fault layer flags it downstream).
+        """
         matcher = self._matcher
         devices = self.allocation.devices_for(int(bucket))
+        if self.excluded:
+            devices = tuple(d for d in devices
+                            if d not in self.excluded)
+            if not devices:
+                return AdmissionDecision(False, len(matcher))
         if is_read:
             added = [matcher.add(devices)]
         else:

@@ -55,9 +55,47 @@ class QoSReport:
 
     @property
     def guarantee_met(self) -> bool:
-        """True if every *undelayed* response met the guarantee."""
+        """True if every *undelayed* response met the guarantee.
+
+        A failed request (fault layer: dead module, retries exhausted,
+        no live replica) is an unconditional miss.
+        """
+        if any(r.failed for r in self.requests):
+            return False
         return all(r.io.response_ms <= self.guarantee_ms + 1e-9
                    for r in self.requests)
+
+    # -- degraded-mode accounting ----------------------------------------
+    @property
+    def n_failed(self) -> int:
+        """Requests the fault layer lost outright."""
+        return sum(1 for r in self.requests if r.failed)
+
+    @property
+    def n_faulted(self) -> int:
+        """Requests served, but across the fault path (failover,
+        retry, down-window wait, degraded latency)."""
+        return sum(1 for r in self.requests
+                   if not r.failed and not r.rejected
+                   and getattr(r.io, "faulted", False))
+
+    @property
+    def n_violations(self) -> int:
+        """Guarantee misses: failed requests plus served responses
+        over the guarantee (admission-rejected requests excluded)."""
+        n = 0
+        for r in self.requests:
+            if r.rejected:
+                continue
+            if r.failed or r.io.response_ms > self.guarantee_ms + 1e-9:
+                n += 1
+        return n
+
+    @property
+    def violation_rate(self) -> float:
+        """``n_violations`` over non-rejected requests."""
+        total = sum(1 for r in self.requests if not r.rejected)
+        return self.n_violations / total if total else 0.0
 
     @property
     def avg_response_ms(self) -> float:
@@ -79,6 +117,12 @@ class QoSReport:
         out = self.overall.summary()
         out["guarantee_ms"] = self.guarantee_ms
         out["guarantee_met"] = float(self.guarantee_met)
+        if self.n_failed or self.n_faulted:
+            # Degraded-mode keys appear only on faulty runs, so
+            # healthy summaries keep their pre-faults shape.
+            out["n_failed"] = float(self.n_failed)
+            out["n_faulted"] = float(self.n_faulted)
+            out["violation_rate"] = self.violation_rate
         return out
 
 
@@ -114,6 +158,12 @@ class QoSFlashArray:
         controllers, default) or ``"exact"`` (per-interval feasibility
         via warm-started matching; deterministic QoS only) -- see
         :class:`repro.core.admission.ExactAdmission`.
+    faults:
+        Optional :class:`repro.faults.FaultSchedule` injected into
+        every trace run: module crashes, unavailability windows,
+        latency degradation and read errors, with failure-aware
+        retrieval and driver failover (see :mod:`repro.faults`).  A
+        non-empty schedule forces the DES engine.
     """
 
     def __init__(self, n_devices: int = 9, replication: int = 3,
@@ -121,7 +171,8 @@ class QoSFlashArray:
                  epsilon: float = 0.0,
                  params: Optional[FlashParams] = None,
                  sampler_trials: int = 1000, seed: int = 0,
-                 engine: str = "auto", admission: str = "counting"):
+                 engine: str = "auto", admission: str = "counting",
+                 faults=None):
         self.params = params or MSR_SSD_PARAMS
         self.design = get_design(n_devices, replication)
         self._base_allocation = DesignTheoreticAllocation(self.design)
@@ -137,6 +188,7 @@ class QoSFlashArray:
         self._probabilities: Optional[Dict[int, float]] = None
         self.engine = engine
         self.admission = admission
+        self.faults = faults
 
     # -- failure handling -----------------------------------------------
     @property
@@ -218,7 +270,7 @@ class QoSFlashArray:
         """Interval-aligned playback (design-theoretic retrieval)."""
         player = BatchTracePlayer(self.allocation, self.interval_ms,
                                   retrieval=retrieval, params=self.params,
-                                  engine=self.engine)
+                                  engine=self.engine, faults=self.faults)
         series, played = player.play(arrivals, buckets)
         report = QoSReport(series, played, self.guarantee_ms)
         if obs.ACTIVE:
@@ -242,7 +294,8 @@ class QoSFlashArray:
             self.allocation, self.interval_ms, epsilon=self.epsilon,
             probabilities=probs, accesses=self.accesses,
             params=self.params, tenant_budgets=tenant_budgets,
-            engine=self.engine, admission=self.admission)
+            engine=self.engine, admission=self.admission,
+            faults=self.faults)
         series, played = player.play(arrivals, buckets, reads=reads,
                                      apps=apps)
         report = QoSReport(series, played, self.guarantee_ms)

@@ -19,11 +19,13 @@ runners; ``python -m repro.experiments`` runs them from the shell.
  fig11      Figure 11 -- FIM match percentage
  fig12      Figure 12 -- online vs design-theoretic delay
  ablations  design-choice studies (not a paper artefact)
+ faults     degraded-mode QoS vs failed modules (not a paper artefact)
 =========  =====================================================
 """
 
 from repro.experiments import (  # noqa: F401
     ablations,
+    faults,
     walkthrough,
     fig4,
     fig6,
@@ -39,6 +41,7 @@ from repro.experiments import (  # noqa: F401
 
 __all__ = [
     "ablations",
+    "faults",
     "walkthrough",
     "fig4",
     "fig6",

@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments import (
     ablations,
+    faults,
     fig4,
     fig6,
     fig8,
@@ -55,6 +56,8 @@ RUNNERS: Dict[str, Callable] = {
     "fig12": lambda fast, seed=0, runner=None: fig12.run(
         scale=0.15 if fast else 0.4, n_intervals=6 if fast else 12,
         seed=seed, runner=runner),
+    "faults": lambda fast, seed=0, runner=None: faults.run(
+        n_requests=240 if fast else 720, seed=seed, runner=runner),
 }
 
 
@@ -66,6 +69,7 @@ CHART_COLUMNS: Dict[str, List[str]] = {
     "fig9": ["QoS avg", "orig avg", "% delayed"],
     "fig11": ["% matched"],
     "fig12": ["online delay", "design-theoretic delay"],
+    "faults": ["violation rate"],
 }
 
 

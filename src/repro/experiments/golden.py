@@ -1,0 +1,93 @@
+"""Golden-snapshot registry: pinned experiment runs for regression.
+
+Every entry is a *small, fast, fully deterministic* experiment
+configuration whose serialized :class:`~repro.experiments.common.\
+ExperimentResult` is stored byte-for-byte under ``tests/golden/``.
+The snapshot tests re-run each entry and diff against the stored file
+-- any numeric drift (event ordering, float accumulation, RNG
+consumption, serialization shape) fails loudly with a real diff
+instead of silently shifting results between sessions.
+
+Regenerate after an *intentional* behaviour change with::
+
+    python tools/regen_golden.py            # all snapshots
+    python tools/regen_golden.py faults     # one snapshot
+
+and commit the diff alongside the change that explains it.
+
+Registry rules:
+
+* configs must run in a few seconds each (they run in tier-1 CI);
+* output must be byte-stable across machines -- no wall-clock, no
+  unseeded RNG, no environment-dependent sizes (the determinism
+  probes enforce the same property dynamically);
+* keys are stable filenames: ``tests/golden/<key>.json``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["GOLDEN_RUNS", "golden_dir", "generate", "generate_all"]
+
+
+def _fig4() -> ExperimentResult:
+    from repro.experiments import fig4
+
+    return fig4.run(max_k=12, trials=300, seed=0)
+
+
+def _table2() -> ExperimentResult:
+    from repro.experiments import table2
+
+    return table2.run(samples=400, seed=0)
+
+
+def _ablation_copy_count() -> ExperimentResult:
+    from repro.experiments import ablations
+
+    return ablations.copy_count()
+
+
+def _ablation_failures() -> ExperimentResult:
+    from repro.experiments import ablations
+
+    return ablations.failure_degradation(trials=60, seed=0)
+
+
+def _faults() -> ExperimentResult:
+    from repro.experiments import faults
+
+    return faults.run(n_requests=240, max_failures=4, seed=0)
+
+
+#: snapshot key -> deterministic runner (see module docstring rules)
+GOLDEN_RUNS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig4": _fig4,
+    "table2": _table2,
+    "ablation_copy_count": _ablation_copy_count,
+    "ablation_failures": _ablation_failures,
+    "faults": _faults,
+}
+
+
+def golden_dir() -> Path:
+    """``tests/golden/`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def generate(key: str) -> str:
+    """The canonical serialized snapshot for one registry entry."""
+    if key not in GOLDEN_RUNS:
+        raise KeyError(
+            f"unknown golden run {key!r}; "
+            f"choose from {sorted(GOLDEN_RUNS)}")
+    return GOLDEN_RUNS[key]().to_json() + "\n"
+
+
+def generate_all() -> Dict[str, str]:
+    """Key -> canonical serialized snapshot, for every entry."""
+    return {key: generate(key) for key in GOLDEN_RUNS}

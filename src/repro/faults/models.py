@@ -1,0 +1,389 @@
+"""Fault models: scripted schedules and seeded stochastic processes.
+
+A *fault schedule* is an immutable, fully-materialised list of fault
+events against the modules of one array -- what will go wrong, where,
+and when, decided **before** the simulation starts.  Materialising up
+front is what keeps faulty runs deterministic: the DES consumes the
+schedule read-only, every stochastic choice (including per-operation
+read-error draws) is a pure function of ``(seed, module, index)``, and
+replaying the same seed and fault config is byte-identical -- enforced
+by the ``faults`` determinism probe (``python -m repro.check --probe
+faults``).
+
+Four fault kinds cover the NAND failure behaviours the reproduction
+models (cf. Copycat's characterisation of real flash: transient
+latency variance, per-operation read errors, and outright failures):
+
+``crash``
+    The module is permanently dead from ``start`` on.  Queued and
+    newly routed requests fail; failure-aware retrieval masks the
+    module out of every candidate set.
+``down``
+    Transient unavailability over ``[start, end)``: the module stops
+    serving and resumes afterwards; the driver masks it while down.
+``slow``
+    Latency degradation over ``[start, end)``: service times are
+    multiplied by ``factor`` (heavy-tail spikes are scripted as many
+    short ``slow`` windows, e.g. by :class:`FaultModel`).
+``read_error``
+    Each read served inside ``[start, end)`` fails with probability
+    ``prob``; the module retries after a backoff per
+    :class:`RetryPolicy`, and exhausted retries fail the request over
+    to a surviving replica.
+
+Two front doors:
+
+* :class:`FaultSchedule` -- explicit scripted events (tests,
+  reproduction of a specific incident);
+* :class:`FaultModel` -- seeded stochastic processes (Poisson fault
+  arrivals, exponential durations) that :meth:`~FaultModel.materialize`
+  into a schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultEvent", "FaultSchedule", "FaultModel", "RetryPolicy",
+           "FAULT_KINDS"]
+
+#: the recognised fault kinds, in canonical order
+FAULT_KINDS = ("crash", "down", "slow", "read_error")
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault against one module.
+
+    ``end`` is exclusive (an event over ``[start, end)``); crashes
+    ignore it and last forever.  ``factor`` only applies to ``slow``
+    events, ``prob`` only to ``read_error`` events.
+    """
+
+    kind: str
+    module: int
+    start: float
+    end: float = _INF
+    factor: float = 1.0
+    prob: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {FAULT_KINDS}")
+        if self.module < 0:
+            raise ValueError("module must be >= 0")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.kind != "crash" and self.end <= self.start:
+            raise ValueError(f"{self.kind} window must have end > start")
+        if self.kind == "slow" and self.factor <= 0:
+            raise ValueError("slow factor must be > 0")
+        if self.kind == "read_error" and not 0.0 <= self.prob <= 1.0:
+            raise ValueError("read-error prob must be in [0, 1]")
+
+    def active_at(self, t: float) -> bool:
+        """True while the event is in force at time ``t``."""
+        if self.kind == "crash":
+            return t >= self.start
+        return self.start <= t < self.end
+
+    def to_list(self) -> List[object]:
+        return [self.kind, self.module, self.start,
+                "inf" if self.end == _INF else self.end,
+                self.factor, self.prob]
+
+    @classmethod
+    def from_list(cls, row: Sequence[object]) -> "FaultEvent":
+        kind, module, start, end, factor, prob = row
+        return cls(kind=str(kind), module=int(module),
+                   start=float(start),
+                   end=_INF if end == "inf" else float(end),
+                   factor=float(factor), prob=float(prob))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-timeout-and-backoff for transient errors.
+
+    A failed read is retried up to ``max_retries`` times; attempt
+    ``i`` (0-based) waits ``backoff_ms * growth**i`` before retrying.
+    The driver uses the same policy when failing a request over to
+    another replica after a module-level failure.
+    """
+
+    max_retries: int = 3
+    backoff_ms: float = 0.05
+    growth: float = 2.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_ms < 0:
+            raise ValueError("backoff_ms must be >= 0")
+        if self.growth < 1.0:
+            raise ValueError("growth must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return self.backoff_ms * self.growth ** attempt
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"max_retries": self.max_retries,
+                "backoff_ms": self.backoff_ms, "growth": self.growth}
+
+
+def _uniform_hash(seed: int, module: int, index: int) -> float:
+    """Deterministic uniform in [0, 1) from ``(seed, module, index)``.
+
+    Counter-based (no RNG state), so draws do not depend on the order
+    in which the simulation asks for them -- the property that makes
+    read-error injection replay-identical across engines and runs.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{module}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class FaultSchedule:
+    """An immutable set of scripted fault events.
+
+    Parameters
+    ----------
+    events:
+        The fault events; stored sorted by ``(start, module, kind)``
+        so identical event sets compare and serialise identically.
+    n_modules:
+        Optional module-count bound for validation.
+    seed:
+        Seed for the per-operation read-error draws (see
+        :meth:`read_error_draw`).
+    retry:
+        The :class:`RetryPolicy` for read errors and driver failover.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent],
+                 n_modules: Optional[int] = None, seed: int = 0,
+                 retry: Optional[RetryPolicy] = None):
+        evs = sorted(events, key=lambda e: (e.start, e.module,
+                                            FAULT_KINDS.index(e.kind),
+                                            e.end))
+        if n_modules is not None:
+            for e in evs:
+                if e.module >= n_modules:
+                    raise ValueError(
+                        f"event targets module {e.module} but the "
+                        f"array has {n_modules} modules")
+        self.events: Tuple[FaultEvent, ...] = tuple(evs)
+        self.n_modules = n_modules
+        self.seed = int(seed)
+        self.retry = retry or RetryPolicy()
+        self._by_module: Dict[int, List[FaultEvent]] = {}
+        for e in self.events:
+            self._by_module.setdefault(e.module, []).append(e)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def crashes(cls, modules: Iterable[int], at: float = 0.0,
+                **kwargs) -> "FaultSchedule":
+        """Crash every module in ``modules`` at time ``at``."""
+        return cls([FaultEvent("crash", m, at) for m in modules],
+                   **kwargs)
+
+    @classmethod
+    def none(cls, **kwargs) -> "FaultSchedule":
+        """The empty schedule (healthy array)."""
+        return cls([], **kwargs)
+
+    # -- basic queries ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def affected_modules(self) -> Tuple[int, ...]:
+        """Modules named by at least one event, ascending."""
+        return tuple(sorted(self._by_module))
+
+    def events_for(self, module: int) -> Tuple[FaultEvent, ...]:
+        return tuple(self._by_module.get(module, ()))
+
+    def is_dead(self, module: int, t: float) -> bool:
+        """True once a crash of ``module`` has taken effect."""
+        return any(e.kind == "crash" and t >= e.start
+                   for e in self._by_module.get(module, ()))
+
+    def is_down(self, module: int, t: float) -> bool:
+        """True while ``module`` is unavailable (down window or dead)."""
+        for e in self._by_module.get(module, ()):
+            if e.kind == "crash" and t >= e.start:
+                return True
+            if e.kind == "down" and e.active_at(t):
+                return True
+        return False
+
+    def available_from(self, module: int, t: float) -> float:
+        """Earliest time ``>= t`` at which ``module`` can serve.
+
+        ``inf`` if the module is (or goes) dead before it ever clears
+        its down windows.
+        """
+        u = t
+        events = self._by_module.get(module, ())
+        for _ in range(len(events) + 1):
+            if self.is_dead(module, u):
+                return _INF
+            blocked = [e.end for e in events
+                       if e.kind == "down" and e.active_at(u)]
+            if not blocked:
+                return u
+            u = max(blocked)
+        return u  # pragma: no cover - loop bound covers all windows
+
+    def slowdown(self, module: int, t: float) -> float:
+        """Multiplicative service-time factor in force at ``t``."""
+        factor = 1.0
+        for e in self._by_module.get(module, ()):
+            if e.kind == "slow" and e.active_at(t):
+                factor *= e.factor
+        return factor
+
+    def error_prob(self, module: int, t: float) -> float:
+        """Per-read failure probability in force at ``t`` (max rule)."""
+        prob = 0.0
+        for e in self._by_module.get(module, ()):
+            if e.kind == "read_error" and e.active_at(t):
+                prob = max(prob, e.prob)
+        return prob
+
+    def masked_at(self, t: float) -> frozenset:
+        """Modules failure-aware retrieval must avoid at time ``t``
+        (dead or inside a down window)."""
+        return frozenset(m for m in self._by_module
+                         if self.is_down(m, t))
+
+    def read_error_draw(self, module: int, index: int) -> float:
+        """The deterministic uniform for read attempt ``index`` on
+        ``module`` -- compare against :meth:`error_prob`."""
+        return _uniform_hash(self.seed, module, index)
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": [e.to_list() for e in self.events],
+            "n_modules": self.n_modules,
+            "seed": self.seed,
+            "retry": self.retry.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSchedule":
+        retry = data.get("retry") or {}
+        return cls(
+            [FaultEvent.from_list(row)
+             for row in data.get("events", ())],  # type: ignore[union-attr]
+            n_modules=data.get("n_modules"),  # type: ignore[arg-type]
+            seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+            retry=RetryPolicy(**retry))  # type: ignore[arg-type]
+
+    def cache_token(self) -> str:
+        """Canonical JSON identity, for experiment-cell cache keys."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultSchedule) and \
+            self.cache_token() == other.cache_token()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_token())
+
+    def __repr__(self) -> str:
+        return (f"FaultSchedule({len(self.events)} events, "
+                f"modules={list(self.affected_modules)}, "
+                f"seed={self.seed})")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Seeded stochastic fault process, materialised before the run.
+
+    Every rate is per module per millisecond of simulated horizon;
+    event counts are Poisson, window durations exponential, event
+    times uniform over the horizon.  :meth:`materialize` derives one
+    independent substream per ``(seed, module)`` via
+    ``numpy.random.SeedSequence``, so the resulting
+    :class:`FaultSchedule` is a pure function of ``(self, n_modules,
+    horizon_ms, seed)`` -- the determinism probe replays it twice and
+    demands identity.
+    """
+
+    crash_prob: float = 0.0          #: P(module crashes inside horizon)
+    down_rate: float = 0.0           #: down windows / module / ms
+    down_mean_ms: float = 1.0        #: mean down-window length
+    slow_rate: float = 0.0           #: slow windows / module / ms
+    slow_mean_ms: float = 1.0        #: mean slow-window length
+    slow_factor: float = 4.0         #: service-time multiplier
+    error_rate: float = 0.0          #: read-error windows / module / ms
+    error_mean_ms: float = 1.0       #: mean error-window length
+    error_prob: float = 0.5          #: per-read failure prob in window
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self):
+        if not 0.0 <= self.crash_prob <= 1.0:
+            raise ValueError("crash_prob must be in [0, 1]")
+        for name in ("down_rate", "slow_rate", "error_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("down_mean_ms", "slow_mean_ms", "error_mean_ms"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+    def materialize(self, n_modules: int, horizon_ms: float,
+                    seed: int = 0) -> FaultSchedule:
+        """Draw one concrete :class:`FaultSchedule`."""
+        import numpy as np
+
+        if n_modules < 1:
+            raise ValueError("need at least one module")
+        if horizon_ms <= 0:
+            raise ValueError("horizon_ms must be > 0")
+        events: List[FaultEvent] = []
+        streams = np.random.SeedSequence(seed).spawn(n_modules)
+        for m in range(n_modules):
+            rng = np.random.default_rng(streams[m])
+            # Fixed draw order per module: crash, down, slow, error.
+            if rng.random() < self.crash_prob:
+                events.append(FaultEvent(
+                    "crash", m, float(rng.uniform(0, horizon_ms))))
+            for kind, rate, mean in (
+                    ("down", self.down_rate, self.down_mean_ms),
+                    ("slow", self.slow_rate, self.slow_mean_ms),
+                    ("read_error", self.error_rate,
+                     self.error_mean_ms)):
+                count = int(rng.poisson(rate * horizon_ms))
+                starts = np.sort(rng.uniform(0, horizon_ms, size=count))
+                lengths = rng.exponential(mean, size=count)
+                for start, length in zip(starts, lengths):
+                    end = float(start) + max(float(length), 1e-6)
+                    if kind == "slow":
+                        events.append(FaultEvent(
+                            kind, m, float(start), end,
+                            factor=self.slow_factor))
+                    elif kind == "read_error":
+                        events.append(FaultEvent(
+                            kind, m, float(start), end,
+                            prob=self.error_prob))
+                    else:
+                        events.append(FaultEvent(
+                            kind, m, float(start), end))
+        return FaultSchedule(events, n_modules=n_modules, seed=seed,
+                             retry=self.retry)

@@ -44,6 +44,18 @@ class IORequest:
     started_at: float = 0.0
     completed_at: float = 0.0
     done: Optional[Event] = None
+    #: True when the request could not be served (module dead, read
+    #: retries exhausted, no live replica); failed requests never enter
+    #: the response statistics
+    failed: bool = False
+    #: why the request failed ("dead", "read_error", "unavailable")
+    fail_reason: str = ""
+    #: True when service crossed the fault path (down-window wait,
+    #: degraded latency, read retries, failover) -- QoS violations on
+    #: faulted requests are reported as degraded-mode violations
+    faulted: bool = False
+    #: read-error retries plus driver-level failovers consumed
+    retries: int = 0
 
     @property
     def response_ms(self) -> float:
@@ -72,21 +84,35 @@ class FlashArray:
     def __init__(self, env: Environment, n_modules: int,
                  params: Optional[FlashParams] = None,
                  ftl_factory=None, priority_queues: bool = False,
-                 module_factory=None):
+                 module_factory=None, faults=None):
         if n_modules < 1:
             raise ValueError("need at least one module")
+        if faults is not None and module_factory is not None:
+            raise ValueError("fault injection requires the standard "
+                             "FlashModule; custom module types are "
+                             "not fault-aware")
         self.env = env
         self.params = params or FlashParams()
+        #: optional :class:`repro.faults.FaultSchedule` injected into
+        #: every module's service loop
+        self.faults = faults
         if module_factory is not None:
             # custom module type (channel-level geometry, HDD, ...);
             # must be interface-compatible with FlashModule
             self.modules = [module_factory(env, i)
                             for i in range(n_modules)]
         else:
+            views = [None] * n_modules
+            if faults is not None and len(faults):
+                from repro.faults.view import ModuleFaultView
+
+                views = [ModuleFaultView(faults, i)
+                         for i in range(n_modules)]
             self.modules = [
                 FlashModule(env, i, self.params,
                             ftl=ftl_factory() if ftl_factory else None,
-                            priority_queue=priority_queues)
+                            priority_queue=priority_queues,
+                            faults=views[i])
                 for i in range(n_modules)]
         self.stats = ResponseStats()
 
@@ -114,6 +140,10 @@ class FlashArray:
         request: IORequest = event.value
         if obs.ACTIVE:
             obs.SESSION.on_complete()
+        if request.failed:
+            # Failed attempts carry no meaningful response time; the
+            # driver decides whether to fail over or give up.
+            return
         self.stats.record(request.response_ms, request.delay_ms)
 
     def queue_depths(self) -> List[int]:

@@ -53,7 +53,7 @@ __all__ = ["BatchTracePlayer", "OnlineTracePlayer", "PlayedRequest",
 
 
 def resolve_engine(engine: str, module_factory=None,
-                   ftl_factory=None) -> str:
+                   ftl_factory=None, faults=None) -> str:
     """Pick the playback engine for a player configuration.
 
     ``"auto"`` (the default everywhere) selects the closed-form fast
@@ -64,17 +64,24 @@ def resolve_engine(engine: str, module_factory=None,
     engines produce bit-identical results on eligible configurations --
     enforced by the property tests and the ``fastpath`` determinism
     probe.
+
+    A non-empty fault schedule (:mod:`repro.faults`) makes service
+    state-dependent (down windows, retries, failovers), so faulty
+    configurations always run on the DES; an *empty* schedule injects
+    nothing and keeps fast-path eligibility.
     """
     if engine not in ("auto", "des", "fast"):
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "des":
         return "des"
     eligible = supports_fast_playback(module_factory=module_factory,
-                                      ftl_factory=ftl_factory)
+                                      ftl_factory=ftl_factory,
+                                      faults=faults)
     if engine == "fast" and not eligible:
         raise ValueError(
             "fast playback requires homogeneous constant-latency FCFS "
-            "modules (no module_factory, no ftl_factory)")
+            "modules (no module_factory, no ftl_factory, no fault "
+            "schedule)")
     return "fast" if eligible else "des"
 
 
@@ -87,7 +94,10 @@ def _collect_series(played: Sequence["PlayedRequest"]) -> IntervalSeries:
     for pr in played:
         if session is not None:
             session.observe_request(pr)
-        if pr.rejected:
+        if pr.rejected or pr.failed:
+            # Never-served requests carry no meaningful response time;
+            # the QoS layer accounts them separately (rejection counts,
+            # degraded-mode ledger entries).
             continue
         series.record(pr.interval, pr.io.response_ms,
                       pr.io.delay_ms if pr.delayed else 0.0)
@@ -119,12 +129,34 @@ class PlayedRequest:
     rejected: bool = False
 
     @property
+    def failed(self) -> bool:
+        """True when the fault layer lost the request (dead module,
+        read retries exhausted, no live replica).  A property rather
+        than a field because failure is discovered in DES time, after
+        the :class:`PlayedRequest` is appended."""
+        return self.io.failed
+
+    @property
     def response_ms(self) -> float:
         return self.io.response_ms
 
     @property
     def delay_ms(self) -> float:
         return self.io.delay_ms
+
+
+def _unavailable_io(arrival: float, bucket: int, t: float,
+                    is_read: bool = True) -> IORequest:
+    """An :class:`IORequest` failed at dispatch: no live replica."""
+    io = IORequest(arrival=arrival, bucket=bucket, is_read=is_read)
+    io.failed = True
+    io.fail_reason = "unavailable"
+    io.faulted = True
+    io.issued_at = t
+    io.completed_at = t
+    if obs.ACTIVE:
+        obs.SESSION.on_fault("unavailable")
+    return io
 
 
 def _group_by_interval(arrivals: Sequence[float], interval_ms: float,
@@ -152,12 +184,18 @@ class BatchTracePlayer:
     engine:
         ``"auto"`` (closed-form fast path when eligible, else DES),
         ``"des"`` or ``"fast"`` -- see :func:`resolve_engine`.
+    faults:
+        Optional :class:`repro.faults.FaultSchedule`.  Dead and down
+        modules are masked out of every batch's candidate sets at the
+        batch instant (failure-aware retrieval); buckets with no live
+        replica fail as ``"unavailable"``.  A non-empty schedule
+        forces the DES engine.
     """
 
     def __init__(self, allocation: AllocationScheme, interval_ms: float,
                  retrieval: str = "combined",
                  params=None, module_factory=None,
-                 engine: str = "auto"):
+                 engine: str = "auto", faults=None):
         if interval_ms <= 0:
             raise ValueError("interval_ms must be positive")
         if retrieval not in ("combined", "guarantee", "greedy"):
@@ -169,8 +207,10 @@ class BatchTracePlayer:
         #: optional custom module constructor (e.g. HDDModule for the
         #: flash-vs-HDD motivation ablation)
         self.module_factory = module_factory
+        self.faults = faults
         self.engine = resolve_engine(engine,
-                                     module_factory=module_factory)
+                                     module_factory=module_factory,
+                                     faults=faults)
 
     def _schedule(self, candidates, carry):
         """Device assignment for one interval batch.
@@ -224,7 +264,8 @@ class BatchTracePlayer:
             return self._play_fast(arrivals, buckets)
         env = Environment()
         array = FlashArray(env, self.allocation.n_devices, self.params,
-                           module_factory=self.module_factory)
+                           module_factory=self.module_factory,
+                           faults=self.faults)
         groups = _group_by_interval(arrivals, self.interval_ms)
         played: List[PlayedRequest] = []
         service = array.params.read_ms
@@ -241,12 +282,33 @@ class BatchTracePlayer:
                     batch_time = (idx + 1) * self.interval_ms
                 if batch_time > env.now:
                     yield env.timeout_until(batch_time)
-                cands = [self.allocation.devices_for(int(buckets[i]))
-                         for i in member]
+                # Failure-aware retrieval: dead/down modules leave the
+                # candidate sets at the batch instant.
+                masked = self.faults.masked_at(batch_time) \
+                    if self.faults is not None else None
+                live_member: List[int] = []
+                cands = []
+                for i in member:
+                    cs = self.allocation.devices_for(int(buckets[i]))
+                    if masked:
+                        live = tuple(d for d in cs if d not in masked)
+                        if not live:
+                            io = _unavailable_io(float(arrivals[i]),
+                                                 int(buckets[i]),
+                                                 batch_time)
+                            played.append(PlayedRequest(
+                                io=io, interval=idx, index=i,
+                                delayed=False))
+                            continue
+                        cs = live
+                    live_member.append(i)
+                    cands.append(cs)
+                if not live_member:
+                    continue
                 carry = [max(0.0, b - batch_time) / service
                          for b in busy_until]
                 schedule = self._schedule(cands, carry)
-                for i, dev in zip(member, schedule.assignment):
+                for i, dev in zip(live_member, schedule.assignment):
                     io = IORequest(arrival=float(arrivals[i]),
                                    bucket=int(buckets[i]))
                     array.issue(io, dev)
@@ -337,7 +399,8 @@ class OnlineTracePlayer:
                  overflow: str = "delay",
                  module_factory=None,
                  engine: str = "auto",
-                 admission: str = "counting"):
+                 admission: str = "counting",
+                 faults=None):
         if interval_ms <= 0:
             raise ValueError("interval_ms must be positive")
         if epsilon > 0 and probabilities is None:
@@ -376,13 +439,31 @@ class OnlineTracePlayer:
         #: which is the point of the HDD counterfactual.
         self.module_factory = module_factory
         self.admission = admission
+        #: optional :class:`repro.faults.FaultSchedule`.  Dead/down
+        #: modules are masked out of candidate sets at dispatch time,
+        #: the driver fails over to the next live replica (with the
+        #: schedule's retry/backoff policy) when an issued request
+        #: comes back failed, and writes go to the live replicas only.
+        #: A non-empty schedule forces the DES engine; under faults
+        #: the busy-until mirror is a placement heuristic, not an
+        #: exact model (which is the point of degraded mode).
+        self.faults = faults
         self.engine = resolve_engine(engine,
                                      module_factory=module_factory,
-                                     ftl_factory=ftl_factory)
+                                     ftl_factory=ftl_factory,
+                                     faults=faults)
 
     def _make_admission(self):
         if self.admission == "exact":
-            return ExactAdmission(self.allocation, self.accesses)
+            excluded = ()
+            if self.faults is not None:
+                # Modules dead from the start never serve anything;
+                # exact admission matches over the live array only.
+                excluded = tuple(sorted(
+                    m for m in range(self.allocation.n_devices)
+                    if self.faults.is_dead(m, 0.0)))
+            return ExactAdmission(self.allocation, self.accesses,
+                                  excluded=excluded)
         if self.epsilon > 0:
             return StatisticalAdmission(
                 self.probabilities, self.epsilon,
@@ -427,7 +508,8 @@ class OnlineTracePlayer:
             env = Environment()
             array = FlashArray(env, self.allocation.n_devices, self.params,
                                ftl_factory=self.ftl_factory,
-                               module_factory=self.module_factory)
+                               module_factory=self.module_factory,
+                               faults=self.faults)
             params = array.params
         admission = self._make_admission()
         tenant = None
@@ -534,19 +616,42 @@ class OnlineTracePlayer:
                   arrivals, buckets, busy_until: List[float],
                   service: float, array: Optional[FlashArray],
                   played: List[PlayedRequest], admission) -> None:
-        """Place an admitted batch of simultaneous requests."""
-        cands = [self.allocation.devices_for(int(buckets[i]))
-                 for i in admitted]
-        if len(admitted) > 1:
+        """Place an admitted batch of simultaneous requests.
+
+        With a fault schedule, dead/down modules leave every candidate
+        set first (failure-aware retrieval); a request whose replicas
+        are all masked fails as ``"unavailable"`` without touching the
+        array.
+        """
+        masked = self.faults.masked_at(t) \
+            if self.faults is not None else None
+        live_admitted: List[int] = []
+        cands = []
+        for i in admitted:
+            cs = self.allocation.devices_for(int(buckets[i]))
+            if masked:
+                live = tuple(d for d in cs if d not in masked)
+                if not live:
+                    io = _unavailable_io(float(arrivals[i]),
+                                         int(buckets[i]), t)
+                    played.append(PlayedRequest(
+                        io=io, interval=idx, index=i, delayed=False))
+                    continue
+                cs = live
+            live_admitted.append(i)
+            cands.append(cs)
+        if not live_admitted:
+            return
+        if len(live_admitted) > 1:
             # Simultaneous arrivals are scheduled together (§IV-B).
             schedule = combined_retrieval(cands, self.allocation.n_devices)
             chosen = list(schedule.assignment)
         else:
             chosen = [self._pick(cands[0], t, busy_until)]
-        for orig, dev in zip(admitted, chosen):
+        for orig, dev, cs in zip(live_admitted, chosen, cands):
             self._issue_one(orig, dev, t, idx, arrivals, buckets,
                             busy_until, service, array, played,
-                            admission)
+                            admission, candidates=cs)
 
     def _pick(self, candidates: Sequence[int], t: float,
               busy_until: List[float]) -> int:
@@ -558,7 +663,8 @@ class OnlineTracePlayer:
     def _issue_one(self, orig: int, dev: int, t: float, idx: int,
                    arrivals, buckets, busy_until: List[float],
                    service: float, array: Optional[FlashArray],
-                   played: List[PlayedRequest], admission) -> None:
+                   played: List[PlayedRequest], admission,
+                   candidates: Optional[Sequence[int]] = None) -> None:
         io = IORequest(arrival=float(arrivals[orig]),
                        bucket=int(buckets[orig]))
         wait = busy_until[dev] - t
@@ -599,17 +705,61 @@ class OnlineTracePlayer:
             io.completed_at = busy_until[dev]
         else:
             array.env.process(
-                self._issue_process(array, io, dev, issue_at))
+                self._issue_process(array, io, dev, issue_at,
+                                    candidates))
         played.append(PlayedRequest(io=io, interval=idx, index=orig,
                                     delayed=delayed))
 
-    @staticmethod
-    def _issue_process(array: FlashArray, io: IORequest, dev: int,
-                       issue_at: float):
+    def _issue_process(self, array: FlashArray, io: IORequest,
+                       dev: int, issue_at: float,
+                       candidates: Optional[Sequence[int]] = None):
+        """Issue one read; under faults, fail over across replicas.
+
+        The healthy path is a single issue-and-wait, unchanged.  With
+        a fault schedule, a failed attempt (dead module, read retries
+        exhausted) is retried on the next live untried replica after
+        the schedule's backoff; ``issued_at`` keeps the *first* issue
+        time so the recorded response spans every attempt.  When no
+        live replica remains (or the retry budget runs out) the
+        request stays failed.
+        """
         if issue_at > array.env.now:
             yield array.env.timeout_until(issue_at)
         done = array.issue(io, dev)
-        yield done
+        if self.faults is None:
+            yield done
+            return
+        first_issue = io.issued_at
+        retry = self.faults.retry
+        tried = [dev]
+        attempt = 0
+        while True:
+            yield done
+            if not io.failed:
+                return
+            if candidates is None:
+                return
+            masked = self.faults.masked_at(array.env.now)
+            alive = [d for d in candidates
+                     if d not in tried and d not in masked]
+            if not alive or attempt >= retry.max_retries:
+                if obs.ACTIVE:
+                    obs.SESSION.on_fault("unavailable")
+                return
+            nxt = alive[0]
+            if obs.ACTIVE:
+                obs.SESSION.on_fault("failover")
+            backoff = retry.delay(attempt)
+            attempt += 1
+            io.retries += 1
+            io.failed = False
+            io.fail_reason = ""
+            io.faulted = True
+            if backoff > 0:
+                yield array.env.timeout(backoff)
+            tried.append(nxt)
+            done = array.issue(io, nxt)
+            io.issued_at = first_issue
 
     # -- writes --------------------------------------------------------------
     def _issue_write(self, orig: int, t: float, idx: int,
@@ -622,12 +772,35 @@ class OnlineTracePlayer:
         The logical request completes when the slowest replica does;
         conflict policy mirrors the read path (deterministic QoS waits
         for all replicas to go idle, statistical QoS may queue).
+
+        Under faults the write goes to the *live* replicas only (a
+        degraded write, flagged ``faulted``); with every replica
+        masked the write fails as ``"unavailable"``.
         """
         devices = self.allocation.devices_for(int(buckets[orig]))
+        degraded_write = False
+        if self.faults is not None:
+            masked = self.faults.masked_at(t)
+            if masked:
+                live = tuple(d for d in devices if d not in masked)
+                if not live:
+                    io = _unavailable_io(float(arrivals[orig]),
+                                         int(buckets[orig]), t,
+                                         is_read=False)
+                    played.append(PlayedRequest(
+                        io=io, interval=idx, index=orig,
+                        delayed=False))
+                    return
+                if len(live) < len(devices):
+                    degraded_write = True
+                    if obs.ACTIVE:
+                        obs.SESSION.on_fault("degraded_write")
+                devices = live
         write_service = params.write_ms
         read_service = params.read_ms
         master = IORequest(arrival=float(arrivals[orig]),
                            bucket=int(buckets[orig]), is_read=False)
+        master.faulted = degraded_write
         guarantee = self.accesses * read_service
         worst_wait = max(busy_until[d] - t for d in devices)
         conflict = worst_wait + write_service > \
@@ -661,9 +834,19 @@ class OnlineTracePlayer:
             yield array.env.timeout_until(issue_at)
         master.issued_at = array.env.now
         events = []
+        replicas = []
         for d in devices:
             replica = IORequest(arrival=master.arrival,
                                 bucket=master.bucket, is_read=False)
+            replicas.append(replica)
             events.append(array.issue(replica, d))
         yield AllOf(array.env, events)
         master.completed_at = array.env.now
+        # Fault accounting: a replica lost mid-write degrades the
+        # logical write; losing every replica fails it.
+        if any(r.failed or r.faulted for r in replicas):
+            master.faulted = True
+            master.retries = sum(r.retries for r in replicas)
+        if replicas and all(r.failed for r in replicas):
+            master.failed = True
+            master.fail_reason = replicas[0].fail_reason

@@ -47,17 +47,21 @@ __all__ = ["fcfs_completion_times", "supports_fast_playback"]
 
 
 def supports_fast_playback(module_factory=None, ftl_factory=None,
-                           priority_queues: bool = False) -> bool:
+                           priority_queues: bool = False,
+                           faults=None) -> bool:
     """True when playback is computable in closed form.
 
     Any hook that makes per-request service time state-dependent --
     a custom module type (``module_factory``: HDD seek/rotation,
     channel-bus geometry), an FTL whose garbage collection stalls the
-    module, or priority scheduling -- disqualifies the closed form;
-    the drivers then run the DES.
+    module, priority scheduling, or a non-empty fault schedule
+    (:class:`repro.faults.FaultSchedule`: crashes, down windows,
+    latency degradation, read errors) -- disqualifies the closed
+    form; the drivers then run the DES.  An *empty* schedule injects
+    nothing and keeps the fast path eligible.
     """
     return (module_factory is None and ftl_factory is None
-            and not priority_queues)
+            and not priority_queues and not faults)
 
 
 def _sequential_completions(issue_ms: np.ndarray,

@@ -56,6 +56,7 @@ from repro import obs
 __all__ = [
     "ENABLED", "disabled",
     "mask_of", "masks_of", "block_mask_array", "batch_mask_array",
+    "exclusion_mask", "apply_exclusion",
     "hall_feasible_many", "batch_feasible", "feasible",
     "feasible_cached", "minimum_accesses_many",
     "WarmStartMatcher", "csr_capacitated_assignment",
@@ -124,6 +125,30 @@ def batch_mask_array(batches: Sequence[Sequence[Sequence[int]]],
     """Mask matrix (one row per batch) for equal-length batches."""
     return np.array([masks_of(b, n_devices) for b in batches],
                     dtype=np.uint64)
+
+
+def exclusion_mask(excluded: Sequence[int], n_devices: int) -> int:
+    """Bitset of devices to mask *out* of candidate sets.
+
+    Failure-aware retrieval encodes the dead/degraded device set once
+    (:mod:`repro.faults`) and strips it from every candidate mask with
+    one AND-NOT (:func:`apply_exclusion`) instead of filtering Python
+    lists per request.
+    """
+    return mask_of(excluded, n_devices)
+
+
+def apply_exclusion(masks, excluded_mask: int):
+    """Candidate masks with the excluded devices removed.
+
+    Accepts a single int mask or a uint64 array of masks; returns the
+    same shape.  A result of 0 means the request lost every replica
+    (data unavailable at this failure level).
+    """
+    if isinstance(masks, (int, np.integer)):
+        return int(masks) & ~int(excluded_mask)
+    arr = np.asarray(masks, dtype=np.uint64)
+    return arr & np.uint64(~int(excluded_mask) & (2**64 - 1))
 
 
 def _popcounts(n_devices: int) -> np.ndarray:

@@ -5,6 +5,12 @@ work needs the detail -- which tenant, in which interval, by what
 excess.  The ledger keeps exact per-tenant counts and excess totals
 plus a bounded list of individual entries (past the cap we keep
 counting, we just stop storing rows).
+
+Violations carry a ``degraded`` flag: misses incurred while the array
+was running around injected faults (failovers, retries, down windows,
+latency degradation -- see :mod:`repro.faults`) are accounted
+separately from healthy-path misses, so a report can distinguish "the
+scheme broke its promise" from "the hardware did".
 """
 
 from __future__ import annotations
@@ -24,9 +30,12 @@ class ViolationEntry:
     tenant: str
     interval: int
     excess_ms: float
+    #: True when the miss happened on the fault/degraded path
+    degraded: bool = False
 
     def to_list(self) -> List[object]:
-        return [self.tenant, self.interval, self.excess_ms]
+        return [self.tenant, self.interval, self.excess_ms,
+                int(self.degraded)]
 
 
 class ViolationLedger:
@@ -40,18 +49,30 @@ class ViolationLedger:
         self.dropped = 0
         #: exact, unbounded: (count, total excess) per tenant
         self.by_tenant: Dict[str, Tuple[int, float]] = {}
+        #: same accounting, degraded-mode (fault-path) misses only
+        self.by_tenant_degraded: Dict[str, Tuple[int, float]] = {}
 
     @property
     def total(self) -> int:
         return sum(n for n, _ in self.by_tenant.values())
 
+    @property
+    def total_degraded(self) -> int:
+        """Degraded-mode misses (a subset of :attr:`total`)."""
+        return sum(n for n, _ in self.by_tenant_degraded.values())
+
     def record(self, tenant: str, interval: int,
-               excess_ms: float) -> None:
+               excess_ms: float, degraded: bool = False) -> None:
         n, excess = self.by_tenant.get(tenant, (0, 0.0))
         self.by_tenant[tenant] = (n + 1, excess + excess_ms)
+        if degraded:
+            n_d, excess_d = self.by_tenant_degraded.get(tenant,
+                                                        (0, 0.0))
+            self.by_tenant_degraded[tenant] = (n_d + 1,
+                                               excess_d + excess_ms)
         if len(self.entries) < self.max_entries:
             self.entries.append(
-                ViolationEntry(tenant, interval, excess_ms))
+                ViolationEntry(tenant, interval, excess_ms, degraded))
         else:
             self.dropped += 1
 
@@ -59,6 +80,12 @@ class ViolationLedger:
         for tenant, (n, excess) in sorted(other.by_tenant.items()):
             mine_n, mine_excess = self.by_tenant.get(tenant, (0, 0.0))
             self.by_tenant[tenant] = (mine_n + n, mine_excess + excess)
+        for tenant, (n, excess) in sorted(
+                other.by_tenant_degraded.items()):
+            mine_n, mine_excess = self.by_tenant_degraded.get(
+                tenant, (0, 0.0))
+            self.by_tenant_degraded[tenant] = (mine_n + n,
+                                               mine_excess + excess)
         for entry in other.entries:
             if len(self.entries) < self.max_entries:
                 self.entries.append(entry)
@@ -68,13 +95,21 @@ class ViolationLedger:
 
     # -- (de)serialisation ----------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "total": self.total,
             "dropped": self.dropped,
             "by_tenant": {t: [n, excess] for t, (n, excess)
                           in sorted(self.by_tenant.items())},
             "entries": [e.to_list() for e in self.entries],
         }
+        if self.by_tenant_degraded:
+            # Only faulty runs carry the section, so healthy payloads
+            # keep their pre-faults shape (and cross-engine identity).
+            out["total_degraded"] = self.total_degraded
+            out["by_tenant_degraded"] = {
+                t: [n, excess] for t, (n, excess)
+                in sorted(self.by_tenant_degraded.items())}
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object],
@@ -84,9 +119,15 @@ class ViolationLedger:
         for tenant, (n, excess) in sorted(
                 dict(data.get("by_tenant", {})).items()):
             ledger.by_tenant[tenant] = (int(n), float(excess))
-        for tenant, interval, excess in data.get("entries", ()):  # type: ignore[union-attr]
+        for tenant, (n, excess) in sorted(
+                dict(data.get("by_tenant_degraded", {})).items()):
+            ledger.by_tenant_degraded[tenant] = (int(n), float(excess))
+        for row in data.get("entries", ()):  # type: ignore[union-attr]
+            tenant, interval, excess = row[0], row[1], row[2]
+            degraded = bool(row[3]) if len(row) > 3 else False
             if len(ledger.entries) < ledger.max_entries:
                 ledger.entries.append(ViolationEntry(
-                    str(tenant), int(interval), float(excess)))
+                    str(tenant), int(interval), float(excess),
+                    degraded))
         ledger.dropped = int(data.get("dropped", 0))  # type: ignore[arg-type]
         return ledger

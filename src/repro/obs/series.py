@@ -101,7 +101,8 @@ def module_interval_series(played: Sequence, n_devices: int,
     seen = False
     for pr in played:
         io = pr.io
-        if pr.rejected or io.device < 0 or io.completed_at <= 0:
+        if pr.rejected or getattr(io, "failed", False) \
+                or io.device < 0 or io.completed_at <= 0:
             continue
         seen = True
         d = io.device

@@ -90,6 +90,19 @@ class ObsSession:
         outcome = "repaired" if repaired else "pending"
         self.kernel.counter(f"kernels.warm_start.{outcome}").inc()
 
+    # -- fault hooks ------------------------------------------------------
+    def on_fault(self, kind: str, count: int = 1) -> None:
+        """One fault-layer incident.
+
+        ``kind`` is a short slug -- ``read_error``, ``read_retry``,
+        ``failover``, ``unavailable``, ``dead_module``, ``down_wait``,
+        ``slow_service``, ``degraded_write`` -- landing on the
+        ``faults.{kind}`` counter.
+        Only faulty configurations (which always run on the DES) emit
+        these, so healthy cross-engine payload identity is unaffected.
+        """
+        self.registry.counter(f"faults.{kind}").inc(count)
+
     # -- request-side hooks (engine-independent) -------------------------
     def observe_request(self, pr) -> None:
         """Fold one :class:`~repro.flash.driver.PlayedRequest` in.
@@ -103,6 +116,11 @@ class ObsSession:
         if pr.rejected:
             reg.counter("requests.rejected").inc()
             return
+        if getattr(pr, "failed", False):
+            reg.counter("requests.failed").inc()
+            return
+        if getattr(io, "faulted", False):
+            reg.counter("requests.faulted").inc()
         if not io.is_read:
             reg.counter("requests.writes").inc()
         reg.histogram("latency.response_ms").record(io.response_ms)
@@ -134,18 +152,36 @@ class ObsSession:
         """Ledger every guarantee violation in a QoS report.
 
         ``tenant`` defaults to each request's application name (empty
-        for single-tenant runs).
+        for single-tenant runs).  Violations incurred on the degraded
+        path -- requests that survived a fault (failover, retry, down
+        window, slowdown) or failed outright -- are reported
+        *distinctly*: they land on the ``faults.qos.*`` counters and
+        are ledgered with ``degraded=True``, so operators can separate
+        "the scheme broke its promise" from "the hardware did".
         """
         guarantee = report.guarantee_ms
         reg = self.registry
         for pr in report.requests:
             if pr.rejected:
                 continue
+            if getattr(pr, "failed", False):
+                # The request never completed: an unconditional
+                # guarantee miss, attributed to the fault layer.
+                reg.counter("faults.qos.failed").inc()
+                self.ledger.record(tenant or pr.io.app, pr.interval,
+                                   guarantee, degraded=True)
+                continue
             excess = pr.io.response_ms - guarantee
             if excess > 1e-9:
-                reg.counter("qos.violations").inc()
-                self.ledger.record(tenant or pr.io.app, pr.interval,
-                                   excess)
+                if getattr(pr.io, "faulted", False):
+                    reg.counter("faults.qos.violations").inc()
+                    self.ledger.record(tenant or pr.io.app,
+                                       pr.interval, excess,
+                                       degraded=True)
+                else:
+                    reg.counter("qos.violations").inc()
+                    self.ledger.record(tenant or pr.io.app,
+                                       pr.interval, excess)
         reg.counter("qos.requests").inc(len(report.requests))
 
     def on_sla_observation(self, ok: bool) -> None:

@@ -9,19 +9,47 @@ schedule, read off the saturated request->device edges.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Collection, Optional, Sequence
 
+from repro.allocation.degraded import DataUnavailableError
 from repro.check import sanitizers
 from repro.graph import kernels
 from repro.graph.kuhn import capacitated_assignment
 from repro.retrieval.schedule import RetrievalSchedule, optimal_accesses
 
 __all__ = ["maxflow_retrieval", "is_retrievable_in",
-           "maxflow_retrieval_with_carry"]
+           "maxflow_retrieval_with_carry", "mask_candidates"]
+
+
+def mask_candidates(candidates: Sequence[Sequence[int]],
+                    excluded: Collection[int],
+                    ) -> Sequence[Sequence[int]]:
+    """Candidate lists with the ``excluded`` (failed) devices removed.
+
+    The failure-aware entry point of the retrieval layer: dead or
+    degraded modules (:mod:`repro.faults`) leave every candidate set
+    before scheduling, preserving replica preference order.  Raises
+    :class:`repro.allocation.degraded.DataUnavailableError` when a
+    request loses all of its replicas -- at that failure level the
+    batch is not retrievable at any access count.
+    """
+    if not excluded:
+        return candidates
+    dead = frozenset(excluded)
+    out = []
+    for i, cands in enumerate(candidates):
+        live = tuple(d for d in cands if d not in dead)
+        if not live:
+            raise DataUnavailableError(
+                f"request {i}: all replica devices {tuple(cands)} "
+                f"are failed")
+        out.append(live)
+    return out
 
 
 def is_retrievable_in(candidates: Sequence[Sequence[int]], n_devices: int,
-                      accesses: int) -> bool:
+                      accesses: int,
+                      excluded: Optional[Collection[int]] = None) -> bool:
     """Feasibility: can the batch complete within ``accesses`` rounds?
 
     On the kernel path (:mod:`repro.graph.kernels`, the default) the
@@ -31,7 +59,16 @@ def is_retrievable_in(candidates: Sequence[Sequence[int]], n_devices: int,
     answer is one run of the specialised capacitated matcher
     (:mod:`repro.graph.kuhn`); both are exact, so the call sites cannot
     tell them apart.
+
+    ``excluded`` masks failed devices out of every candidate set
+    first; a request with no live replica makes the batch infeasible
+    (False) rather than raising.
     """
+    if excluded:
+        try:
+            candidates = mask_candidates(candidates, excluded)
+        except DataUnavailableError:
+            return False
     if kernels.ENABLED:
         return kernels.feasible_cached(candidates, n_devices, accesses)
     return capacitated_assignment(
@@ -39,7 +76,9 @@ def is_retrievable_in(candidates: Sequence[Sequence[int]], n_devices: int,
 
 
 def maxflow_retrieval(candidates: Sequence[Sequence[int]],
-                      n_devices: int) -> RetrievalSchedule:
+                      n_devices: int,
+                      excluded: Optional[Collection[int]] = None,
+                      ) -> RetrievalSchedule:
     """Compute the minimum-access schedule exactly.
 
     Runs in ``O(b^{1.5} c)`` per feasibility probe on these unit
@@ -51,7 +90,15 @@ def maxflow_retrieval(candidates: Sequence[Sequence[int]],
     *exact ordered* candidate tuple (the matcher's device choices are
     order-sensitive, so a canonical key would return merely equivalent
     schedules and break byte-identity).
+
+    ``excluded`` masks failed devices out of every candidate set first
+    (failure-aware retrieval); raises
+    :class:`~repro.allocation.degraded.DataUnavailableError` when a
+    request has no live replica.  The memo key is computed *after*
+    masking, so degraded and healthy schedules never collide.
     """
+    if excluded:
+        candidates = mask_candidates(candidates, excluded)
     b = len(candidates)
     if b == 0:
         return RetrievalSchedule((), n_devices)

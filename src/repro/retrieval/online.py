@@ -155,12 +155,24 @@ class SlidingWindowScheduler:
     budget?" exactly after every update, and :meth:`min_accesses`
     gives the window's optimal access count by warm-starting each
     level's matching from the current assignment.
+
+    ``excluded`` names failed devices (:mod:`repro.faults`): they are
+    stripped from every admitted request's candidate list, so the
+    matching -- and therefore feasibility -- is computed over live
+    replicas only.  Admitting a request whose replicas are all
+    excluded raises
+    :class:`repro.allocation.degraded.DataUnavailableError`.
     """
 
-    def __init__(self, n_devices: int, accesses: int):
+    def __init__(self, n_devices: int, accesses: int,
+                 excluded: Sequence[int] = ()):
         self._matcher = WarmStartMatcher(n_devices, accesses)
         #: candidate lists of the live window, keyed by request id
+        #: (as admitted, i.e. before exclusion masking)
         self._window: Dict[int, Tuple[int, ...]] = {}
+        self._excluded = frozenset(excluded)
+        if any(not 0 <= d < n_devices for d in self._excluded):
+            raise ValueError("excluded device out of range")
 
     def __len__(self) -> int:
         return len(self._window)
@@ -179,9 +191,26 @@ class SlidingWindowScheduler:
         """Exact: every request in the window fits the budget."""
         return self._matcher.feasible
 
+    @property
+    def excluded(self) -> frozenset:
+        """Failed devices masked out of every candidate list."""
+        return self._excluded
+
     def admit(self, candidates: Sequence[int]) -> int:
         """Add one request to the window; returns its id."""
-        rid = self._matcher.add(candidates)
+        if self._excluded:
+            live = tuple(d for d in candidates
+                         if d not in self._excluded)
+            if not live:
+                from repro.allocation.degraded import \
+                    DataUnavailableError
+
+                raise DataUnavailableError(
+                    f"all replica devices {tuple(candidates)} "
+                    f"are failed")
+            rid = self._matcher.add(live)
+        else:
+            rid = self._matcher.add(candidates)
         self._window[rid] = tuple(candidates)
         return rid
 

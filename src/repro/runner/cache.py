@@ -4,9 +4,11 @@ A *cell* (see :mod:`repro.runner.parallel`) is a pure function of its
 parameters and seed, so its result can be cached across processes and
 sessions.  Keys are sha256 digests over the canonical JSON of the
 cell's identity -- experiment name, cell name, fully-qualified
-function, parameters, and a fingerprint of the whole ``repro`` source
-tree -- so any code change invalidates every entry at once (cheap and
-safe: correctness never depends on a partial-invalidation heuristic).
+function, parameters, a fingerprint of the whole ``repro`` source
+tree, and the process-level runtime switches (sanitizers, kernels)
+-- so any code change invalidates every entry at once (cheap and
+safe: correctness never depends on a partial-invalidation heuristic)
+and results computed under one runtime mode never satisfy another.
 
 Entries live under ``.benchmarks/cache/<2-char prefix>/<digest>.pkl``
 (pickle payloads, written atomically via rename).  The directory is
@@ -22,7 +24,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["ResultCache", "source_fingerprint"]
+__all__ = ["ResultCache", "source_fingerprint", "runtime_token"]
 
 #: process-wide memo: fingerprinting walks every source file, and the
 #: tree cannot change mid-run in a meaningful way
@@ -52,6 +54,23 @@ def source_fingerprint(package_root: Optional[Path] = None,
     out = digest.hexdigest()
     _FINGERPRINTS[memo_key] = out
     return out
+
+
+def runtime_token() -> Dict[str, bool]:
+    """Process-level switches that change what a cell computes.
+
+    Sanitizers rewire the simulation with checking wrappers and the
+    kernel switch selects between solver implementations; both claim
+    byte-identical *results*, but a cache must not take that on faith
+    -- a bug in either mode would otherwise leak results across modes
+    and mask itself.  Read lazily so runtime toggles
+    (``sanitizers.enable()``, ``kernels.disabled()``) take effect.
+    """
+    from repro.check import sanitizers
+    from repro.graph import kernels
+
+    return {"sanitizers": bool(sanitizers.ACTIVE),
+            "kernels": bool(kernels.ENABLED)}
 
 
 def _canonical(payload: Any) -> str:
@@ -90,6 +109,7 @@ class ResultCache:
             "fn": fn_ref,
             "params": params,
             "source": self.fingerprint,
+            "runtime": runtime_token(),
         }).encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:

@@ -3,21 +3,19 @@
 import numpy as np
 import pytest
 
-from repro import QoSFlashArray
 from repro.allocation.degraded import (
     DataUnavailableError,
     DegradedAllocation,
     degraded_capacity,
 )
-from repro.allocation.design_theoretic import DesignTheoreticAllocation
 from repro.allocation.raid1 import Raid1Mirrored
 from repro.retrieval.maxflow import maxflow_retrieval
-from repro.traces.synthetic import synthetic_trace
+from tests.support.builders import design_alloc, paper_array, trace_pair
 
 
 @pytest.fixture(scope="module")
 def base():
-    return DesignTheoreticAllocation.from_parameters(9, 3)
+    return design_alloc()
 
 
 class TestDegradedCapacity:
@@ -87,7 +85,7 @@ class TestDegradedAllocation:
 
 class TestQoSFailureHandling:
     def test_fail_and_repair_cycle(self):
-        qos = QoSFlashArray()
+        qos = paper_array()
         assert qos.capacity_per_interval == 5
         qos.fail_device(2)
         assert qos.capacity_per_interval == 3
@@ -99,21 +97,21 @@ class TestQoSFailureHandling:
         assert qos.capacity_per_interval == 5
 
     def test_fail_device_validation(self):
-        qos = QoSFlashArray()
+        qos = paper_array()
         with pytest.raises(ValueError):
             qos.fail_device(42)
 
     def test_degraded_run_meets_degraded_guarantee(self):
-        qos = QoSFlashArray()
+        qos = paper_array()
         qos.fail_device(0)
-        trace = synthetic_trace(3, 0.133, total_requests=300, seed=5)
-        report = qos.run_online(trace.arrival_ms, trace.block)
+        arrivals, buckets = trace_pair(3, n=300, seed=5)
+        report = qos.run_online(arrivals, buckets)
         assert report.guarantee_met
         assert report.max_response_ms == pytest.approx(0.132507)
 
     def test_failed_device_never_used(self):
-        qos = QoSFlashArray()
+        qos = paper_array()
         qos.fail_device(3)
-        trace = synthetic_trace(3, 0.133, total_requests=150, seed=6)
-        report = qos.run_online(trace.arrival_ms, trace.block)
+        arrivals, buckets = trace_pair(3, n=150, seed=6)
+        report = qos.run_online(arrivals, buckets)
         assert all(r.io.device != 3 for r in report.requests)

@@ -4,15 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import QoSFlashArray
-from repro.flash.params import MSR_SSD_PARAMS
-from repro.traces.synthetic import synthetic_trace
-
-READ = MSR_SSD_PARAMS.read_ms
+from tests.support.builders import READ_MS as READ
+from tests.support.builders import paper_array, trace_pair
 
 
 @pytest.fixture(scope="module")
 def qos():
-    return QoSFlashArray(n_devices=9, replication=3, interval_ms=0.133)
+    return paper_array()
 
 
 class TestConfiguration:
@@ -45,9 +43,7 @@ class TestConfiguration:
 
 class TestRunModes:
     def _trace(self, per_interval=5, n=500, seed=0):
-        t = synthetic_trace(per_interval, 0.133, total_requests=n,
-                            seed=seed)
-        return t.arrival_ms, t.block
+        return trace_pair(per_interval, n=n, seed=seed)
 
     def test_batch_within_guarantee(self, qos):
         arrivals, buckets = self._trace()

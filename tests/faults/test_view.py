@@ -1,0 +1,53 @@
+"""Unit tests for the per-module fault view."""
+
+from repro.faults import FaultEvent, FaultSchedule, ModuleFaultView
+
+
+def _schedule():
+    return FaultSchedule([
+        FaultEvent("down", 1, 0.0, 3.0),
+        FaultEvent("slow", 1, 1.0, 2.0, factor=5.0),
+        FaultEvent("read_error", 1, 0.0, 4.0, prob=0.5),
+    ], seed=3)
+
+
+class TestQuietElision:
+    def test_untouched_module_is_quiet(self):
+        view = ModuleFaultView(_schedule(), 0)
+        assert view.quiet
+        # quiet answers must be constants, whatever the schedule says
+        assert view.available_from(7.5) == 7.5
+        assert view.slowdown(7.5) == 1.0
+        assert view.error_prob(7.5) == 0.0
+        assert not view.dead_at(7.5)
+
+    def test_affected_module_is_not_quiet(self):
+        assert not ModuleFaultView(_schedule(), 1).quiet
+
+
+class TestDelegation:
+    def test_queries_match_schedule(self):
+        s = _schedule()
+        view = ModuleFaultView(s, 1)
+        for t in (0.0, 1.5, 2.5, 3.5, 10.0):
+            assert view.available_from(t) == s.available_from(1, t)
+            assert view.slowdown(t) == s.slowdown(1, t)
+            assert view.error_prob(t) == s.error_prob(1, t)
+
+    def test_retry_comes_from_schedule(self):
+        s = _schedule()
+        assert ModuleFaultView(s, 1).retry is s.retry
+
+
+class TestErrorDrawCounter:
+    def test_draws_advance_monotonically(self):
+        s = _schedule()
+        view = ModuleFaultView(s, 1)
+        draws = [view.next_error_draw() for _ in range(5)]
+        assert draws == [s.read_error_draw(1, i) for i in range(5)]
+
+    def test_views_carry_independent_counters(self):
+        s = _schedule()
+        a, b = ModuleFaultView(s, 1), ModuleFaultView(s, 1)
+        a.next_error_draw()
+        assert b.next_error_draw() == s.read_error_draw(1, 0)

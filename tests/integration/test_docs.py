@@ -35,7 +35,8 @@ class TestDocFiles:
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "docs/architecture.md", "docs/design_theory.md",
                      "docs/performance.md", "docs/usage.md",
-                     "docs/api.md", "docs/checking.md"):
+                     "docs/api.md", "docs/checking.md",
+                     "docs/faults.md", "docs/testing.md"):
             path = ROOT / name
             assert path.exists(), name
             assert len(path.read_text()) > 500, name

@@ -1,0 +1,80 @@
+"""Byte-for-byte regression against the golden snapshots.
+
+Each registry entry in :mod:`repro.experiments.golden` is re-run and
+diffed against its stored ``tests/golden/<key>.json`` -- any numeric
+or serialization drift fails with a unified diff.  Intentional
+behaviour changes regenerate with ``python tools/regen_golden.py``
+(commit the snapshot diff with the change).
+"""
+
+import difflib
+import json
+
+import pytest
+
+from repro.experiments import golden
+from repro.experiments.common import ExperimentResult
+from repro.experiments.faults import SCHEMES
+
+
+def _diff(stored: str, fresh: str, key: str) -> str:
+    lines = difflib.unified_diff(
+        stored.splitlines(keepends=True),
+        fresh.splitlines(keepends=True),
+        fromfile=f"tests/golden/{key}.json (stored)",
+        tofile=f"{key} (fresh run)")
+    return "".join(lines)
+
+
+class TestGoldenSnapshots:
+    def test_every_snapshot_file_is_registered(self):
+        on_disk = {p.stem for p in golden.golden_dir().glob("*.json")}
+        assert on_disk == set(golden.GOLDEN_RUNS), (
+            "tests/golden/ and golden.GOLDEN_RUNS disagree; "
+            "run python tools/regen_golden.py")
+
+    @pytest.mark.parametrize("key", sorted(golden.GOLDEN_RUNS))
+    def test_snapshot_is_current(self, key):
+        path = golden.golden_dir() / f"{key}.json"
+        assert path.exists(), (
+            f"missing snapshot {path}; run python tools/regen_golden.py")
+        stored = path.read_text()
+        fresh = golden.generate(key)
+        assert fresh == stored, (
+            f"golden snapshot {key!r} drifted:\n"
+            + _diff(stored, fresh, key)
+            + "\nIf the change is intentional, regenerate with "
+              "python tools/regen_golden.py and commit the diff.")
+
+    @pytest.mark.parametrize("key", sorted(golden.GOLDEN_RUNS))
+    def test_snapshot_round_trips(self, key):
+        """Snapshots stay loadable as ExperimentResult JSON."""
+        text = (golden.golden_dir() / f"{key}.json").read_text()
+        result = ExperimentResult.from_json(text)
+        assert result.headers and result.rows
+        assert json.loads(text)["name"] == result.name
+
+
+class TestFaultsSnapshotShape:
+    """The degraded-mode claims the faults experiment must exhibit."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        text = (golden.golden_dir() / "faults.json").read_text()
+        return ExperimentResult.from_json(text).rows
+
+    def _rates(self, rows, scheme):
+        return [r[6] for r in rows if r[0] == scheme]
+
+    def test_single_copy_rate_strictly_increases(self, rows):
+        rates = self._rates(rows, "single")
+        assert len(rates) >= 3
+        assert all(a < b for a, b in zip(rates, rates[1:])), rates
+
+    def test_replicated_schemes_absorb_small_failure_counts(self, rows):
+        for scheme, c in SCHEMES.items():
+            if c < 2:
+                continue
+            rates = self._rates(rows, scheme)
+            assert all(r == 0.0 for r in rates[:c]), (scheme, rates)
+            assert any(r > 0.0 for r in rates[c:]), (scheme, rates)

@@ -1,0 +1,87 @@
+"""Property-based tests for fault injection and failure awareness.
+
+The three invariants that make degraded mode trustworthy:
+
+* masking is absolute -- a dead module never serves, whatever the
+  trace or failure set;
+* replication degree is honoured -- fewer than ``c`` failures leave
+  every bucket retrievable and every request unharmed;
+* injection is pay-for-what-you-use -- a schedule that never fires
+  inside the horizon leaves the playback byte-identical to a healthy
+  run.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultEvent, FaultSchedule
+from repro.retrieval.maxflow import is_retrievable_in
+from tests.support.builders import design_alloc, online_player
+
+ALLOC = design_alloc()
+
+crash_sets = st.sets(st.integers(0, 8), min_size=1, max_size=8)
+small_crash_sets = st.sets(st.integers(0, 8), min_size=1, max_size=2)
+traces = st.lists(
+    st.tuples(st.floats(0, 20, allow_nan=False),
+              st.integers(0, ALLOC.n_buckets - 1)),
+    min_size=1, max_size=40,
+).map(lambda rows: sorted(rows))
+
+
+def _play(faults, rows, **overrides):
+    player = online_player(ALLOC, faults=faults, **overrides)
+    arrivals = [t for t, _ in rows]
+    buckets = [b for _, b in rows]
+    return player.play(arrivals, buckets)[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(crashed=crash_sets, rows=traces)
+def test_masked_module_never_scheduled(crashed, rows):
+    played = _play(FaultSchedule.crashes(crashed), rows)
+    for p in played:
+        if not p.rejected and not p.failed:
+            assert p.io.device not in crashed
+
+
+@settings(max_examples=30, deadline=None)
+@given(crashed=small_crash_sets, rows=traces)
+def test_fewer_failures_than_copies_lose_nothing(crashed, rows):
+    # c = 3: any <= 2 failures keep every bucket retrievable ...
+    for b in range(ALLOC.n_buckets):
+        assert is_retrievable_in([ALLOC.devices_for(b)],
+                                 ALLOC.n_devices, 1,
+                                 excluded=crashed)
+    # ... and no played request fails
+    played = _play(FaultSchedule.crashes(crashed), rows)
+    assert all(not p.failed for p in played)
+
+
+def _fingerprint(played):
+    return json.dumps([[p.io.issued_at, p.io.completed_at,
+                        p.io.device, p.io.retries,
+                        p.io.faulted, p.io.failed] for p in played])
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows=traces)
+def test_never_firing_schedule_is_byte_identical(rows):
+    # events strictly after the horizon: injection must cost nothing
+    dormant = FaultSchedule([FaultEvent("crash", 0, 1e9),
+                             FaultEvent("down", 1, 1e9, 2e9),
+                             FaultEvent("slow", 2, 1e9, 2e9,
+                                        factor=8.0)])
+    healthy = _play(None, rows, engine="des")
+    faulty = _play(dormant, rows, engine="des")
+    assert _fingerprint(healthy) == _fingerprint(faulty)
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows=traces)
+def test_empty_schedule_matches_healthy_fast_path(rows):
+    healthy = _play(None, rows)          # auto -> fast
+    empty = _play(FaultSchedule.none(), rows)  # auto -> fast too
+    assert _fingerprint(healthy) == _fingerprint(empty)

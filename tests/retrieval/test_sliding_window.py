@@ -3,15 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.allocation.design_theoretic import DesignTheoreticAllocation
 from repro.graph.kuhn import capacitated_feasible
 from repro.retrieval.maxflow import maxflow_retrieval
 from repro.retrieval.online import SlidingWindowScheduler
+from tests.support.builders import design_alloc
 
 
 @pytest.fixture
 def alloc():
-    return DesignTheoreticAllocation.from_parameters(9, 3)
+    return design_alloc()
 
 
 def test_empty_window_is_feasible():

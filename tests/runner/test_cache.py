@@ -136,3 +136,46 @@ class TestPrune:
                             fingerprint="fp")
         assert cache.prune(0) == {"removed": 0, "removed_bytes": 0,
                                   "kept_bytes": 0}
+
+
+class TestRuntimeTokenInKey:
+    """Results computed under one runtime mode must not serve another.
+
+    Regression: keys used to ignore the sanitizer and kernel switches,
+    so a cell cached with kernels disabled (or sanitizers on) would be
+    returned verbatim on the opposite configuration -- hiding exactly
+    the divergence those modes exist to detect.
+    """
+
+    def _key(self, tmp_path):
+        cache = ResultCache(root=tmp_path, fingerprint="fp")
+        return cache.key("exp", "cell", "mod.fn", {"seed": 1})
+
+    def test_sanitizer_toggle_changes_key(self, tmp_path):
+        from repro.check import sanitizers
+
+        before = self._key(tmp_path)
+        sanitizers.enable()
+        try:
+            assert self._key(tmp_path) != before
+        finally:
+            sanitizers.disable()
+        assert self._key(tmp_path) == before
+
+    def test_kernel_toggle_changes_key(self, tmp_path):
+        from repro.graph import kernels
+
+        before = self._key(tmp_path)
+        with kernels.disabled():
+            assert self._key(tmp_path) != before
+        assert self._key(tmp_path) == before
+
+    def test_token_reflects_current_switches(self):
+        from repro.check import sanitizers
+        from repro.graph import kernels
+        from repro.runner.cache import runtime_token
+
+        assert runtime_token() == {
+            "sanitizers": sanitizers.ACTIVE,
+            "kernels": kernels.ENABLED,
+        }

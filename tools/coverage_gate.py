@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Line-coverage gate for the tier-1 test suite.
+
+Measures line coverage of ``src/repro`` while running the tier-1
+pytest suite and fails when it drops more than the allowed slack
+below the committed baseline (``[tool.repro.coverage]`` in
+pyproject.toml).  The gate's job is symmetric to the golden
+snapshots: snapshots pin *behaviour*, the gate pins *how much of the
+code the suite exercises*, so silent test deletions or dead new
+subsystems fail CI instead of passing unnoticed.
+
+Engines
+-------
+``builtin`` (default, and the engine the baseline is calibrated to)
+    A ``sys.settrace`` line tracer plus executable-line extraction
+    from compiled code objects (``co_lines``).  No third-party
+    dependency, byte-stable across machines for a given Python minor
+    version -- which is why CI pins the gate to one version.
+``coverage``
+    Uses coverage.py when installed; numbers are close to but not
+    identical with the builtin engine, so baselines are
+    engine-specific and the gate refuses to compare across engines.
+
+Usage::
+
+    python tools/coverage_gate.py run                   # measure + gate
+    python tools/coverage_gate.py run --report cov.json # also write report
+    python tools/coverage_gate.py update-baseline       # rewrite pyproject
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+import threading
+import types
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Set
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+PACKAGE = SRC / "repro"
+PYPROJECT = ROOT / "pyproject.toml"
+
+sys.path.insert(0, str(SRC))
+# subprocess-based tests (examples, CLI) need the package importable too
+_existing = os.environ.get("PYTHONPATH", "")
+if str(SRC) not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        str(SRC) + (os.pathsep + _existing if _existing else ""))
+
+
+# ---------------------------------------------------------------------------
+# executable lines
+# ---------------------------------------------------------------------------
+
+def executable_lines(path: Path) -> Set[int]:
+    """Line numbers that carry bytecode in ``path``.
+
+    Walks the compiled module's code-object tree (functions, classes,
+    comprehensions live in ``co_consts``) and collects every line
+    ``co_lines`` maps an instruction to.  This is the same universe
+    the settrace tracer reports from, so covered/executable ratios
+    are consistent by construction.
+    """
+    code = compile(path.read_text(), str(path), "exec")
+    lines: Set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        for _start, _end, line in co.co_lines():
+            if line is not None:
+                lines.add(line)
+        for const in co.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+    return lines
+
+
+def source_files() -> Dict[str, Set[int]]:
+    """Relative path -> executable lines, for every src/repro module."""
+    out = {}
+    for path in sorted(PACKAGE.rglob("*.py")):
+        rel = str(path.relative_to(ROOT))
+        out[rel] = executable_lines(path)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# builtin tracer
+# ---------------------------------------------------------------------------
+
+class LineTracer:
+    """Minimal settrace-based line collector, scoped to one prefix.
+
+    The global trace function prunes non-package frames at call time
+    (returning ``None`` disables line events for that frame), so the
+    suite pays per-call overhead everywhere but per-line overhead
+    only inside ``src/repro``.
+    """
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.lines: Dict[str, Set[int]] = defaultdict(set)
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.lines[frame.f_code.co_filename].add(frame.f_lineno)
+        return self._local
+
+    def _global(self, frame, event, arg):
+        if event == "call":
+            filename = frame.f_code.co_filename
+            if filename.startswith(self.prefix):
+                self.lines[filename].add(frame.f_lineno)
+                return self._local
+        return None
+
+    def __enter__(self):
+        threading.settrace(self._global)
+        sys.settrace(self._global)
+        return self
+
+    def __exit__(self, *exc):
+        sys.settrace(None)
+        threading.settrace(None)
+        return False
+
+
+def run_suite_builtin() -> Dict[str, Set[int]]:
+    """Run the tier-1 suite under the builtin tracer."""
+    import pytest
+
+    tracer = LineTracer(prefix=str(PACKAGE) + os.sep)
+    with tracer:
+        rc = pytest.main(["-q", "-p", "no:cacheprovider",
+                          str(ROOT / "tests")])
+    if rc != 0:
+        raise SystemExit(f"tier-1 suite failed under coverage (rc={rc})")
+    covered: Dict[str, Set[int]] = {}
+    for filename, lines in tracer.lines.items():
+        rel = str(Path(filename).resolve().relative_to(ROOT))
+        covered[rel] = set(lines)
+    return covered
+
+
+def run_suite_coveragepy() -> Dict[str, Set[int]]:
+    """Run the suite under coverage.py (optional engine)."""
+    import coverage
+    import pytest
+
+    cov = coverage.Coverage(source=[str(PACKAGE)])
+    cov.start()
+    rc = pytest.main(["-q", "-p", "no:cacheprovider",
+                      str(ROOT / "tests")])
+    cov.stop()
+    if rc != 0:
+        raise SystemExit(f"tier-1 suite failed under coverage (rc={rc})")
+    data = cov.get_data()
+    covered = {}
+    for filename in data.measured_files():
+        rel = str(Path(filename).resolve().relative_to(ROOT))
+        covered[rel] = set(data.lines(filename) or ())
+    return covered
+
+
+# ---------------------------------------------------------------------------
+# report + baseline
+# ---------------------------------------------------------------------------
+
+def build_report(engine: str,
+                 covered: Dict[str, Set[int]]) -> Dict[str, object]:
+    files = source_files()
+    per_file = {}
+    total_exec = 0
+    total_hit = 0
+    for rel, exec_lines in files.items():
+        hit = covered.get(rel, set()) & exec_lines
+        total_exec += len(exec_lines)
+        total_hit += len(hit)
+        per_file[rel] = {
+            "executable": len(exec_lines),
+            "covered": len(hit),
+            "percent": round(100.0 * len(hit) / len(exec_lines), 2)
+            if exec_lines else 100.0,
+        }
+    percent = 100.0 * total_hit / total_exec if total_exec else 100.0
+    return {
+        "engine": engine,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "executable_lines": total_exec,
+        "covered_lines": total_hit,
+        "percent": round(percent, 2),
+        "files": per_file,
+    }
+
+
+def read_baseline() -> Dict[str, object]:
+    import tomllib
+
+    with open(PYPROJECT, "rb") as fh:
+        data = tomllib.load(fh)
+    cfg = data.get("tool", {}).get("repro", {}).get("coverage")
+    if not cfg:
+        raise SystemExit(
+            "no [tool.repro.coverage] baseline in pyproject.toml; "
+        "run python tools/coverage_gate.py update-baseline first")
+    return cfg
+
+
+def write_baseline(engine: str, percent: float) -> None:
+    text = PYPROJECT.read_text()
+    block = (f"[tool.repro.coverage]\n"
+             f"engine = \"{engine}\"\n"
+             f"baseline_percent = {percent:.2f}\n"
+             f"slack_percent = 1.0\n")
+    pattern = re.compile(
+        r"\[tool\.repro\.coverage\]\n(?:[^\[\n][^\n]*\n|\n)*",
+        re.MULTILINE)
+    if pattern.search(text):
+        text = pattern.sub(block, text, count=1)
+    else:
+        if not text.endswith("\n"):
+            text += "\n"
+        text += "\n" + block
+    PYPROJECT.write_text(text)
+
+
+def gate(report: Dict[str, object]) -> int:
+    cfg = read_baseline()
+    if cfg.get("engine") != report["engine"]:
+        raise SystemExit(
+            f"baseline was measured with engine "
+            f"{cfg.get('engine')!r}, this run used "
+            f"{report['engine']!r}; baselines are engine-specific")
+    baseline = float(cfg["baseline_percent"])
+    slack = float(cfg.get("slack_percent", 1.0))
+    floor = baseline - slack
+    percent = float(report["percent"])
+    print(f"coverage: {percent:.2f}% of src/repro "
+          f"({report['covered_lines']}/{report['executable_lines']} "
+          f"lines), baseline {baseline:.2f}%, floor {floor:.2f}%")
+    if percent < floor:
+        worst = sorted(report["files"].items(),
+                       key=lambda kv: kv[1]["percent"])[:10]
+        print("least-covered files:")
+        for rel, stats in worst:
+            print(f"  {stats['percent']:6.2f}%  {rel} "
+                  f"({stats['covered']}/{stats['executable']})")
+        print(f"FAIL: coverage {percent:.2f}% fell below the "
+              f"floor {floor:.2f}% (baseline - slack)")
+        return 1
+    print("PASS")
+    return 0
+
+
+def measure(engine: str) -> Dict[str, object]:
+    if engine == "coverage":
+        covered = run_suite_coveragepy()
+    else:
+        covered = run_suite_builtin()
+    return build_report(engine, covered)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Tier-1 line-coverage gate for src/repro.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    run_p = sub.add_parser("run", help="measure coverage and gate it")
+    run_p.add_argument("--engine", choices=("builtin", "coverage"),
+                       default="builtin")
+    run_p.add_argument("--report", metavar="FILE",
+                       help="also write the JSON report here")
+    run_p.add_argument("--no-gate", action="store_true",
+                       help="measure and report only")
+    up_p = sub.add_parser("update-baseline",
+                          help="measure and rewrite the pyproject "
+                               "baseline")
+    up_p.add_argument("--engine", choices=("builtin", "coverage"),
+                      default="builtin")
+    args = parser.parse_args(argv)
+
+    report = measure(args.engine)
+    if args.command == "update-baseline":
+        write_baseline(args.engine, float(report["percent"]))
+        print(f"baseline set to {report['percent']:.2f}% "
+              f"(engine {args.engine}) in {PYPROJECT}")
+        return 0
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.report}")
+    if args.no_gate:
+        print(f"coverage: {report['percent']:.2f}%")
+        return 0
+    return gate(report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate the golden experiment snapshots under tests/golden/.
+
+Usage::
+
+    python tools/regen_golden.py             # every snapshot
+    python tools/regen_golden.py fig4 faults # just these
+
+Run it only after an *intentional* behaviour change, and commit the
+snapshot diff together with the code change that explains it (the
+snapshot tests in tests/integration/test_golden_snapshots.py fail on
+any byte of drift otherwise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import golden  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate golden experiment snapshots.")
+    parser.add_argument("keys", nargs="*",
+                        choices=[*sorted(golden.GOLDEN_RUNS), []],
+                        help="snapshots to regenerate (default: all)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare only; exit 1 on drift, write "
+                             "nothing")
+    args = parser.parse_args(argv)
+    keys = args.keys or sorted(golden.GOLDEN_RUNS)
+    out_dir = golden.golden_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    drifted = []
+    for key in keys:
+        path = out_dir / f"{key}.json"
+        fresh = golden.generate(key)
+        on_disk = path.read_text() if path.exists() else None
+        if on_disk == fresh:
+            print(f"  {key}: unchanged")
+            continue
+        if args.check:
+            drifted.append(key)
+            print(f"  {key}: DRIFT ({path})")
+            continue
+        path.write_text(fresh)
+        state = "updated" if on_disk is not None else "created"
+        print(f"  {key}: {state} ({path})")
+    if drifted:
+        print(f"{len(drifted)} snapshot(s) drifted: {drifted}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
