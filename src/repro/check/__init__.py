@@ -12,6 +12,12 @@ turns those obligations into tooling:
     inline latency constants, ...).  Each rule can be waived on a line
     with a ``# repro: allow[rule-id]`` pragma.
 
+``repro.check.flow``
+    A whole-program static analysis: taint from determinism sinks,
+    seed provenance, parallel-cell pickle-safety and fault-contract
+    forwarding, gated by the committed ``FLOW_BASELINE.json`` and run
+    via ``python -m repro.check --all``.
+
 ``repro.check.sanitizers``
     Runtime invariant assertions -- flow conservation, event-ordering
     monotonicity, FCFS service order, replica-placement validity --

@@ -1,9 +1,12 @@
 """Command-line entry point: ``python -m repro.check``.
 
-Runs the repo-specific linter over the source tree, the seeded
-double-execution determinism probe, and prints a human summary; with
-``--json`` the machine-readable report lands where CI can archive it.
-Exit status 0 iff everything passed.
+Runs the repo-specific linter over the source tree, optionally the
+whole-program flow analysis (``--all``) and the seeded
+double-execution determinism probe, and prints a summary in the
+requested ``--format``.  ``--sarif`` additionally writes the flow
+findings as a SARIF artefact for code-scanning upload.  Exit status 0
+iff everything passed; with ``--baseline check`` the flow section
+fails only on findings *not* recorded in the committed baseline.
 """
 
 from __future__ import annotations
@@ -28,13 +31,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory containing the repro package "
              "(default: the imported one)")
     parser.add_argument(
+        "--all", action="store_true", dest="run_all",
+        help="also run the whole-program flow analysis "
+             "(taint, seed-flow, pickle-safety, contract-flow); "
+             "probes stay opt-in via --probe")
+    parser.add_argument(
         "--lint-only", action="store_true",
         help="skip the determinism probes")
     parser.add_argument(
         "--probe", action="append", choices=sorted(PROBE_WORKLOADS),
         default=None, metavar="WORKLOAD",
-        help="probe workload(s) to double-run (default: fig8); "
-             "repeatable")
+        help="probe workload(s) to double-run (default: fig8 unless "
+             "--all/--lint-only); repeatable")
     parser.add_argument(
         "--runs", type=int, default=2,
         help="executions per probe (default 2)")
@@ -44,6 +52,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sanitize", action="store_true",
         help="enable runtime sanitizers during the probe runs")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"),
+        default="text",
+        help="stdout format (sarif covers the flow findings only)")
+    parser.add_argument(
+        "--baseline", choices=("write", "check"), default="check",
+        help="'check' (default) fails only on flow findings missing "
+             "from the baseline file; 'write' records the current "
+             "findings and exits 0")
+    parser.add_argument(
+        "--baseline-file", type=Path, default=None, metavar="PATH",
+        help="flow baseline location (default: FLOW_BASELINE.json "
+             "next to the source tree)")
+    parser.add_argument(
+        "--sarif", type=Path, default=None, metavar="PATH",
+        help="also write the flow findings as SARIF here")
     parser.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
         help="write the JSON report here ('-' for stdout)")
@@ -61,10 +85,10 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    if args.lint_only:
-        probes: List[str] = []
-    elif args.probe is not None:
-        probes = args.probe
+    if args.probe is not None:
+        probes: List[str] = args.probe
+    elif args.lint_only or args.run_all:
+        probes = []
     else:
         probes = ["fig8"]
 
@@ -73,16 +97,49 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         sanitizers.enable()
 
+    from repro.check.flow import default_baseline_path
+
+    baseline_file = args.baseline_file if args.baseline_file is not None \
+        else default_baseline_path(src)
     report = run_checks(src_root=src, probe_workloads=probes,
-                        seed=args.seed, runs=args.runs)
+                        seed=args.seed, runs=args.runs,
+                        flow=args.run_all,
+                        flow_baseline=baseline_file)
+
+    if args.run_all and args.baseline == "write":
+        from repro.check.flow import Baseline
+
+        Baseline.from_findings(report.flow.findings).save(baseline_file)
+        if not args.quiet:
+            print(f"wrote {len(report.flow.findings)} finding(s) to "
+                  f"{baseline_file}")
+
     if args.json is not None:
         payload = report.to_json()
         if str(args.json) == "-":
             print(payload)
         else:
             args.json.write_text(payload + "\n", encoding="utf-8")
-    if not args.quiet:
+    if args.sarif is not None or args.format == "sarif":
+        from repro.check.flow import sarif_json
+
+        findings = report.flow.findings if report.flow else []
+        baselined = frozenset(f.fingerprint()
+                              for f in report.flow.baselined) \
+            if report.flow else frozenset()
+        sarif = sarif_json(findings, baselined)
+        if args.sarif is not None:
+            args.sarif.parent.mkdir(parents=True, exist_ok=True)
+            args.sarif.write_text(sarif + "\n", encoding="utf-8")
+        if args.format == "sarif":
+            print(sarif)
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "text" and not args.quiet:
         print(report.render())
+
+    if args.run_all and args.baseline == "write":
+        return 0
     return 0 if report.passed else 1
 
 

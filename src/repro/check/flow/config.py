@@ -1,0 +1,72 @@
+"""Analyzer configuration: what the passes treat as sinks and contracts.
+
+Defaults describe *this* repository -- the determinism-critical sinks
+(:class:`~repro.core.qos.QoSReport`, the golden-snapshot writers, the
+result-cache key derivation), the contract parameters whose silent
+dropping caused the PR-5 class of bugs, and the cell types whose
+payloads must pickle.  Tests override the config to analyze fixture
+trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["FlowConfig", "PASS_IDS", "PASS_CATALOG"]
+
+#: stable pass ids (the pragma keys and SARIF rule ids)
+PASS_IDS = ("flow-taint", "seed-flow", "pickle-safety",
+            "contract-flow")
+
+#: pass id -> (title, rationale) for report/SARIF rule metadata
+PASS_CATALOG = {
+    "flow-taint": (
+        "no nondeterminism may reach reports, snapshots or cache keys",
+        "Wall-clock reads, unseeded RNG draws, unordered-set iteration "
+        "and salted hash()/id() values drift between runs; anything "
+        "call-reachable from a QoS report, golden-snapshot writer or "
+        "result-cache key must be free of them."),
+    "seed-flow": (
+        "every RNG must derive its seed from threaded parameters",
+        "An RNG constructed from a literal or module constant cannot "
+        "be varied by the experiment harness, silently pinning what "
+        "should be a swept axis; seeds must flow in through function "
+        "parameters (ultimately from experiment params)."),
+    "pickle-safety": (
+        "parallel-runner cell payloads must pickle",
+        "Cells cross a process boundary: lambdas, nested functions, "
+        "open handles and generator expressions in a cell's fn/args "
+        "fail at submission time on the pool path only, so serial "
+        "runs mask the bug."),
+    "contract-flow": (
+        "failure-contract arguments must be forwarded",
+        "A function accepting excluded=/faults=/masked_at must pass "
+        "it to every callee that also accepts it; silently dropping "
+        "the contract re-introduces dead devices into schedules, the "
+        "exact bug class the fault-injection PR fixed by hand."),
+}
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Tunable surface of the whole-program analysis."""
+
+    #: taint sinks: patterns ``mod:func`` / ``mod:Class`` / ``mod:*``
+    sink_roots: Tuple[str, ...] = (
+        "repro.core.qos:QoSReport",
+        "repro.experiments.golden:*",
+        "repro.runner.cache:ResultCache.key",
+    )
+    #: source kinds the taint pass considers (summary SourceFact kinds)
+    taint_kinds: Tuple[str, ...] = (
+        "wall-clock", "unseeded-rng", "set-iteration", "builtin-hash")
+    #: parameters forming forwarding contracts
+    contract_params: Tuple[str, ...] = ("excluded", "faults",
+                                        "masked_at")
+    #: cell classes: (node pattern, fn position, fn keyword)
+    cell_types: Tuple[Tuple[str, int, str], ...] = (
+        ("repro.runner.parallel:Cell", 2, "fn"),
+    )
+    #: package prefix the analysis covers (informational)
+    package: str = "repro"

@@ -1,0 +1,90 @@
+"""Contract propagation: failure-mask arguments must be forwarded.
+
+The fault-injection layer threads *contracts* through the call tree:
+``excluded=`` (dead devices), ``faults=`` (the schedule), ``masked_at``
+(time-dependent masks).  The invariant is simple and brutal: **a
+function that accepts a contract parameter must forward it to every
+callee that also accepts it.**  A call that silently omits it computes
+over the healthy array while the caller believes the mask is in force
+-- the exact class of bug PR 5 had to find by hand, one golden diff at
+a time.
+
+For every function ``F`` with contract parameter ``p`` and every call
+``F -> G`` where ``G`` (function, method or class constructor) also
+accepts ``p``, the call must cover ``p`` by one of:
+
+* keyword: ``G(..., p=...)`` (any value -- masking with a transformed
+  or narrowed contract is still a deliberate decision);
+* position: enough positional arguments to reach ``p``'s slot;
+* splat: ``G(..., **kw)`` may carry it (assumed, to stay quiet);
+
+otherwise the site is reported.  Deliberate drops (the contract was
+consumed, e.g. candidates were already masked) carry a
+``# repro: allow[contract-flow]`` pragma that doubles as reviewer
+documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.check.flow.config import FlowConfig
+from repro.check.flow.findings import Finding
+from repro.check.flow.project import ProjectModel
+
+__all__ = ["ContractFlowPass"]
+
+PASS_ID = "contract-flow"
+
+
+class ContractFlowPass:
+    """Report call sites that drop a live contract parameter."""
+
+    pass_id = PASS_ID
+
+    def run(self, model: ProjectModel,
+            config: FlowConfig) -> List[Finding]:
+        contract = tuple(config.contract_params)
+        findings: List[Finding] = []
+        for module, summary in model.modules.items():
+            for fn in summary.functions:
+                held = [p for p in fn.params if p in contract]
+                if not held:
+                    continue
+                cls_ctx = fn.qualname.split(".")[0] \
+                    if "." in fn.qualname else None
+                for site in fn.calls:
+                    callee = model.resolve_callee(module, site,
+                                                  cls_ctx, fn)
+                    if callee is None:
+                        continue
+                    callee_params = model.callable_params(callee)
+                    if not callee_params:
+                        continue
+                    for p in held:
+                        if p not in callee_params:
+                            continue
+                        if self._covered(site, callee_params, p):
+                            continue
+                        if summary.is_allowed((PASS_ID,), site.line):
+                            continue
+                        callee_name = callee.split(":", 1)[1]
+                        findings.append(Finding(
+                            pass_id=PASS_ID, path=summary.path,
+                            line=site.line, symbol=fn.qualname,
+                            message=(f"call to {callee_name} drops "
+                                     f"contract parameter {p!r} "
+                                     f"held by {fn.qualname}; "
+                                     f"forward it (or pragma a "
+                                     f"deliberate consume)")))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    @staticmethod
+    def _covered(site, callee_params, p: str) -> bool:
+        if site.has_star_kwargs:
+            return True
+        if p in site.keyword_names():
+            return True
+        index = callee_params.index(p)
+        return site.n_pos > index

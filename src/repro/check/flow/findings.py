@@ -1,0 +1,148 @@
+"""Findings: what the dataflow passes report, and how it is suppressed.
+
+A :class:`Finding` is one violation of a whole-program property, anchored
+at a source location and optionally carrying the call-graph *trace* that
+explains it (for taint findings, the sink-to-source path).  Findings are
+value objects with a stable sort order and a content *fingerprint* used
+by the committed baseline file -- the fingerprint deliberately excludes
+the line number so that unrelated edits shifting code up or down do not
+churn the baseline.
+
+Suppression happens at two levels:
+
+* a ``# repro: allow[<pass-id>]`` pragma on the anchor line (or the line
+  above) silences one finding in place, exactly like the lint rules;
+* the baseline file (:class:`Baseline`) records fingerprints of known,
+  triaged findings so the CI gate fails only on *new* ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["TraceStep", "Finding", "Baseline"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One hop of a call-graph path explaining a finding."""
+
+    path: str
+    line: int
+    symbol: str
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line,
+                "symbol": self.symbol, "note": self.note}
+
+    def render(self) -> str:
+        note = f" ({self.note})" if self.note else ""
+        return f"{self.path}:{self.line} {self.symbol}{note}"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation reported by a dataflow pass."""
+
+    pass_id: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    trace: Tuple[TraceStep, ...] = field(default_factory=tuple)
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        return (self.path, self.line, self.pass_id, self.message)
+
+    def fingerprint(self) -> str:
+        """Stable content address; excludes the line number on purpose."""
+        payload = json.dumps(
+            [self.pass_id, self.path, self.symbol, self.message],
+            separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pass": self.pass_id,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+            "trace": [s.to_dict() for s in self.trace],
+        }
+
+    def render(self) -> str:
+        lines = [f"{self.path}:{self.line}: [{self.pass_id}] "
+                 f"{self.symbol}: {self.message}"]
+        for step in self.trace:
+            lines.append(f"    via {step.render()}")
+        return "\n".join(lines)
+
+
+class Baseline:
+    """The committed suppression file: fingerprints of triaged findings.
+
+    The workflow mirrors the golden snapshots: ``--baseline write``
+    records the current findings, review happens on the diff, and
+    ``--baseline check`` fails only when a finding's fingerprint is not
+    in the file.  An empty baseline therefore asserts the tree is clean.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, entries: Dict[str, Dict[str, object]]):
+        self.entries = dict(entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("schema_version") != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline {path} has schema "
+                f"{data.get('schema_version')!r}, expected "
+                f"{cls.SCHEMA_VERSION}; regenerate with --baseline write")
+        return cls(data.get("findings", {}))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        entries = {}
+        for f in sorted(findings, key=Finding.sort_key):
+            entries[f.fingerprint()] = {
+                "pass": f.pass_id, "path": f.path,
+                "symbol": f.symbol, "message": f.message,
+            }
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema_version": self.SCHEMA_VERSION,
+            "tool": "repro.check.flow",
+            "findings": {k: self.entries[k]
+                         for k in sorted(self.entries)},
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def split(self, findings: Sequence[Finding],
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """``(new, baselined)`` partition, both in stable order."""
+        new = [f for f in findings if f not in self]
+        old = [f for f in findings if f in self]
+        return new, old

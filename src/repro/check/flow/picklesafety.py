@@ -1,0 +1,147 @@
+"""Pickle-safety: parallel-runner cell payloads must cross processes.
+
+A :class:`repro.runner.parallel.Cell` is shipped to a worker process:
+its ``fn`` and every element of ``args``/``kwargs`` are pickled.  The
+failure mode is nasty because ``jobs=1`` never pickles -- a lambda in
+a cell runs fine serially and explodes only on the pool path, usually
+on someone else's machine.  This pass checks every ``Cell(...)``
+construction site statically:
+
+* the ``fn`` argument must be a reference to a module-level function
+  (possibly wrapped in ``functools.partial``); lambdas, functions
+  defined inside the enclosing scope, and ``self.x`` bound methods
+  are flagged;
+* ``args``/``kwargs`` expressions must not contain lambdas, generator
+  expressions, ``open(...)`` handles, or references to locally
+  defined functions/classes -- the statically recognisable
+  transitively-unpicklable payloads.
+
+Suppress a false positive (e.g. a name the resolver cannot see that
+is in fact module-level) with ``# repro: allow[pickle-safety]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.check.flow.config import FlowConfig
+from repro.check.flow.findings import Finding
+from repro.check.flow.project import ProjectModel
+from repro.check.flow.summary import CallSite, FunctionSummary
+
+__all__ = ["PickleSafetyPass"]
+
+PASS_ID = "pickle-safety"
+
+_HAZARD_TEXT = {
+    "lambda": "a lambda (lambdas never pickle)",
+    "genexp": "a generator expression (generators never pickle)",
+    "open-call": "an open file handle (handles never pickle)",
+}
+
+
+def _hazard_message(hazard: str) -> str:
+    if hazard.startswith("local-def:"):
+        name = hazard.split(":", 1)[1]
+        return (f"locally defined {name!r} (nested definitions "
+                f"never pickle)")
+    return _HAZARD_TEXT.get(hazard, hazard)
+
+
+class PickleSafetyPass:
+    """Statically vet every cell-construction payload."""
+
+    pass_id = PASS_ID
+
+    def run(self, model: ProjectModel,
+            config: FlowConfig) -> List[Finding]:
+        cell_nodes = {}
+        for pattern, fn_pos, fn_kw in config.cell_types:
+            for node in model.expand_roots([pattern]):
+                cell_nodes[node] = (fn_pos, fn_kw)
+        if not cell_nodes:
+            return []
+        findings: List[Finding] = []
+        for module, summary in model.modules.items():
+            for fn in summary.functions:
+                cls_ctx = fn.qualname.split(".")[0] \
+                    if "." in fn.qualname else None
+                for site in fn.calls:
+                    callee = model.resolve_callee(module, site,
+                                                  cls_ctx, fn)
+                    if callee is None or callee not in cell_nodes:
+                        continue
+                    fn_pos, fn_kw = cell_nodes[callee]
+                    for message in self._check_site(model, module,
+                                                    cls_ctx, fn, site,
+                                                    fn_pos, fn_kw):
+                        if summary.is_allowed((PASS_ID,), site.line):
+                            continue
+                        findings.append(Finding(
+                            pass_id=PASS_ID, path=summary.path,
+                            line=site.line, symbol=fn.qualname,
+                            message=message))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def _check_site(self, model: ProjectModel, module: str,
+                    cls_ctx: Optional[str], fn: FunctionSummary,
+                    site: CallSite, fn_pos: int,
+                    fn_kw: str) -> List[str]:
+        messages: List[str] = []
+        # -- the fn argument ------------------------------------------
+        fn_dotted: Optional[Tuple[str, ...]] = None
+        fn_hazards: Tuple[str, ...] = ()
+        if site.n_pos > fn_pos:
+            fn_dotted = site.pos_dotted[fn_pos]
+            fn_hazards = site.pos_hazards[fn_pos]
+        else:
+            for key, value in site.keywords:
+                if key == fn_kw:
+                    fn_dotted = value
+            for key, hazards in site.kw_hazards:
+                if key == fn_kw:
+                    fn_hazards = hazards
+        for hazard in fn_hazards:
+            messages.append(
+                f"cell fn is {_hazard_message(hazard)}; use a "
+                f"module-level function")
+        if not fn_hazards and fn_dotted is not None:
+            messages.extend(self._check_fn_ref(model, module, cls_ctx,
+                                               fn_dotted))
+        # -- the remaining payload ------------------------------------
+        for i, hazards in enumerate(site.pos_hazards):
+            if i == fn_pos:
+                continue
+            for hazard in hazards:
+                messages.append(
+                    f"cell argument {i} contains "
+                    f"{_hazard_message(hazard)}; cells must carry "
+                    f"plain picklable data")
+        for key, hazards in site.kw_hazards:
+            if key == fn_kw:
+                continue
+            for hazard in hazards:
+                messages.append(
+                    f"cell argument {key!r} contains "
+                    f"{_hazard_message(hazard)}; cells must carry "
+                    f"plain picklable data")
+        return messages
+
+    @staticmethod
+    def _check_fn_ref(model: ProjectModel, module: str,
+                      cls_ctx: Optional[str],
+                      dotted: Tuple[str, ...]) -> List[str]:
+        if dotted[0] in ("self", "cls"):
+            return [f"cell fn {'.'.join(dotted)} is a bound method; "
+                    f"the whole instance would be pickled -- use a "
+                    f"module-level function"]
+        # partial(...) is handled via hazards of its own arguments;
+        # a plain name must resolve to a module-level def (or stay
+        # unresolved: a callable threaded in via parameters is the
+        # caller's responsibility)
+        resolved = model.resolve_dotted(module, dotted, cls_ctx)
+        if resolved is not None and resolved[0] == "module":
+            return [f"cell fn {'.'.join(dotted)} resolves to a "
+                    f"module object, not a callable"]
+        return []

@@ -1,0 +1,130 @@
+"""Nondeterminism taint: no host entropy may reach a determinism sink.
+
+Sinks are the functions whose output the repository promises to be
+byte-identical between runs -- QoS reports, golden-snapshot writers,
+result-cache key derivation (configurable).  The pass walks the call
+graph *from* every sink root and reports each nondeterminism source
+fact (wall-clock read, unseeded RNG, unordered-set iteration, salted
+``hash()``/``id()``) found in any transitively-called function,
+together with the full sink-to-source call path.
+
+Direction matters: reachability is computed sink -> callee, so a
+``time.perf_counter()`` in a leaf utility is only reported if some
+sink actually (transitively) calls it.  A breadth-first search from
+all roots at once yields, per tainted function, the *shortest*
+explaining path -- and because adjacency is built in deterministic
+(module, definition, call-site) order, the reported paths are stable
+across runs and machines.
+
+Suppression: a ``# repro: allow[<kind>]`` pragma on the source line
+(the same ids the lint rules use: ``wall-clock``, ``unseeded-rng``,
+``set-iteration``, ``builtin-hash``) or ``allow[flow-taint]`` waives
+the source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.check.flow.config import FlowConfig
+from repro.check.flow.findings import Finding, TraceStep
+from repro.check.flow.project import ProjectModel
+from repro.check.flow.summary import MODULE_BODY
+
+__all__ = ["TaintPass"]
+
+PASS_ID = "flow-taint"
+
+
+class TaintPass:
+    """Sink-reachable nondeterminism sources, with call paths."""
+
+    pass_id = PASS_ID
+
+    def run(self, model: ProjectModel,
+            config: FlowConfig) -> List[Finding]:
+        expanded = model.expand_roots(config.sink_roots)
+        if not expanded:
+            return []
+        adjacency = model.adjacency()
+        # Widen: a function that *calls* a sink feeds it whatever it
+        # computed, so its own entropy (and that of its callees) is
+        # sink-relevant even though the sink never calls back into it.
+        root_note: Dict[str, str] = {r: "sink root" for r in expanded}
+        sink_set = frozenset(expanded)
+        for edge in model.call_edges():
+            if edge.callee in sink_set \
+                    and edge.caller not in root_note:
+                callee_name = edge.callee.split(":", 1)[1]
+                root_note[edge.caller] = f"feeds sink {callee_name}"
+        #: node -> (parent node, call line) discovered by the BFS
+        parent: Dict[str, Optional[tuple]] = {}
+        queue = deque()
+        for root in root_note:
+            if root not in parent:
+                parent[root] = None
+                queue.append(root)
+        order: List[str] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for edge in adjacency.get(node, ()):
+                if edge.callee not in parent:
+                    parent[edge.callee] = (node, edge.site.line)
+                    queue.append(edge.callee)
+
+        kinds = frozenset(config.taint_kinds)
+        findings: List[Finding] = []
+        for node in order:
+            fn = model.function(node)
+            if fn is None:
+                continue
+            summary = model.modules.get(model.module_of(node))
+            if summary is None:
+                continue
+            for fact in fn.sources:
+                if fact.kind not in kinds:
+                    continue
+                if summary.is_allowed((fact.kind, PASS_ID),
+                                      fact.line):
+                    continue
+                trace = self._path_to(model, parent, node,
+                                      root_note)
+                symbol = fn.qualname if fn.qualname != MODULE_BODY \
+                    else summary.module
+                sink = trace[0].symbol if trace else symbol
+                findings.append(Finding(
+                    pass_id=PASS_ID, path=summary.path,
+                    line=fact.line, symbol=symbol,
+                    message=(f"{fact.detail}; value is reachable from "
+                             f"determinism sink {sink}"),
+                    trace=tuple(trace)))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    @staticmethod
+    def _path_to(model: ProjectModel,
+                 parent: Dict[str, Optional[tuple]],
+                 node: str,
+                 root_note: Dict[str, str]) -> List[TraceStep]:
+        """Sink-root -> ... -> node, as trace steps."""
+        chain: List[tuple] = []  # (node, call line into next hop)
+        cursor: Optional[str] = node
+        line_into = 0
+        while cursor is not None:
+            chain.append((cursor, line_into))
+            entry = parent.get(cursor)
+            if entry is None:
+                break
+            cursor, line_into = entry
+        chain.reverse()
+        steps: List[TraceStep] = []
+        for fq, line in chain:
+            fn = model.function(fq)
+            note = root_note.get(fq, "") if not steps else ""
+            steps.append(TraceStep(
+                path=model.path_of(fq),
+                line=line if line else (fn.line if fn else 0),
+                symbol=fq.split(":", 1)[1], note=note))
+        return steps

@@ -1,4 +1,4 @@
-"""The combined check report: lint + determinism probe, as JSON.
+"""The combined check report: lint + flow analysis + probes, as JSON.
 
 ``run_checks`` is the library face of ``python -m repro.check``; CI
 consumes the JSON artefact, humans the rendered summary.
@@ -12,13 +12,14 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.check.determinism import DeterminismProbe, determinism_probe
+from repro.check.flow.engine import FlowReport
 from repro.check.lint import LintReport, lint_paths
 from repro.check.rules import rule_catalog
 
 __all__ = ["CheckReport", "run_checks", "default_src_root"]
 
 #: report format version, bumped on breaking JSON changes
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -28,10 +29,14 @@ class CheckReport:
     lint: LintReport
     probes: List[DeterminismProbe]
     src_root: str
+    #: whole-program analysis outcome (``--all``), or None if skipped
+    flow: Optional[FlowReport] = None
 
     @property
     def passed(self) -> bool:
-        return self.lint.clean and all(p.identical for p in self.probes)
+        return self.lint.clean \
+            and all(p.identical for p in self.probes) \
+            and (self.flow is None or self.flow.clean)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -47,6 +52,7 @@ class CheckReport:
             },
             "rules": rule_catalog(),
             "determinism": [p.to_dict() for p in self.probes],
+            "flow": self.flow.to_dict() if self.flow else None,
         }
 
     def to_json(self) -> str:
@@ -59,6 +65,8 @@ class CheckReport:
                      f"{len(rule_catalog())} rules")
         for v in self.lint.violations:
             lines.append("    " + v.render())
+        if self.flow is not None:
+            lines.append(self.flow.render())
         for p in self.probes:
             mark = "ok" if p.identical else "FAIL"
             lines.append(f"  determinism[{p.workload}]: {mark} -- "
@@ -76,8 +84,11 @@ def default_src_root() -> Path:
 
 def run_checks(src_root: Optional[Path] = None,
                probe_workloads: Optional[List[str]] = None,
-               seed: int = 0, runs: int = 2) -> CheckReport:
-    """Lint the tree and run the determinism probes.
+               seed: int = 0, runs: int = 2,
+               flow: bool = False,
+               flow_baseline: Optional[Path] = None,
+               flow_cache: Optional[Path] = None) -> CheckReport:
+    """Lint the tree, optionally flow-analyze it, and run the probes.
 
     Parameters
     ----------
@@ -88,10 +99,33 @@ def run_checks(src_root: Optional[Path] = None,
         Probe names from
         :data:`repro.check.determinism.PROBE_WORKLOADS`; ``[]``
         disables probing, ``None`` runs the default (``fig8``).
+    flow:
+        Run the whole-program analysis (:mod:`repro.check.flow`).
+    flow_baseline:
+        Baseline file for the flow findings; defaults to
+        ``FLOW_BASELINE.json`` next to ``src_root``.  A missing file
+        is an empty baseline (the tree must be clean).
+    flow_cache:
+        Summary-cache path (``None`` uses the default under
+        ``.benchmarks/``; pass a tempdir path in tests).
     """
     root = Path(src_root) if src_root is not None else default_src_root()
     lint = lint_paths(root)
+    flow_report: Optional[FlowReport] = None
+    if flow:
+        from repro.check.flow import (Baseline, analyze,
+                                      default_baseline_path,
+                                      default_cache_path)
+
+        bpath = flow_baseline if flow_baseline is not None \
+            else default_baseline_path(root)
+        base = Baseline.load(bpath) if Path(bpath).is_file() \
+            else Baseline.empty()
+        cpath = flow_cache if flow_cache is not None \
+            else default_cache_path()
+        flow_report = analyze(root, cache_path=cpath, baseline=base)
     names = ["fig8"] if probe_workloads is None else probe_workloads
     probes = [determinism_probe(name, seed=seed, runs=runs)
               for name in names]
-    return CheckReport(lint=lint, probes=probes, src_root=str(root))
+    return CheckReport(lint=lint, probes=probes, src_root=str(root),
+                       flow=flow_report)

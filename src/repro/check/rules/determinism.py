@@ -129,36 +129,54 @@ class WallClock(Rule):
                     f"simulation state must not depend on it")
 
 
+#: host clocks that are wrong for interval measurement: adjustable
+#: (wall time, datetime) or low-resolution (coarse monotonic)
+_BAD_DURATION_TIME = {"time", "time_ns", "monotonic", "monotonic_ns"}
+
+
 class DurationClock(Rule):
-    """Durations are measured with ``perf_counter``, never ``time.time``."""
+    """Durations are measured with ``perf_counter``, nothing else."""
 
     rule_id = "duration-clock"
     title = "measure durations with time.perf_counter()"
-    rationale = ("time.time() is the wall clock: NTP slews and DST "
-                 "steps make it jump, so intervals computed from it "
-                 "are wrong exactly when timing matters.  Benchmarks "
-                 "and cost measurements must use the monotonic "
+    rationale = ("time.time()/datetime.now() follow the adjustable "
+                 "wall clock: NTP slews and DST steps make intervals "
+                 "computed from them wrong exactly when timing "
+                 "matters; time.monotonic() trades away the "
+                 "resolution cost measurements need.  Benchmarks and "
+                 "cost measurements must use the monotonic "
                  "high-resolution time.perf_counter(); a genuine "
                  "wall-time *stamp* (log line, report header) carries "
                  "a pragma saying so.")
-    scope = None  # everywhere; sim-critical code is stricter still
+    scope = None  # everywhere, sim-critical scopes included
 
     def check(self, ctx: LintContext) -> Iterator[Violation]:
-        if ctx.in_package(SIM_CRITICAL):
-            # WallClock already bans every host-clock read here;
-            # double-reporting the same call helps nobody.
-            return
+        # Sim-critical scopes are NOT exempt: WallClock already bans
+        # host-clock reads there under its own rule id, but a
+        # deliberate ``allow[wall-clock]`` stamp must not silently
+        # license the wrong clock for a *duration* as well.
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             dotted = _dotted(node.func)
-            if dotted == ("time", "time") \
-                    or dotted == ("time", "time_ns"):
+            if dotted is None:
+                continue
+            if len(dotted) == 2 and dotted[0] == "time" \
+                    and dotted[1] in _BAD_DURATION_TIME:
                 yield self.violation(
                     ctx, node.lineno,
-                    f"{'.'.join(dotted)}() follows the adjustable wall "
-                    f"clock; use time.perf_counter() for durations, or "
-                    f"pragma a deliberate wall-time stamp")
+                    f"{'.'.join(dotted)}() is the wrong clock for "
+                    f"durations; use time.perf_counter(), or pragma "
+                    f"a deliberate wall-time stamp")
+            elif (2 <= len(dotted) <= 3
+                    and dotted[-1] in _DATETIME_FNS
+                    and dotted[-2] in {"datetime", "date"}):
+                yield self.violation(
+                    ctx, node.lineno,
+                    f"{'.'.join(dotted)}() follows the adjustable "
+                    f"wall clock; use time.perf_counter() for "
+                    f"durations, or pragma a deliberate wall-time "
+                    f"stamp")
 
 
 class GlobalRngSeed(Rule):

@@ -1,0 +1,19 @@
+"""Shared fixture helpers: build project models from source strings."""
+
+from repro.check.flow import ProjectModel
+from repro.check.flow.summary import ModuleSummary, summarize_source
+
+
+def summarize(module: str, source: str,
+              is_package: bool = False) -> ModuleSummary:
+    path = module.replace(".", "/")
+    path += "/__init__.py" if is_package else ".py"
+    return summarize_source(source, module=module, path=path,
+                            is_package=is_package)
+
+
+def model_of(modules, packages=()) -> ProjectModel:
+    """``{dotted_module: source}`` -> a resolved :class:`ProjectModel`."""
+    return ProjectModel([
+        summarize(name, src, is_package=name in packages)
+        for name, src in modules.items()])

@@ -1,0 +1,103 @@
+"""CLI surface of the flow analysis: --all, --format, --baseline."""
+
+import json
+
+import pytest
+
+from repro.check.cli import main
+from repro.check.report import run_checks
+
+
+@pytest.fixture
+def dirty_src(tmp_path):
+    src = tmp_path / "src"
+    pkg = src / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "bad.py").write_text(
+        "import numpy as np\n\n"
+        "def make():\n"
+        "    return np.random.default_rng(42)\n")
+    return src
+
+
+def flags(tmp_path, src):
+    return ["--src", str(src), "--quiet",
+            "--baseline-file", str(tmp_path / "FLOW_BASELINE.json")]
+
+
+def test_all_on_real_tree_passes(tmp_path):
+    assert main(["--all", "--quiet"]) == 0
+
+
+def test_all_flag_runs_flow_section(capsys):
+    assert main(["--all"]) == 0
+    out = capsys.readouterr().out
+    assert "flow:" in out
+    assert "PASSED" in out
+
+
+def test_finding_fails_the_gate(tmp_path, dirty_src):
+    assert main(["--all", *flags(tmp_path, dirty_src)]) == 1
+
+
+def test_baseline_write_then_check_workflow(tmp_path, dirty_src):
+    assert main(["--all", "--baseline", "write",
+                 *flags(tmp_path, dirty_src)]) == 0
+    baseline = tmp_path / "FLOW_BASELINE.json"
+    assert len(json.loads(baseline.read_text())["findings"]) == 1
+    # baselined finding no longer fails the gate...
+    assert main(["--all", "--baseline", "check",
+                 *flags(tmp_path, dirty_src)]) == 0
+    # ...but a new one does
+    (dirty_src / "repro" / "worse.py").write_text(
+        "import numpy as np\n\n"
+        "def also():\n"
+        "    return np.random.default_rng()\n")
+    assert main(["--all", *flags(tmp_path, dirty_src)]) == 1
+
+
+def test_format_json_emits_flow_section(tmp_path, dirty_src, capsys):
+    main(["--all", "--format", "json", *flags(tmp_path, dirty_src)])
+    data = json.loads(capsys.readouterr().out)
+    assert data["passed"] is False
+    (finding,) = data["flow"]["findings"]
+    assert finding["pass"] == "seed-flow"
+
+
+def test_format_sarif_and_artifact(tmp_path, dirty_src, capsys):
+    artifact = tmp_path / "out" / "flow.sarif"
+    main(["--all", "--format", "sarif", "--sarif", str(artifact),
+          *flags(tmp_path, dirty_src)])
+    stdout_doc = json.loads(capsys.readouterr().out)
+    file_doc = json.loads(artifact.read_text())
+    assert stdout_doc == file_doc
+    (result,) = file_doc["runs"][0]["results"]
+    assert result["ruleId"] == "seed-flow"
+
+
+def test_sarif_artifact_marks_baselined_suppressed(tmp_path,
+                                                   dirty_src):
+    main(["--all", "--baseline", "write",
+          *flags(tmp_path, dirty_src)])
+    artifact = tmp_path / "flow.sarif"
+    assert main(["--all", "--sarif", str(artifact),
+                 *flags(tmp_path, dirty_src)]) == 0
+    (result,) = json.loads(artifact.read_text())["runs"][0]["results"]
+    assert result["suppressions"][0]["kind"] == "external"
+
+
+def test_run_checks_flow_report_integration(tmp_path, dirty_src):
+    report = run_checks(src_root=dirty_src, probe_workloads=[],
+                        flow=True,
+                        flow_baseline=tmp_path / "none.json",
+                        flow_cache=tmp_path / "cache.json")
+    assert report.flow is not None
+    assert not report.passed
+    assert "flow:" in report.render()
+
+
+def test_without_all_flow_section_is_absent():
+    report = run_checks(probe_workloads=[])
+    assert report.flow is None
+    assert report.to_dict()["flow"] is None

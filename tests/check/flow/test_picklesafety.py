@@ -1,0 +1,126 @@
+"""Pickle-safety pass: known-bad cell payloads must be caught."""
+
+import textwrap
+
+from repro.check.flow import FlowConfig, PickleSafetyPass
+from tests.check.flow._fixtures import model_of
+
+CELL_MODULE = textwrap.dedent("""
+    from dataclasses import dataclass
+
+    @dataclass
+    class Cell:
+        experiment: str
+        name: str
+        fn: object
+        args: tuple = ()
+""").lstrip()
+
+CFG = FlowConfig(cell_types=(("app.cells:Cell", 2, "fn"),))
+
+
+def src(text):
+    return textwrap.dedent(text).lstrip()
+
+
+def run(user_source):
+    model = model_of({"app.cells": CELL_MODULE,
+                      "app.user": src(user_source)})
+    return PickleSafetyPass().run(model, CFG)
+
+
+def test_module_level_fn_is_clean():
+    assert run("""
+        from app.cells import Cell
+
+        def payload(x):
+            return x
+
+        def build():
+            return Cell("e", "n", payload)
+    """) == []
+
+
+def test_lambda_fn_is_flagged():
+    (f,) = run("""
+        from app.cells import Cell
+
+        def build():
+            return Cell("e", "n", lambda x: x)
+    """)
+    assert f.pass_id == "pickle-safety"
+    assert "lambda" in f.message
+
+
+def test_lambda_bound_to_local_is_flagged():
+    (f,) = run("""
+        from app.cells import Cell
+
+        def build():
+            f = lambda x: x
+            return Cell("e", "n", f)
+    """)
+    assert "lambda" in f.message
+
+
+def test_locally_defined_fn_is_flagged():
+    (f,) = run("""
+        from app.cells import Cell
+
+        def build():
+            def inner(x):
+                return x
+            return Cell("e", "n", inner)
+    """)
+    assert "locally defined" in f.message
+    assert "inner" in f.message
+
+
+def test_bound_method_fn_is_flagged():
+    (f,) = run("""
+        from app.cells import Cell
+
+        class Builder:
+            def payload(self, x):
+                return x
+
+            def build(self):
+                return Cell("e", "n", self.payload)
+    """)
+    assert "bound method" in f.message
+
+
+def test_keyword_fn_argument_is_checked():
+    (f,) = run("""
+        from app.cells import Cell
+
+        def build():
+            return Cell("e", "n", fn=lambda x: x)
+    """)
+    assert "lambda" in f.message
+
+
+def test_unpicklable_payload_args_are_flagged():
+    findings = run("""
+        from app.cells import Cell
+
+        def payload(x):
+            return x
+
+        def build(rows):
+            return Cell("e", "n", payload,
+                        args=(open("f.txt"), (r for r in rows)))
+    """)
+    messages = " | ".join(f.message for f in findings)
+    assert "open file handle" in messages
+    assert "generator expression" in messages
+
+
+def test_pragma_suppresses_pickle_safety():
+    assert run("""
+        from app.cells import Cell
+
+        def build():
+            # repro: allow[pickle-safety]
+            return Cell("e", "n", lambda x: x)
+    """) == []

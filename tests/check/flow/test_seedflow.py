@@ -1,0 +1,103 @@
+"""Seed-flow pass: RNG constructions must derive from threaded seeds."""
+
+import textwrap
+
+from repro.check.flow import FlowConfig, SeedFlowPass
+from tests.check.flow._fixtures import model_of
+
+
+def src(text):
+    return textwrap.dedent(text).lstrip()
+
+
+def run(source):
+    return SeedFlowPass().run(model_of({"app.m": src(source)}),
+                              FlowConfig())
+
+
+def test_param_derived_seed_is_clean():
+    assert run("""
+        import numpy as np
+
+        def make(seed):
+            child = seed + 1
+            return np.random.default_rng(child)
+    """) == []
+
+
+def test_literal_seed_is_flagged():
+    (f,) = run("""
+        import numpy as np
+
+        def make():
+            return np.random.default_rng(42)
+    """)
+    assert f.pass_id == "seed-flow"
+    assert "literal" in f.message
+
+
+def test_missing_seed_is_flagged():
+    (f,) = run("""
+        import numpy as np
+
+        def make():
+            return np.random.default_rng()
+    """)
+    assert "without a seed" in f.message
+
+
+def test_module_constant_seed_is_flagged():
+    (f,) = run("""
+        import numpy as np
+
+        SEED = 1234
+
+        def make():
+            return np.random.default_rng(SEED)
+    """)
+    assert "module constant" in f.message
+
+
+def test_module_level_construction_is_flagged():
+    (f,) = run("""
+        import numpy as np
+
+        RNG = np.random.default_rng(0)
+    """)
+    assert "module import time" in f.message
+
+
+def test_stdlib_and_seedsequence_constructors_audited():
+    findings = run("""
+        import random
+        import numpy as np
+
+        def a():
+            return random.Random(3)
+
+        def b():
+            return np.random.SeedSequence(99)
+    """)
+    assert len(findings) == 2
+    assert {f.symbol for f in findings} == {"a", "b"}
+
+
+def test_pragma_suppresses_seed_flow():
+    assert run("""
+        import numpy as np
+
+        def make():
+            return np.random.default_rng(42)  # repro: allow[seed-flow]
+    """) == []
+
+
+def test_unknown_provenance_is_not_flagged():
+    # "other" stays silent by design: flagging every seed computed
+    # from non-parameter locals would bury the true positives
+    assert run("""
+        import numpy as np
+
+        def make():
+            basis = load_basis()
+            return np.random.default_rng(basis)
+    """) == []

@@ -1,0 +1,75 @@
+"""The extended duration-clock rule: wrong clocks for durations."""
+
+from repro.check.lint import lint_source
+
+SIM_MODULE = "repro.sim.core"
+TOOL_MODULE = "repro.experiments.fig8"
+
+
+def ids_of(violations):
+    return [v.rule_id for v in violations]
+
+
+def lint(source, module=TOOL_MODULE):
+    return lint_source(source, module=module)
+
+
+def test_time_time_flagged_for_durations():
+    out = lint("import time\nt0 = time.time()\n")
+    assert "duration-clock" in ids_of(out)
+
+
+def test_time_monotonic_flagged_for_durations():
+    out = lint("import time\nt0 = time.monotonic()\n")
+    assert "duration-clock" in ids_of(out)
+
+
+def test_time_monotonic_ns_flagged_for_durations():
+    out = lint("import time\nt0 = time.monotonic_ns()\n")
+    assert "duration-clock" in ids_of(out)
+
+
+def test_datetime_now_flagged_for_durations():
+    out = lint("from datetime import datetime\n"
+               "t0 = datetime.now()\n")
+    assert "duration-clock" in ids_of(out)
+
+
+def test_datetime_utcnow_and_date_today_flagged():
+    out = lint("import datetime\n"
+               "a = datetime.datetime.utcnow()\n"
+               "b = datetime.date.today()\n")
+    assert ids_of(out).count("duration-clock") == 2
+
+
+def test_perf_counter_is_the_blessed_clock():
+    out = lint("import time\nt0 = time.perf_counter()\n"
+               "t1 = time.perf_counter_ns()\n")
+    assert "duration-clock" not in ids_of(out)
+
+
+def test_sim_critical_scope_is_not_exempt():
+    out = lint("import time\nt0 = time.monotonic()\n",
+               module=SIM_MODULE)
+    assert "duration-clock" in ids_of(out)
+    # WallClock reports the same call under its own rule id
+    assert "wall-clock" in ids_of(out)
+
+
+def test_wall_clock_pragma_does_not_waive_duration_clock():
+    out = lint("import time\n"
+               "t0 = time.time()  # repro: allow[wall-clock]\n",
+               module=SIM_MODULE)
+    assert "wall-clock" not in ids_of(out)
+    assert "duration-clock" in ids_of(out)
+
+
+def test_duration_clock_pragma_waives_the_stamp():
+    out = lint("import time\n"
+               "stamp = time.time()  # repro: allow[duration-clock]\n")
+    assert "duration-clock" not in ids_of(out)
+
+
+def test_unrelated_monotonic_attribute_clean():
+    out = lint("t = clock.monotonic()\n")
+    assert "duration-clock" not in ids_of(out)

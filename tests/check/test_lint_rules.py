@@ -119,12 +119,13 @@ def test_perf_counter_outside_sim_clean():
     assert "duration-clock" not in ids_of(out)
 
 
-def test_duration_clock_defers_to_wall_clock_in_sim():
-    # inside sim-critical packages WallClock owns the line; the call
-    # must be flagged exactly once
+def test_duration_clock_fires_alongside_wall_clock_in_sim():
+    # inside sim-critical packages both rules own the line: a
+    # deliberate allow[wall-clock] stamp must not silently license
+    # the wrong clock for a duration as well
     out = lint("import time\nt = time.time()\n")
     assert ids_of(out).count("wall-clock") == 1
-    assert "duration-clock" not in ids_of(out)
+    assert ids_of(out).count("duration-clock") == 1
 
 
 def test_duration_clock_pragma():
