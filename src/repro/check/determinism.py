@@ -62,7 +62,7 @@ def _runner_small(seed: int) -> str:
     from repro.experiments import fig8
     from repro.runner import ParallelRunner
 
-    runner = ParallelRunner(jobs=2, cache=None)
+    runner = ParallelRunner(jobs=2, cache=None, auto_degrade=False)
     return fig8.run(scale=0.15, n_intervals=3, seed=seed,
                     runner=runner).to_json()
 
@@ -223,7 +223,19 @@ def _faults_small(seed: int) -> str:
     schedule = model.materialize(9, horizon_ms=40.0, seed=seed + 17)
     player = OnlineTracePlayer(alloc, interval_ms=0.4,
                                faults=schedule)
+    if player.engine_selected != "fast":
+        raise ValueError("a materialized fault schedule must keep "
+                         "the fast engine")
     _, played = player.play(arrivals, buckets)
+    # Cross-engine identity: the faulted replay must be byte-identical
+    # to the DES on the same schedule -- a divergence fails the probe
+    # outright, before the across-runs comparison even happens.
+    des = OnlineTracePlayer(alloc, interval_ms=0.4,
+                            faults=schedule, engine="des")
+    _, played_des = des.play(arrivals, buckets)
+    if fingerprint(played) != fingerprint(played_des):
+        raise ValueError("faulted fast playback diverged from the "
+                         "DES on the probe schedule")
     return table + "|" + schedule.cache_token() + "|" + \
         fingerprint(played)
 

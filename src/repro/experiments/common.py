@@ -234,7 +234,8 @@ def _play_original_fast(parts: Sequence[Trace],
     """
     import numpy as np
 
-    from repro.flash.fastpath import fcfs_completion_times
+    from repro.flash.batch import stacked_fcfs_completion_times, \
+        stream_offsets
     from repro.flash.params import FlashParams
 
     series = IntervalSeries()
@@ -251,11 +252,13 @@ def _play_original_fast(parts: Sequence[Trace],
     issue = arrival[order]
     device = device[order]
     part_idx = part_idx[order]
+    # All devices evaluated as one stacked Lindley computation
+    # (per-stream bit-identical to fcfs_completion_times).
+    grouping, offsets = stream_offsets(device, n_devices)
+    u = issue[grouping]
     response = np.empty(issue.size, dtype=np.float64)
-    for d in range(n_devices):
-        mask = device == d
-        u = issue[mask]
-        response[mask] = fcfs_completion_times(u, service) - u
+    response[grouping] = \
+        stacked_fcfs_completion_times(u, offsets, service) - u
     for p in np.unique(part_idx):
         series.stats(int(p)).record_array(response[part_idx == p])
     if obs.ACTIVE:

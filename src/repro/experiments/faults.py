@@ -32,6 +32,7 @@ from repro.allocation import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.faults import FaultSchedule
+from repro.flash.batch import played_metrics
 from repro.flash.driver import OnlineTracePlayer
 from repro.flash.params import MSR_SSD_PARAMS
 from repro.runner import Cell, ParallelRunner
@@ -75,18 +76,7 @@ def _cell_faults(scheme: str, n_failed: int, n_requests: int,
     buckets = [i % alloc.n_buckets for i in range(n_requests)]
     _, played = player.play(arrivals, buckets)
     guarantee = player.accesses * MSR_SSD_PARAMS.read_ms
-    served = [p for p in played if not p.rejected and not p.failed]
-    failed = sum(1 for p in played if p.failed)
-    violations = failed + sum(
-        1 for p in served if p.io.response_ms > guarantee + 1e-9)
-    considered = len(served) + failed
-    avg_ms = (sum(p.io.response_ms for p in served) / len(served)
-              if served else 0.0)
-    delayed = sum(1 for p in served if p.delayed)
-    return [avg_ms,
-            100.0 * delayed / considered if considered else 0.0,
-            float(failed),
-            violations / considered if considered else 0.0]
+    return list(played_metrics(played, guarantee))
 
 
 def run(n_requests: int = 720, max_failures: int = 4,

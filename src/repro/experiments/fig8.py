@@ -12,6 +12,7 @@ Four panels per trace interval:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
@@ -38,12 +39,24 @@ PAPER_NOTES = (
 def make_parts(workload: str, scale: float, n_intervals: int,
                seed: int) -> List[Trace]:
     """Regenerate a workload model by name (cells call this in the
-    worker, so only primitives cross the process boundary)."""
+    worker, so only primitives cross the process boundary).
+
+    Memoized per process: sweep cells (e.g. the fig10 epsilon grid)
+    share one workload across many cells, and the runner's persistent
+    workers keep the cache warm, so each worker synthesizes the trace
+    once instead of once per cell.
+    """
+    return list(_make_parts_cached(workload, scale, n_intervals, seed))
+
+
+@lru_cache(maxsize=8)
+def _make_parts_cached(workload: str, scale: float, n_intervals: int,
+                       seed: int) -> Tuple[Trace, ...]:
     if workload == "exchange":
-        return exchange_like_trace(scale=scale, seed=seed,
-                                   n_intervals=n_intervals)
+        return tuple(exchange_like_trace(scale=scale, seed=seed,
+                                         n_intervals=n_intervals))
     if workload == "tpce":
-        return tpce_like_trace(scale=scale, seed=seed)
+        return tuple(tpce_like_trace(scale=scale, seed=seed))
     raise ValueError(f"unknown workload {workload!r}")
 
 

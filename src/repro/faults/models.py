@@ -45,6 +45,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -187,6 +188,16 @@ class FaultSchedule:
         self._by_module: Dict[int, List[FaultEvent]] = {}
         for e in self.events:
             self._by_module.setdefault(e.module, []).append(e)
+        #: earliest crash per module (is_dead in O(1))
+        self._crash_at: Dict[int, float] = {}
+        for e in self.events:
+            if e.kind == "crash":
+                prev = self._crash_at.get(e.module, _INF)
+                if e.start < prev:
+                    self._crash_at[e.module] = e.start
+        #: lazily built masked-set change points (see masked_at)
+        self._mask_cache: Optional[Tuple[List[float],
+                                         List[frozenset]]] = None
 
     # -- constructors -----------------------------------------------------
     @classmethod
@@ -218,8 +229,7 @@ class FaultSchedule:
 
     def is_dead(self, module: int, t: float) -> bool:
         """True once a crash of ``module`` has taken effect."""
-        return any(e.kind == "crash" and t >= e.start
-                   for e in self._by_module.get(module, ()))
+        return t >= self._crash_at.get(module, _INF)
 
     def is_down(self, module: int, t: float) -> bool:
         """True while ``module`` is unavailable (down window or dead)."""
@@ -266,9 +276,24 @@ class FaultSchedule:
 
     def masked_at(self, t: float) -> frozenset:
         """Modules failure-aware retrieval must avoid at time ``t``
-        (dead or inside a down window)."""
-        return frozenset(m for m in self._by_module
-                         if self.is_down(m, t))
+        (dead or inside a down window).
+
+        The masked set only changes at event boundaries (``active_at``
+        is right-continuous on ``[start, end)``), so it is precomputed
+        per boundary segment once and looked up by bisection -- this
+        is the driver's per-dispatch hot path.
+        """
+        if self._mask_cache is None:
+            pts = sorted({e.start for e in self.events
+                          if e.kind in ("crash", "down")} |
+                         {e.end for e in self.events
+                          if e.kind == "down" and e.end != _INF})
+            masks = [frozenset()] + [
+                frozenset(m for m in self._by_module
+                          if self.is_down(m, p)) for p in pts]
+            self._mask_cache = (pts, masks)
+        pts, masks = self._mask_cache
+        return masks[bisect_right(pts, t)]
 
     def read_error_draw(self, module: int, index: int) -> float:
         """The deterministic uniform for read attempt ``index`` on

@@ -49,12 +49,43 @@ from repro.retrieval.policy import combined_retrieval
 from repro.sim import Environment
 
 __all__ = ["BatchTracePlayer", "OnlineTracePlayer", "PlayedRequest",
-           "resolve_engine"]
+           "resolve_engine", "select_engine", "engine_tally",
+           "reset_engine_tally"]
 
 
-def resolve_engine(engine: str, module_factory=None,
-                   ftl_factory=None, faults=None) -> str:
-    """Pick the playback engine for a player configuration.
+#: process-wide tally of engine selections and fallback reasons --
+#: purely diagnostic (benches report fast-path coverage from it);
+#: never read by any simulation code
+_ENGINE_TALLY: Dict[str, int] = {}
+
+
+def engine_tally() -> Dict[str, int]:
+    """Snapshot of engine selections since the last reset.
+
+    Keys are ``"fast"``, ``"des"`` and ``"fallback.<reason>"``;
+    consumed by ``tools/bench_runner.py`` to report fast-path
+    coverage instead of guessing.
+    """
+    return dict(_ENGINE_TALLY)
+
+
+def reset_engine_tally() -> None:
+    _ENGINE_TALLY.clear()
+
+
+def _tally_engine(engine: str, reason: str) -> None:
+    _ENGINE_TALLY[engine] = _ENGINE_TALLY.get(engine, 0) + 1
+    if reason:
+        key = f"fallback.{reason}"
+        _ENGINE_TALLY[key] = _ENGINE_TALLY.get(key, 0) + 1
+    if obs.ACTIVE:
+        obs.SESSION.on_engine(engine, reason)
+
+
+def select_engine(engine: str, module_factory=None, ftl_factory=None,
+                  priority_queues: bool = False,
+                  faults=None) -> Tuple[str, str]:
+    """Pick the playback engine; returns ``(engine, fallback_reason)``.
 
     ``"auto"`` (the default everywhere) selects the closed-form fast
     path whenever the configuration is eligible (see
@@ -62,27 +93,44 @@ def resolve_engine(engine: str, module_factory=None,
     otherwise; ``"fast"`` insists and raises on ineligible
     configurations; ``"des"`` always steps the event loop.  Both
     engines produce bit-identical results on eligible configurations --
-    enforced by the property tests and the ``fastpath`` determinism
-    probe.
+    enforced by the property tests and the ``fastpath``/``faults``
+    determinism probes.
 
-    A non-empty fault schedule (:mod:`repro.faults`) makes service
-    state-dependent (down windows, retries, failovers), so faulty
-    configurations always run on the DES; an *empty* schedule injects
-    nothing and keeps fast-path eligibility.
+    Fault schedules (:mod:`repro.faults`) -- empty *or* non-empty --
+    keep the fast engine: playback is replayed event-free by
+    :class:`repro.flash.faulted.FaultedReplay`, byte-identical to the
+    DES.  Only state-dependent service hooks still fall back, and the
+    returned ``fallback_reason`` names which one (``"module_factory"``,
+    ``"ftl_factory"``, ``"priority_queues"``, or ``"forced"`` when the
+    caller demanded ``"des"``; empty string when the fast path runs).
     """
     if engine not in ("auto", "des", "fast"):
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "des":
-        return "des"
+        return "des", "forced"
     eligible = supports_fast_playback(module_factory=module_factory,
                                       ftl_factory=ftl_factory,
+                                      priority_queues=priority_queues,
                                       faults=faults)
-    if engine == "fast" and not eligible:
+    if eligible:
+        return "fast", ""
+    if engine == "fast":
         raise ValueError(
             "fast playback requires homogeneous constant-latency FCFS "
-            "modules (no module_factory, no ftl_factory, no fault "
-            "schedule)")
-    return "fast" if eligible else "des"
+            "modules (no module_factory, no ftl_factory, no priority "
+            "queues); fault schedules are fine")
+    if module_factory is not None:
+        return "des", "module_factory"
+    if ftl_factory is not None:
+        return "des", "ftl_factory"
+    return "des", "priority_queues"
+
+
+def resolve_engine(engine: str, module_factory=None,
+                   ftl_factory=None, faults=None) -> str:
+    """:func:`select_engine` without the reason (compatibility API)."""
+    return select_engine(engine, module_factory=module_factory,
+                         ftl_factory=ftl_factory, faults=faults)[0]
 
 
 def _collect_series(played: Sequence["PlayedRequest"]) -> IntervalSeries:
@@ -188,8 +236,8 @@ class BatchTracePlayer:
         Optional :class:`repro.faults.FaultSchedule`.  Dead and down
         modules are masked out of every batch's candidate sets at the
         batch instant (failure-aware retrieval); buckets with no live
-        replica fail as ``"unavailable"``.  A non-empty schedule
-        forces the DES engine.
+        replica fail as ``"unavailable"``.  Faulted playback replays
+        on the fast engine, byte-identical to the DES.
     """
 
     def __init__(self, allocation: AllocationScheme, interval_ms: float,
@@ -208,9 +256,13 @@ class BatchTracePlayer:
         #: flash-vs-HDD motivation ablation)
         self.module_factory = module_factory
         self.faults = faults
-        self.engine = resolve_engine(engine,
-                                     module_factory=module_factory,
-                                     faults=faults)
+        self.engine, self.fallback_reason = select_engine(
+            engine, module_factory=module_factory, faults=faults)
+
+    @property
+    def engine_selected(self) -> str:
+        """The engine this player's configuration resolved to."""
+        return self.engine
 
     def _schedule(self, candidates, carry):
         """Device assignment for one interval batch.
@@ -260,6 +312,7 @@ class BatchTracePlayer:
         if reads is not None and not all(reads):
             raise ValueError("BatchTracePlayer is read-only; use "
                              "OnlineTracePlayer for writes")
+        _tally_engine(self.engine, self.fallback_reason)
         if self.engine == "fast":
             return self._play_fast(arrivals, buckets)
         env = Environment()
@@ -328,8 +381,18 @@ class BatchTracePlayer:
                    ) -> Tuple[IntervalSeries, List[PlayedRequest]]:
         """Closed-form batch playback: the busy-until recurrence IS the
         module behaviour when service times are constant, so the DES
-        adds nothing -- same scheduling decisions, same floats."""
+        adds nothing -- same scheduling decisions, same floats.  Under
+        a fault schedule the scheduling loop is unchanged (the mirror
+        is fault-independent by construction) and service runs through
+        :class:`repro.flash.faulted.FaultedReplay` instead of the
+        mirror arithmetic."""
         params = self.params or FlashParams()
+        replay = None
+        if self.faults is not None and len(self.faults):
+            from repro.flash.faulted import FaultedReplay
+
+            replay = FaultedReplay(self.faults,
+                                   self.allocation.n_devices, params)
         groups = _group_by_interval(arrivals, self.interval_ms)
         played: List[PlayedRequest] = []
         service = params.read_ms
@@ -340,23 +403,51 @@ class BatchTracePlayer:
             batch_time = start
             if any(arrivals[i] > start + 1e-9 for i in member):
                 batch_time = (idx + 1) * self.interval_ms
-            cands = [self.allocation.devices_for(int(buckets[i]))
-                     for i in member]
+            masked = self.faults.masked_at(batch_time) \
+                if self.faults is not None else None
+            live_member: List[int] = []
+            cands = []
+            for i in member:
+                cs = self.allocation.devices_for(int(buckets[i]))
+                if masked:
+                    live = tuple(d for d in cs if d not in masked)
+                    if not live:
+                        io = _unavailable_io(float(arrivals[i]),
+                                             int(buckets[i]),
+                                             batch_time)
+                        played.append(PlayedRequest(
+                            io=io, interval=idx, index=i,
+                            delayed=False))
+                        continue
+                    cs = live
+                live_member.append(i)
+                cands.append(cs)
+            if not live_member:
+                continue
             carry = [max(0.0, b - batch_time) / service
                      for b in busy_until]
             schedule = self._schedule(cands, carry)
-            for i, dev in zip(member, schedule.assignment):
+            for i, dev in zip(live_member, schedule.assignment):
                 io = IORequest(arrival=float(arrivals[i]),
                                bucket=int(buckets[i]))
-                io.device = dev
-                io.issued_at = batch_time
-                io.enqueued_at = batch_time
-                io.started_at = max(busy_until[dev], batch_time)
-                busy_until[dev] = io.started_at + service
-                io.completed_at = busy_until[dev]
+                if replay is not None:
+                    # Batch issues have no failover (as in the DES
+                    # batch driver): candidates stay None.
+                    replay.submit_read(io, dev, batch_time, batch_time)
+                    busy_until[dev] = max(busy_until[dev],
+                                          batch_time) + service
+                else:
+                    io.device = dev
+                    io.issued_at = batch_time
+                    io.enqueued_at = batch_time
+                    io.started_at = max(busy_until[dev], batch_time)
+                    busy_until[dev] = io.started_at + service
+                    io.completed_at = busy_until[dev]
                 played.append(PlayedRequest(
                     io=io, interval=idx, index=i,
-                    delayed=io.issued_at > io.arrival + 1e-9))
+                    delayed=batch_time > io.arrival + 1e-9))
+        if replay is not None:
+            replay.run()
         return _finish_play(played, self.allocation.n_devices,
                             self.interval_ms)
 
@@ -444,14 +535,20 @@ class OnlineTracePlayer:
         #: the driver fails over to the next live replica (with the
         #: schedule's retry/backoff policy) when an issued request
         #: comes back failed, and writes go to the live replicas only.
-        #: A non-empty schedule forces the DES engine; under faults
-        #: the busy-until mirror is a placement heuristic, not an
-        #: exact model (which is the point of degraded mode).
+        #: Faulted playback keeps the fast engine: the busy-until
+        #: mirror drives placement exactly as in the DES (it is never
+        #: updated from fault outcomes) and service replays through
+        #: :class:`repro.flash.faulted.FaultedReplay`.
         self.faults = faults
-        self.engine = resolve_engine(engine,
-                                     module_factory=module_factory,
-                                     ftl_factory=ftl_factory,
-                                     faults=faults)
+        self.engine, self.fallback_reason = select_engine(
+            engine, module_factory=module_factory,
+            ftl_factory=ftl_factory, faults=faults)
+        self._replay = None
+
+    @property
+    def engine_selected(self) -> str:
+        """The engine this player's configuration resolved to."""
+        return self.engine
 
     def _make_admission(self):
         if self.admission == "exact":
@@ -499,11 +596,17 @@ class OnlineTracePlayer:
                     "tenant budgets require an aligned apps sequence")
         is_read = ([True] * len(buckets) if reads is None
                    else [bool(r) for r in reads])
+        _tally_engine(self.engine, self.fallback_reason)
         fast = self.engine == "fast"
         if fast:
             env = None
             array = None
             params = self.params or FlashParams()
+            if self.faults is not None and len(self.faults):
+                from repro.flash.faulted import FaultedReplay
+
+                self._replay = FaultedReplay(
+                    self.faults, self.allocation.n_devices, params)
         else:
             env = Environment()
             array = FlashArray(env, self.allocation.n_devices, self.params,
@@ -597,6 +700,9 @@ class OnlineTracePlayer:
         if fast:
             while heap:
                 process_now(heap[0][0])
+            if self._replay is not None:
+                self._replay.run()
+                self._replay = None
         else:
             def run():
                 while heap:
@@ -695,14 +801,22 @@ class OnlineTracePlayer:
         started = max(busy_until[dev], issue_at)
         busy_until[dev] = started + service
         if array is None:
-            # Fast engine: with constant service times the busy-until
-            # mirror *is* the module, so fill the timestamps directly
-            # (same max, same single addition as the service loop).
-            io.device = dev
-            io.issued_at = issue_at
-            io.enqueued_at = issue_at
-            io.started_at = started
-            io.completed_at = busy_until[dev]
+            if self._replay is not None:
+                # Faulted fast engine: placement above is final (the
+                # mirror ignores fault outcomes, as in the DES); the
+                # replay serves the queue after the driver loop ends.
+                self._replay.submit_read(io, dev, issue_at, t,
+                                         candidates=candidates)
+            else:
+                # Fast engine: with constant service times the
+                # busy-until mirror *is* the module, so fill the
+                # timestamps directly (same max, same single addition
+                # as the service loop).
+                io.device = dev
+                io.issued_at = issue_at
+                io.enqueued_at = issue_at
+                io.started_at = started
+                io.completed_at = busy_until[dev]
         else:
             array.env.process(
                 self._issue_process(array, io, dev, issue_at,
@@ -818,7 +932,10 @@ class OnlineTracePlayer:
             busy_until[d] = max(busy_until[d], issue_at) + write_service
         if array is None:
             master.issued_at = issue_at
-            master.completed_at = max(busy_until[d] for d in devices)
+            if self._replay is not None:
+                self._replay.submit_write(master, devices, issue_at, t)
+            else:
+                master.completed_at = max(busy_until[d] for d in devices)
         else:
             array.env.process(
                 self._write_process(array, master, devices, issue_at))

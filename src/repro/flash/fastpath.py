@@ -35,6 +35,15 @@ constant-latency FCFS: an FTL (garbage-collection erase stalls), a
 custom module type (HDD, channel geometry) or priority queues make
 service times state-dependent, and the drivers fall back to the DES --
 see :func:`supports_fast_playback`.
+
+Fault schedules do **not** disqualify the fast path.  A schedule is
+fully materialised before playback (:mod:`repro.faults`), so faulted
+service is still a closed-form function of the submission order: the
+request stream is segmented at fault boundaries and replayed by
+:class:`repro.flash.faulted.FaultedReplay` -- scalar through fault
+windows (exact ``_serve_faulty`` arithmetic, counter-based error
+draws), vectorized Lindley everywhere else -- byte-identical to the
+DES.
 """
 
 from __future__ import annotations
@@ -51,17 +60,23 @@ def supports_fast_playback(module_factory=None, ftl_factory=None,
                            faults=None) -> bool:
     """True when playback is computable in closed form.
 
-    Any hook that makes per-request service time state-dependent --
-    a custom module type (``module_factory``: HDD seek/rotation,
-    channel-bus geometry), an FTL whose garbage collection stalls the
-    module, priority scheduling, or a non-empty fault schedule
-    (:class:`repro.faults.FaultSchedule`: crashes, down windows,
-    latency degradation, read errors) -- disqualifies the closed
-    form; the drivers then run the DES.  An *empty* schedule injects
-    nothing and keeps the fast path eligible.
+    Any hook that makes per-request service time depend on *hidden
+    simulation state* -- a custom module type (``module_factory``: HDD
+    seek/rotation, channel-bus geometry), an FTL whose garbage
+    collection stalls the module, or priority scheduling --
+    disqualifies the closed form; the drivers then run the DES.
+
+    A fault schedule (:class:`repro.faults.FaultSchedule`: crashes,
+    down windows, latency degradation, read errors) does **not**: it
+    is fully materialised before playback, so faulted service is a
+    pure function of the submission order and the schedule, replayed
+    event-free by :class:`repro.flash.faulted.FaultedReplay`.  The
+    ``faults`` argument is retained for signature stability (and so
+    future fault kinds can opt out of the fast path).
     """
+    del faults  # crash/down/slow/read_error schedules replay exactly
     return (module_factory is None and ftl_factory is None
-            and not priority_queues and not faults)
+            and not priority_queues)
 
 
 def _sequential_completions(issue_ms: np.ndarray,

@@ -244,14 +244,19 @@ class IntervalSeries:
 
     def record(self, interval: int, response_ms: float,
                delay_ms: float = 0.0) -> None:
-        self._stats.setdefault(interval, ResponseStats()).record(
-            response_ms, delay_ms)
+        st = self._stats.get(interval)
+        if st is None:
+            st = self._stats[interval] = ResponseStats()
+        st.record(response_ms, delay_ms)
 
     def intervals(self) -> List[int]:
         return sorted(self._stats)
 
     def stats(self, interval: int) -> ResponseStats:
-        return self._stats.setdefault(interval, ResponseStats())
+        st = self._stats.get(interval)
+        if st is None:
+            st = self._stats[interval] = ResponseStats()
+        return st
 
     def series(self, attr: str) -> Tuple[List[int], List[float]]:
         """``(interval_indices, values)`` for a ResponseStats attribute."""

@@ -97,11 +97,25 @@ class ObsSession:
         ``kind`` is a short slug -- ``read_error``, ``read_retry``,
         ``failover``, ``unavailable``, ``dead_module``, ``down_wait``,
         ``slow_service``, ``degraded_write`` -- landing on the
-        ``faults.{kind}`` counter.
-        Only faulty configurations (which always run on the DES) emit
-        these, so healthy cross-engine payload identity is unaffected.
+        ``faults.{kind}`` counter.  Both engines emit these (the DES
+        module/driver fault paths and the
+        :class:`repro.flash.faulted.FaultedReplay` mirror) with
+        identical counts, so they live in the engine-compared request
+        section like every other request-derived metric.
         """
         self.registry.counter(f"faults.{kind}").inc(count)
+
+    def on_engine(self, engine: str, reason: str = "") -> None:
+        """One playback engine selection by a trace player.
+
+        Lands in the *kernel* (engine-specific) section by design:
+        ``engine.fast`` / ``engine.des`` counters plus
+        ``engine.fallback.{reason}`` naming why the fast path was
+        declined -- benches report fast-path coverage from these.
+        """
+        self.kernel.counter(f"engine.{engine}").inc()
+        if reason:
+            self.kernel.counter(f"engine.fallback.{reason}").inc()
 
     # -- request-side hooks (engine-independent) -------------------------
     def observe_request(self, pr) -> None:

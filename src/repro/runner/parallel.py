@@ -16,12 +16,35 @@ identical either way because
 
 The ``repro.check`` determinism probe ``runner`` double-runs a
 jobs=1-vs-jobs=2 comparison to enforce this bit-for-bit.
+
+Scaling notes (what makes the pool actually pay off):
+
+* **Persistent workers** -- pools are process-wide and reused across
+  :meth:`ParallelRunner.run` calls, so worker spawn and module import
+  cost is paid once per process, not once per experiment.
+* **Chunked submission** -- cells ship to workers in contiguous
+  chunks (one pickling round-trip per chunk, not per cell); per-cell
+  wall times are measured inside the worker and shipped back with the
+  values.
+* **Shared-memory ndarrays** -- large arrays in results move through
+  ``multiprocessing.shared_memory`` instead of the result pipe; only
+  a small handle is pickled.
+* **Auto-degrade** -- ``jobs`` above the host's CPU count is clamped,
+  and workloads too cheap to amortize dispatch overhead (estimated
+  from a serial probe of the first cell) run serially, each with a
+  one-line logged notice.  Degrading never changes results, only
+  where cells run.
 """
 
 from __future__ import annotations
 
+import atexit
+import logging
+import math
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +54,15 @@ from repro import obs
 from repro.runner.cache import ResultCache
 
 __all__ = ["Cell", "ParallelRunner", "spawn_seeds"]
+
+logger = logging.getLogger("repro.runner")
+
+#: ndarrays at or above this many bytes travel via shared memory
+SHM_MIN_BYTES = 1 << 16
+#: estimated per-run pool dispatch overhead (seconds) used by the
+#: auto-degrade heuristic: if the serially-probed estimate of the
+#: remaining work is below this, the pool cannot win
+MIN_PARALLEL_SECONDS = 0.25
 
 
 def spawn_seeds(root_seed: int, n: int) -> List[int]:
@@ -73,17 +105,137 @@ class Cell:
         return {"args": list(self.args), "kwargs": dict(self.kwargs)}
 
 
+# -- persistent worker pools ----------------------------------------------
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide pool for ``workers``, created on first use.
+
+    Reusing pools across runs is most of the scaling win: worker
+    spawn + interpreter warm-up is paid once per process lifetime.
+    """
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - process teardown
+    for workers in list(_POOLS):
+        _discard_pool(workers)
+
+
+# -- shared-memory result transport ---------------------------------------
+
+class _ShmArray:
+    """Picklable handle to an ndarray parked in shared memory."""
+
+    __slots__ = ("name", "dtype", "shape")
+
+    def __init__(self, name: str, dtype: str, shape: Tuple[int, ...]):
+        self.name = name
+        self.dtype = dtype
+        self.shape = shape
+
+    def __getstate__(self):
+        return (self.name, self.dtype, self.shape)
+
+    def __setstate__(self, state):
+        self.name, self.dtype, self.shape = state
+
+
+def _shm_supported() -> bool:
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+        return True
+    except ImportError:  # pragma: no cover - py<3.8 only
+        return False
+
+
+def _encode_result(value: Any) -> Any:
+    """Recursively move large ndarrays into shared memory.
+
+    Returns a structurally identical value with big arrays replaced
+    by :class:`_ShmArray` handles; the parent reconstructs (and
+    unlinks) them in :func:`_decode_result`.  Small arrays and
+    non-array values pickle as-is.
+    """
+    if isinstance(value, np.ndarray) and \
+            value.nbytes >= SHM_MIN_BYTES and _shm_supported():
+        from multiprocessing import shared_memory
+
+        arr = np.ascontiguousarray(value)
+        shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        try:
+            view = np.ndarray(arr.shape, dtype=arr.dtype,
+                              buffer=shm.buf)
+            view[...] = arr
+            handle = _ShmArray(shm.name, arr.dtype.str, arr.shape)
+        finally:
+            shm.close()  # parent unlinks after reattaching
+        try:
+            # Ownership moves to the parent (which unlinks); without
+            # this the creator's resource tracker warns at exit about
+            # a segment that is already gone.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals
+            pass
+        return handle
+    if isinstance(value, tuple):
+        return tuple(_encode_result(v) for v in value)
+    if isinstance(value, list):
+        return [_encode_result(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _encode_result(v) for k, v in value.items()}
+    return value
+
+
+def _decode_result(value: Any) -> Any:
+    """Reattach :class:`_ShmArray` handles and release their blocks."""
+    if isinstance(value, _ShmArray):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=value.name)
+        try:
+            out = np.ndarray(value.shape, dtype=np.dtype(value.dtype),
+                             buffer=shm.buf).copy()
+        finally:
+            shm.close()
+            shm.unlink()
+        return out
+    if isinstance(value, tuple):
+        return tuple(_decode_result(v) for v in value)
+    if isinstance(value, list):
+        return [_decode_result(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _decode_result(v) for k, v in value.items()}
+    return value
+
+
+# -- worker entry points ---------------------------------------------------
+
 def _execute(fn: Callable[..., Any], args: Tuple[Any, ...],
              kwargs: Dict[str, Any]) -> Any:
-    """Worker entry point (module-level so it pickles)."""
+    """In-process cell execution."""
     return fn(*args, **kwargs)
 
 
 def _execute_observed(fn: Callable[..., Any], args: Tuple[Any, ...],
                       kwargs: Dict[str, Any],
                       ) -> Tuple[Any, Dict[str, Any]]:
-    """Observed worker entry point: run the cell inside its own obs
-    session and ship the payload back with the result.
+    """In-process cell execution inside its own obs session.
 
     Used for serial execution too, so serial and pooled runs fold the
     exact same per-cell payloads into the parent session.
@@ -93,17 +245,45 @@ def _execute_observed(fn: Callable[..., Any], args: Tuple[Any, ...],
     return value, session.to_payload()
 
 
+def _execute_chunk(items: List[Tuple[Callable[..., Any],
+                                     Tuple[Any, ...],
+                                     Dict[str, Any]]],
+                   observing: bool,
+                   ) -> List[Tuple[Any, Optional[Dict[str, Any]],
+                                   float]]:
+    """Worker entry point: run a contiguous chunk of cells.
+
+    One pickling round-trip carries the whole chunk; each entry comes
+    back as ``(encoded_value, obs_payload_or_None, seconds)``.
+    """
+    out = []
+    for fn, args, kwargs in items:
+        t0 = time.perf_counter()  # repro: allow[wall-clock]
+        if observing:
+            value, payload = _execute_observed(fn, args, kwargs)
+        else:
+            value, payload = _execute(fn, args, kwargs), None
+        seconds = time.perf_counter() - t0  # repro: allow[wall-clock]
+        out.append((_encode_result(value), payload, seconds))
+    return out
+
+
 class ParallelRunner:
-    """Run cells serially (``jobs=1``) or across a process pool.
+    """Run cells serially (``jobs=1``) or across a persistent pool.
 
     Parameters
     ----------
     jobs:
         Worker process count; ``1`` runs in-process (no pool, no
-        pickling round-trip) but computes the *same* results.
+        pickling round-trip) but computes the *same* results.  Values
+        above the host CPU count are clamped (with a logged notice).
     cache:
         Optional :class:`~repro.runner.cache.ResultCache`; cached
         cells are answered without executing anything.
+    auto_degrade:
+        When True (default), workloads too cheap to amortize pool
+        dispatch run serially instead, with a logged notice.  The
+        determinism probes and benches pass False to force the pool.
 
     Attributes
     ----------
@@ -111,15 +291,40 @@ class ParallelRunner:
         ``(experiment, cell_name, seconds, from_cache)`` per cell of
         the most recent :meth:`run` calls (appended across calls;
         consumed by ``tools/bench_runner.py``).
+    notices:
+        One-line degrade decisions from the most recent runs (also
+        logged on the ``repro.runner`` logger).
     """
 
     def __init__(self, jobs: int = 1,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 auto_degrade: bool = True):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        self.auto_degrade = auto_degrade
         self.timings: List[Tuple[str, str, float, bool]] = []
+        self.notices: List[str] = []
+
+    # -- degrade decisions -------------------------------------------------
+
+    def _notice(self, message: str) -> None:
+        self.notices.append(message)
+        logger.info(message)
+
+    def _effective_jobs(self, n_pending: int) -> int:
+        """Clamp ``jobs`` to the host and the work list."""
+        jobs = self.jobs
+        cpus = os.cpu_count() or 1
+        if self.auto_degrade and jobs > cpus:
+            self._notice(
+                f"runner: requested jobs={jobs} exceeds {cpus} "
+                f"available CPUs; degrading to jobs={cpus}")
+            jobs = cpus
+        return min(jobs, n_pending)
+
+    # -- execution ---------------------------------------------------------
 
     def run(self, cells: Sequence[Cell]) -> List[Any]:
         """Execute ``cells``; returns results in submission order.
@@ -150,29 +355,87 @@ class ParallelRunner:
             pending.append((i, cell, key))
         if not pending:
             return results
-        worker = _execute_observed if observing else _execute
-        if self.jobs == 1 or len(pending) == 1:
-            for i, cell, key in pending:
-                t0 = time.perf_counter()  # repro: allow[wall-clock]
-                value = worker(cell.fn, cell.args, dict(cell.kwargs))
-                self._finish(results, i, cell, key, value,
-                             time.perf_counter() - t0,  # repro: allow[wall-clock]
-                             observing)
-        else:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                submitted = []
-                for i, cell, key in pending:
-                    t0 = time.perf_counter()  # repro: allow[wall-clock]
-                    fut = pool.submit(worker, cell.fn, cell.args,
-                                      dict(cell.kwargs))
-                    submitted.append((i, cell, key, t0, fut))
-                for i, cell, key, t0, fut in submitted:
-                    value = fut.result()
-                    self._finish(results, i, cell, key, value,
-                                 time.perf_counter() - t0,  # repro: allow[wall-clock]
-                                 observing)
+        jobs = self._effective_jobs(len(pending))
+        if jobs <= 1:
+            self._run_serial(results, pending, observing)
+            return results
+        if self.auto_degrade:
+            # Serial probe: the first cell runs in-process; if it
+            # suggests the remaining work is too cheap to amortize
+            # pool dispatch, stay serial.
+            i, cell, key = pending[0]
+            seconds = self._run_one(results, i, cell, key, observing)
+            rest = pending[1:]
+            if not rest:
+                return results
+            estimate = seconds * len(rest)
+            if estimate < MIN_PARALLEL_SECONDS:
+                self._notice(
+                    f"runner: estimated {estimate:.3f}s of remaining "
+                    f"work ({len(rest)} cells at ~{seconds:.4f}s) is "
+                    f"too cheap to amortize pool dispatch; running "
+                    f"serially")
+                self._run_serial(results, rest, observing)
+                return results
+            pending = rest
+        self._run_pool(results, pending, observing, jobs)
         return results
+
+    def _run_one(self, results: List[Any], i: int, cell: Cell,
+                 key: Optional[str], observing: bool) -> float:
+        worker = _execute_observed if observing else _execute
+        t0 = time.perf_counter()  # repro: allow[wall-clock]
+        value = worker(cell.fn, cell.args, dict(cell.kwargs))
+        seconds = time.perf_counter() - t0  # repro: allow[wall-clock]
+        self._finish(results, i, cell, key, value, seconds, observing)
+        return seconds
+
+    def _run_serial(self, results: List[Any],
+                    pending: Sequence[Tuple[int, Cell, Optional[str]]],
+                    observing: bool) -> None:
+        for i, cell, key in pending:
+            self._run_one(results, i, cell, key, observing)
+
+    def _run_pool(self, results: List[Any],
+                  pending: Sequence[Tuple[int, Cell, Optional[str]]],
+                  observing: bool, jobs: int) -> None:
+        """Chunked submission to the persistent pool.
+
+        Contiguous chunks keep submission order trivially
+        reconstructable; several chunks per worker smooth over uneven
+        cell costs.
+        """
+        chunk_size = max(1, math.ceil(len(pending) / (jobs * 4)))
+        chunks = [pending[a:a + chunk_size]
+                  for a in range(0, len(pending), chunk_size)]
+        payloads = [
+            [(cell.fn, cell.args, dict(cell.kwargs))
+             for _, cell, _ in chunk]
+            for chunk in chunks]
+        try:
+            pool = _pool(jobs)
+            futures = [pool.submit(_execute_chunk, payload, observing)
+                       for payload in payloads]
+            outcomes = [f.result() for f in futures]
+        except BrokenProcessPool:
+            # A worker died (OOM, signal): discard the pool and fall
+            # back to a correct-but-serial pass over this work list.
+            _discard_pool(jobs)
+            self._notice(
+                "runner: worker pool broke mid-run; re-running the "
+                "work list serially")
+            self._run_serial(results, pending, observing)
+            return
+        # Fold in submission order: chunks are contiguous slices of
+        # `pending`, so iterating them in order restores it.
+        for chunk, outcome in zip(chunks, outcomes):
+            for (i, cell, key), (value, payload, seconds) in zip(
+                    chunk, outcome):
+                value = _decode_result(value)
+                if observing and payload is not None:
+                    value = (value, payload)
+                self._finish(results, i, cell, key, value, seconds,
+                             observing)
 
     def _finish(self, results: List[Any], i: int, cell: Cell,
                 key: Optional[str], value: Any, seconds: float,

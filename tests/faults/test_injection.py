@@ -21,17 +21,28 @@ def _round_robin(alloc, n=120, gap=0.3):
 
 
 class TestEngineFallback:
-    def test_faulty_configs_fall_back_to_des(self):
-        assert resolve_engine("auto", faults=crash_schedule(0)) == "des"
+    def test_faulty_configs_keep_fast_path(self):
+        # Fault schedules are materialised before playback, so the
+        # replay engine handles them without falling back to the DES.
+        assert resolve_engine("auto", faults=crash_schedule(0)) == "fast"
 
     def test_empty_schedule_keeps_fast_path(self):
         assert resolve_engine("auto", faults=FaultSchedule.none()) \
             == "fast"
         assert resolve_engine("auto", faults=None) == "fast"
 
-    def test_fast_refuses_faults(self):
-        with pytest.raises(ValueError, match="fault"):
-            resolve_engine("fast", faults=crash_schedule(0))
+    def test_fast_accepts_faults(self):
+        assert resolve_engine("fast", faults=crash_schedule(0)) == "fast"
+
+    def test_module_factory_still_falls_back(self):
+        from repro.flash.driver import select_engine
+
+        engine, reason = select_engine(
+            "auto", module_factory=object(), faults=crash_schedule(0))
+        assert engine == "des"
+        assert reason == "module_factory"
+        with pytest.raises(ValueError):
+            select_engine("fast", module_factory=object())
 
 
 class TestFailureAwareScheduling:

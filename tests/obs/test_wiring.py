@@ -75,9 +75,12 @@ class TestEngineIdentity:
         fast = play_observed(alloc, "fast", arrivals, buckets, reads)
         assert fast["kernel"]["live_opened"] == 0
         # No DES accounting on the fast path; retrieval-kernel cache
-        # counters are engine-agnostic and allowed in either section.
+        # and engine-selection counters are engine-specific by design
+        # and allowed in the kernel section.
         counters = fast["kernel"]["metrics"]["counters"]
-        assert all(name.startswith("kernels.") for name in counters)
+        assert all(name.startswith(("kernels.", "engine."))
+                   for name in counters)
+        assert counters.get("engine.fast", 0) == 1
 
     def test_series_populated_and_consistent(self, alloc):
         rng = np.random.default_rng(29)

@@ -92,3 +92,123 @@ class TestCellIdentity:
     def test_params_canonicalized(self):
         cell = Cell("t", "c", _square_plus, (1, 2), {"k": 3})
         assert cell.params() == {"args": [1, 2], "kwargs": {"k": 3}}
+
+
+class TestAutoDegrade:
+    def test_jobs_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.runner.parallel.os.cpu_count",
+                            lambda: 2)
+        runner = ParallelRunner(jobs=64)
+        cells = [Cell("t", f"c{i}", _square_plus, (i,))
+                 for i in range(4)]
+        out = runner.run(cells)
+        assert out == [0, 1, 4, 9]
+        assert any("exceeds 2 available CPUs" in n
+                   for n in runner.notices)
+
+    def test_cheap_work_degrades_to_serial(self, monkeypatch):
+        # cells finish in microseconds, so the serial probe of the
+        # first cell must conclude the pool cannot pay off
+        monkeypatch.setattr("repro.runner.parallel.os.cpu_count",
+                            lambda: 8)
+        runner = ParallelRunner(jobs=4)
+        cells = [Cell("t", f"c{i}", _square_plus, (i,))
+                 for i in range(6)]
+        out = runner.run(cells)
+        assert out == [i * i for i in range(6)]
+        assert any("too cheap to amortize" in n
+                   for n in runner.notices)
+
+    def test_auto_degrade_off_forces_pool(self):
+        runner = ParallelRunner(jobs=2, auto_degrade=False)
+        cells = [Cell("t", f"c{i}", _square_plus, (i,))
+                 for i in range(4)]
+        assert runner.run(cells) == [0, 1, 4, 9]
+        assert runner.notices == []
+
+    def test_notices_are_logged(self, monkeypatch, caplog):
+        import logging
+
+        monkeypatch.setattr("repro.runner.parallel.os.cpu_count",
+                            lambda: 1)
+        with caplog.at_level(logging.INFO, logger="repro.runner"):
+            ParallelRunner(jobs=3).run(
+                [Cell("t", "c", _square_plus, (2,))])
+        assert any("degrading to jobs=1" in r.message
+                   for r in caplog.records)
+
+
+def _big_payload(n):
+    """Result large enough to take the shared-memory route."""
+    import numpy as np
+
+    return {"rows": np.arange(n, dtype=np.float64),
+            "nested": [np.ones(n), ("tag", np.zeros(3))],
+            "scalar": 7}
+
+
+class TestSharedMemoryTransport:
+    def test_encode_decode_round_trip(self):
+        import numpy as np
+
+        from repro.runner.parallel import (SHM_MIN_BYTES,
+                                           _decode_result,
+                                           _encode_result, _ShmArray)
+
+        value = _big_payload(SHM_MIN_BYTES // 8 + 1)
+        encoded = _encode_result(value)
+        assert isinstance(encoded["rows"], _ShmArray)
+        assert isinstance(encoded["nested"][0], _ShmArray)
+        # small arrays and scalars pickle as-is
+        assert isinstance(encoded["nested"][1][1], np.ndarray)
+        assert encoded["scalar"] == 7
+        decoded = _decode_result(encoded)
+        assert np.array_equal(decoded["rows"], value["rows"])
+        assert np.array_equal(decoded["nested"][0],
+                              value["nested"][0])
+        assert decoded["nested"][1] == ("tag", value["nested"][1][1])
+
+    def test_large_results_cross_the_pool(self):
+        import numpy as np
+
+        from repro.runner.parallel import SHM_MIN_BYTES
+
+        n = SHM_MIN_BYTES // 8 + 5
+        cells = [Cell("t", f"c{i}", _big_payload, (n,))
+                 for i in range(3)]
+        out = ParallelRunner(jobs=2, auto_degrade=False).run(cells)
+        for got in out:
+            assert np.array_equal(got["rows"],
+                                  np.arange(n, dtype=np.float64))
+            assert got["scalar"] == 7
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_runs(self):
+        from repro.runner import parallel
+
+        runner = ParallelRunner(jobs=2, auto_degrade=False)
+        cells = [Cell("t", f"c{i}", _square_plus, (i,))
+                 for i in range(4)]
+        runner.run(cells)
+        pool = parallel._POOLS.get(2)
+        assert pool is not None
+        runner.run(cells)
+        assert parallel._POOLS.get(2) is pool
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runner import parallel
+
+        class _BrokenPool:
+            def submit(self, *a, **k):
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(parallel, "_pool",
+                            lambda workers: _BrokenPool())
+        runner = ParallelRunner(jobs=2, auto_degrade=False)
+        cells = [Cell("t", f"c{i}", _square_plus, (i,))
+                 for i in range(4)]
+        assert runner.run(cells) == [0, 1, 4, 9]
+        assert any("pool broke mid-run" in n for n in runner.notices)

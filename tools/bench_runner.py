@@ -1,28 +1,38 @@
 #!/usr/bin/env python3
 """Benchmark the parallel experiment engine and the playback fast path.
 
-Measures three things and writes ``BENCH_runner.json`` at the repo
+Measures five things and writes ``BENCH_runner.json`` at the repo
 root (schema below):
 
 1. **engine**: the vectorized constant-latency playback vs the DES on
-   the Figure 8 Exchange workload at its default scale -- the ISSUE's
-   ``>= 10x`` criterion.
-2. **harness serial vs parallel**: every experiment's cells through
+   the Figure 8 Exchange workload -- the original ``>= 10x`` criterion.
+2. **faulted**: faulted playback (crash/down/slow/read_error schedule)
+   through the :class:`repro.flash.faulted.FaultedReplay` fast path vs
+   the current DES vs a *PR-6-equivalent* DES (linear-scan fault masks,
+   the pre-optimization baseline), with a byte-identity cross-check.
+3. **sweep**: the fault-injection experiment grid (15 cells) serial vs
+   chunked-parallel through the persistent pool, rows identical.
+4. **harness serial vs parallel**: every experiment's cells through
    ``ParallelRunner(jobs=1)`` and ``ParallelRunner(jobs=N)``
-   (uncached both times), asserting identical rows.
-3. **cache**: a warm rerun against a fresh on-disk cache.
+   (uncached both times, pool forced), asserting identical rows; also
+   reports fast-path coverage from the engine tally.
+5. **cache**: a warm rerun against a fresh on-disk cache.
 
 Run after engine or runner changes::
 
-    PYTHONPATH=src python tools/bench_runner.py [--jobs N] [--full]
+    PYTHONPATH=src python tools/bench_runner.py [--jobs N]
+        [--scale smoke|fast|full]
+        [--min-parallel-speedup X] [--min-fastpath-coverage Y]
 
-``--fast-scale`` (default) uses the CLI's ``--fast`` workload sizes so
-the benchmark finishes in minutes; ``--full`` uses paper scale.
+``--scale fast`` (default) uses the CLI's ``--fast`` workload sizes so
+the benchmark finishes in minutes; ``smoke`` shrinks further for CI,
+where the ``--min-*`` gates turn regressions into a non-zero exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -34,18 +44,38 @@ sys.path.insert(0, str(ROOT / "src"))
 
 OUT = ROOT / "BENCH_runner.json"
 
+#: workload sizes per --scale
+SCALES = {
+    "smoke": {"fig8_scale": 0.25, "fig8_intervals": 8,
+              "fault_requests": 360, "sweep_requests": 240,
+              "sweep_failures": 3, "repeats": 2},
+    "fast": {"fig8_scale": 0.5, "fig8_intervals": 24,
+             "fault_requests": 720, "sweep_requests": 480,
+             "sweep_failures": 4, "repeats": 3},
+    "full": {"fig8_scale": 0.5, "fig8_intervals": 24,
+             "fault_requests": 2000, "sweep_requests": 720,
+             "sweep_failures": 4, "repeats": 3},
+}
 
-def bench_engine(repeats: int = 3) -> dict:
-    """DES vs fast playback on fig8's Exchange trace, default scale."""
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def bench_engine(cfg: dict) -> dict:
+    """DES vs fast playback on fig8's Exchange trace."""
     from repro.experiments.common import play_original
     from repro.experiments.fig8 import make_parts
 
-    parts = make_parts("exchange", 0.5, 24, 0)
+    parts = make_parts("exchange", cfg["fig8_scale"],
+                       cfg["fig8_intervals"], 0)
     n = sum(len(p) for p in parts)
     timings = {}
     for engine in ("des", "fast"):
         best = min(_timed(play_original, parts, 13, engine=engine)[1]
-                   for _ in range(repeats))
+                   for _ in range(cfg["repeats"]))
         timings[engine] = best
     # cross-check: both engines must agree float-exactly
     des = play_original(parts, 13, engine="des")
@@ -54,7 +84,8 @@ def bench_engine(repeats: int = 3) -> dict:
         if fast.stats(i).state() != des.stats(i).state():
             raise AssertionError("fast playback diverged from DES")
     return {
-        "workload": "fig8 exchange scale=0.5 n_intervals=24",
+        "workload": f"fig8 exchange scale={cfg['fig8_scale']} "
+                    f"n_intervals={cfg['fig8_intervals']}",
         "n_requests": n,
         "des_seconds": round(timings["des"], 6),
         "fast_seconds": round(timings["fast"], 6),
@@ -63,11 +94,175 @@ def bench_engine(repeats: int = 3) -> dict:
     }
 
 
-def _timed(fn, *args, **kwargs):
-    t0 = time.perf_counter()
-    out = fn(*args, **kwargs)
-    return out, time.perf_counter() - t0
+# -- faulted playback ------------------------------------------------------
 
+@contextlib.contextmanager
+def _pr6_baseline():
+    """Temporarily restore the PR-6 faulted-playback behavior.
+
+    PR 6 (a) resolved ``masked_at``/``is_dead`` with linear scans over
+    the schedule on every admission tick and (b) sent every non-empty
+    fault schedule to the DES -- the fast path refused faulted
+    configurations.  Patching both back in reproduces that baseline on
+    today's code, so the report shows what each optimization bought.
+    """
+    from repro.faults.models import FaultSchedule
+    from repro.flash import driver
+
+    def masked_at(self, t):
+        return frozenset(m for m in self._by_module
+                         if self.is_down(m, t))
+
+    def is_dead(self, module, t):
+        return any(e.kind == "crash" and t >= e.start
+                   for e in self._by_module.get(module, ()))
+
+    orig_supports = driver.supports_fast_playback
+
+    def supports(module_factory=None, ftl_factory=None,
+                 priority_queues=False, faults=None):
+        if faults is not None and getattr(faults, "events", ()):
+            return False
+        return orig_supports(module_factory=module_factory,
+                             ftl_factory=ftl_factory,
+                             priority_queues=priority_queues,
+                             faults=faults)
+
+    saved = FaultSchedule.masked_at, FaultSchedule.is_dead
+    FaultSchedule.masked_at, FaultSchedule.is_dead = masked_at, is_dead
+    driver.supports_fast_playback = supports
+    try:
+        yield
+    finally:
+        FaultSchedule.masked_at, FaultSchedule.is_dead = saved
+        driver.supports_fast_playback = orig_supports
+
+
+def _faulted_cell(cfg: dict, kind: str):
+    """A faulted playback cell.
+
+    ``"crash"`` mirrors the fault-injection experiment family (module
+    crashes at t=0, the schedule the sweep actually plays);
+    ``"dense"`` materializes a stochastic model with all four fault
+    kinds -- an adversarial load for the replay's event handling.
+    """
+    from repro.experiments.faults import make_allocation
+    from repro.faults import FaultModel, FaultSchedule
+
+    alloc = make_allocation("design", 9)
+    n = cfg["fault_requests"]
+    if kind == "crash":
+        schedule = FaultSchedule.crashes(range(2), n_modules=9)
+    else:
+        model = FaultModel(down_rate=0.3, down_mean_ms=2.0,
+                           slow_rate=0.3, slow_mean_ms=2.0,
+                           slow_factor=3.0, error_rate=0.3,
+                           error_mean_ms=2.0, error_prob=0.4)
+        schedule = model.materialize(9, horizon_ms=n * 0.25, seed=17)
+    arrivals = [i * 0.25 for i in range(n)]
+    buckets = [i % alloc.n_buckets for i in range(n)]
+    return alloc, schedule, arrivals, buckets
+
+
+def _play_faulted(alloc, schedule, arrivals, buckets, engine):
+    from repro.flash.driver import OnlineTracePlayer
+
+    player = OnlineTracePlayer(alloc, interval_ms=0.4,
+                               faults=schedule, engine=engine)
+    return player.play(arrivals, buckets)[1]
+
+
+def _fault_fingerprint(played):
+    return [(p.io.issued_at, p.io.started_at, p.io.completed_at,
+             p.io.device, p.io.retries, p.io.faulted, p.io.failed,
+             p.io.fail_reason, p.delayed) for p in played]
+
+
+def bench_faulted(cfg: dict) -> dict:
+    """Faulted playback: fast path vs DES vs the PR-6 baseline.
+
+    Reports the sweep-representative crash schedule and the dense
+    adversarial schedule separately: the replay wins big on the former
+    (quiet modules collapse into one vectorized flush) and roughly
+    ties the DES on the latter (every module keeps taking fault
+    events).
+    """
+    descriptions = {
+        "crash": "2 modules crashed at t=0 (the sweep's schedule)",
+        "dense": "materialized crash/down/slow/read_error model",
+    }
+    out = {}
+    for kind, what in descriptions.items():
+        args = _faulted_cell(cfg, kind)
+        timings = {}
+        for engine in ("des", "fast"):
+            timings[engine] = min(
+                _timed(_play_faulted, *args, engine)[1]
+                for _ in range(cfg["repeats"]))
+        with _pr6_baseline():
+            timings["pr6"] = min(
+                _timed(_play_faulted, *args, "des")[1]
+                for _ in range(cfg["repeats"]))
+        fast = _fault_fingerprint(_play_faulted(*args, "fast"))
+        des = _fault_fingerprint(_play_faulted(*args, "des"))
+        if fast != des:
+            raise AssertionError(
+                f"faulted fast playback diverged from DES ({kind})")
+        out[kind] = {
+            "workload": f"online design alloc, {what}, "
+                        f"n={cfg['fault_requests']}",
+            "pr6_des_seconds": round(timings["pr6"], 6),
+            "des_seconds": round(timings["des"], 6),
+            "fast_seconds": round(timings["fast"], 6),
+            "speedup_vs_des": round(
+                timings["des"] / timings["fast"], 2),
+            "speedup_vs_pr6": round(
+                timings["pr6"] / timings["fast"], 2),
+            "rows_identical": True,
+        }
+    return out
+
+
+# -- faulted sweep through the pool ----------------------------------------
+
+def bench_sweep(cfg: dict, jobs: int) -> dict:
+    """The fault-injection grid, serial vs chunked-parallel."""
+    from repro.experiments import faults as faults_exp
+    from repro.runner import ParallelRunner
+
+    def sweep(runner):
+        return faults_exp.run(n_requests=cfg["sweep_requests"],
+                              max_failures=cfg["sweep_failures"],
+                              seed=0, runner=runner).rows
+
+    serial_runner = ParallelRunner(jobs=1, cache=None)
+    serial_rows, serial_s = _timed(sweep, serial_runner)
+    # PR-6 baseline: linear fault masks, every faulted cell on the
+    # DES, no batched metrics reductions eligible.  Serial on both
+    # sides so the ratio isolates the playback/kernel work.
+    with _pr6_baseline():
+        _, pr6_s = _timed(sweep, ParallelRunner(jobs=1, cache=None))
+    pool_runner = ParallelRunner(jobs=jobs, cache=None,
+                                 auto_degrade=False)
+    pool_rows, pool_s = _timed(sweep, pool_runner)
+    if serial_rows != pool_rows:
+        raise AssertionError("parallel sweep rows diverged from serial")
+    n_cells = len(serial_rows)
+    return {
+        "workload": f"faults grid ({n_cells} cells, "
+                    f"n_requests={cfg['sweep_requests']}) -- batched "
+                    f"metrics kernel + faulted fast path",
+        "jobs": jobs,
+        "pr6_serial_seconds": round(pr6_s, 3),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(pool_s, 3),
+        "speedup": round(serial_s / pool_s, 2),
+        "speedup_vs_pr6": round(pr6_s / serial_s, 2),
+        "rows_identical": True,
+    }
+
+
+# -- full harness ----------------------------------------------------------
 
 def _harness(runner, fast: bool):
     """Run every experiment through ``runner``; returns their rows."""
@@ -93,12 +288,21 @@ def _stable(rows: dict) -> dict:
 
 
 def bench_harness(jobs: int, fast: bool) -> dict:
+    from repro.flash.driver import engine_tally, reset_engine_tally
     from repro.runner import ParallelRunner, ResultCache
 
+    # Serial pass doubles as the fast-path coverage census: every
+    # playback in this process records its engine selection.
+    reset_engine_tally()
     serial_runner = ParallelRunner(jobs=1, cache=None)
     serial_rows, serial_s = _timed(_harness, serial_runner, fast)
+    tally = engine_tally()
+    n_fast = tally.get("fast", 0)
+    n_des = tally.get("des", 0)
+    coverage = n_fast / (n_fast + n_des) if n_fast + n_des else 0.0
 
-    parallel_runner = ParallelRunner(jobs=jobs, cache=None)
+    parallel_runner = ParallelRunner(jobs=jobs, cache=None,
+                                     auto_degrade=False)
     parallel_rows, parallel_s = _timed(_harness, parallel_runner, fast)
 
     if _stable(serial_rows) != _stable(parallel_rows):
@@ -110,7 +314,8 @@ def bench_harness(jobs: int, fast: bool) -> dict:
     cache_dir = tempfile.mkdtemp(prefix="bench-cache-")
     try:
         cache = ResultCache(root=Path(cache_dir))
-        _harness(ParallelRunner(jobs=jobs, cache=cache), fast)
+        _harness(ParallelRunner(jobs=jobs, cache=cache,
+                                auto_degrade=False), fast)
         warm = ResultCache(root=Path(cache_dir))
         warm_runner = ParallelRunner(jobs=jobs, cache=warm)
         _, cached_s = _timed(_harness, warm_runner, fast)
@@ -123,7 +328,7 @@ def bench_harness(jobs: int, fast: bool) -> dict:
         per_cell.setdefault(experiment, 0.0)
         per_cell[experiment] += seconds
     return {
-        "scale": "paper" if not fast else "fast",
+        "scale": "fast" if fast else "paper",
         "jobs": jobs,
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
@@ -131,29 +336,74 @@ def bench_harness(jobs: int, fast: bool) -> dict:
         "rows_identical": True,
         "cached_rerun_seconds": round(cached_s, 3),
         "cache": cache_stats,
+        "fastpath_coverage": {
+            "fast_playbacks": n_fast,
+            "des_playbacks": n_des,
+            "fallback_reasons": {
+                k.removeprefix("fallback."): v
+                for k, v in tally.items()
+                if k.startswith("fallback.")},
+            "coverage": round(coverage, 4),
+        },
         "serial_seconds_by_experiment": {
             k: round(v, 3) for k, v in sorted(per_cell.items())},
     }
+
+
+def _gate(report: dict, args) -> int:
+    """Apply the CI regression gates; returns the exit code."""
+    failures = []
+    if args.min_parallel_speedup is not None:
+        speedup = report["harness"]["speedup"]
+        if speedup < args.min_parallel_speedup:
+            failures.append(
+                f"harness parallel speedup {speedup}x is below the "
+                f"{args.min_parallel_speedup}x gate")
+    if args.min_fastpath_coverage is not None:
+        coverage = report["harness"]["fastpath_coverage"]["coverage"]
+        if coverage < args.min_fastpath_coverage:
+            failures.append(
+                f"fast-path coverage {coverage} is below the "
+                f"{args.min_fastpath_coverage} gate")
+    for line in failures:
+        print(f"GATE FAILED: {line}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int,
                         default=min(4, os.cpu_count() or 1))
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        default="fast")
     parser.add_argument("--full", action="store_true",
-                        help="paper-scale workloads (slow)")
+                        help="alias for --scale full (paper-scale "
+                             "workloads, slow)")
+    parser.add_argument("--min-parallel-speedup", type=float,
+                        default=None, metavar="X",
+                        help="exit non-zero if the harness parallel "
+                             "speedup falls below X")
+    parser.add_argument("--min-fastpath-coverage", type=float,
+                        default=None, metavar="Y",
+                        help="exit non-zero if fast-path playback "
+                             "coverage falls below Y (fraction)")
     args = parser.parse_args(argv)
+    scale = "full" if args.full else args.scale
+    cfg = SCALES[scale]
 
     report = {
         "host": {"cpus": os.cpu_count(),
                  "python": sys.version.split()[0]},
-        "engine": bench_engine(),
-        "harness": bench_harness(args.jobs, fast=not args.full),
+        "scale": scale,
+        "engine": bench_engine(cfg),
+        "faulted": bench_faulted(cfg),
+        "sweep": bench_sweep(cfg, args.jobs),
+        "harness": bench_harness(args.jobs, fast=scale != "full"),
     }
     OUT.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"\nwritten to {OUT}")
-    return 0
+    return _gate(report, args)
 
 
 if __name__ == "__main__":
