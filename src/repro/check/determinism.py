@@ -240,6 +240,70 @@ def _faults_small(seed: int) -> str:
         fingerprint(played)
 
 
+def _controller_small(seed: int) -> str:
+    """Live-controller loop probe: the whole loop, replayed.
+
+    Asserts, before the across-runs comparison:
+
+    * **streaming-vs-batch mining identity** -- folding each interval's
+      transactions into :class:`repro.mining.streaming.\
+StreamingFPGrowth` mines the exact itemsets and supports batch
+      ``fpgrowth`` (and ``apriori``) reports;
+    * **live-vs-offline loop identity** -- an unbudgeted, fault-free
+      :class:`repro.controller.ReplicationController` run reproduces
+      ``play_workload`` byte for byte: same per-request floats, same
+      match rates.
+
+    The returned payload (controller experiment table + per-request
+    fingerprint + audit trail) then guards the loop's own run-to-run
+    determinism.
+    """
+    import json
+
+    from repro.controller import ControllerConfig, ReplicationController
+    from repro.experiments import controller as controller_exp
+    from repro.experiments.common import play_workload
+    from repro.experiments.fig8 import make_parts
+    from repro.mining.fpgrowth import fpgrowth
+    from repro.mining.streaming import StreamingFPGrowth
+    from repro.mining.transactions import transactions_from_trace
+
+    parts = make_parts("exchange", 0.2, 4, seed)
+
+    for part in parts:
+        txns = transactions_from_trace(part, 0.133)
+        miner = StreamingFPGrowth(min_support=1, max_size=2)
+        miner.add_many(txns)
+        if miner.mine() != fpgrowth(txns, 1, max_size=2):
+            raise ValueError("streaming FP-growth diverged from "
+                             "batch fpgrowth on a probe interval")
+
+    offline = play_workload(parts, n_devices=9, epsilon=0.01,
+                            seed=seed)
+    live = ReplicationController(ControllerConfig(
+        n_devices=9, epsilon=0.01, seed=seed)).run(parts)
+
+    def fingerprint(report) -> str:
+        return json.dumps([[p.index, p.interval, int(p.delayed),
+                            int(p.rejected), p.io.response_ms,
+                            p.io.total_ms]
+                           for p in report.requests])
+
+    if fingerprint(live.report) != fingerprint(offline.report) \
+            or live.match_rates != offline.match_rates:
+        raise ValueError("the live controller diverged from the "
+                         "offline play_workload loop")
+
+    table = controller_exp.run(scale=0.2, n_intervals=4,
+                               seed=seed).to_json()
+    audit = json.dumps([[a.part, a.boundary_ms, a.n_transactions,
+                         a.n_itemsets, a.deltas_applied,
+                         a.deltas_deferred, a.deltas_blocked,
+                         a.migration_cost, a.match_rate, a.epsilon]
+                        for a in live.audit])
+    return table + "|" + fingerprint(live.report) + "|" + audit
+
+
 #: name -> callable(seed) -> serialized result string
 PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "fig8": _fig8_small,
@@ -250,6 +314,7 @@ PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "obs": _obs_small,
     "kernels": _kernels_small,
     "faults": _faults_small,
+    "controller": _controller_small,
 }
 
 

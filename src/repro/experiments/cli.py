@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments import (
     ablations,
+    controller,
     faults,
     fig4,
     fig6,
@@ -58,6 +59,8 @@ RUNNERS: Dict[str, Callable] = {
         seed=seed, runner=runner),
     "faults": lambda fast, seed=0, runner=None: faults.run(
         n_requests=240 if fast else 720, seed=seed, runner=runner),
+    "controller": lambda fast, seed=0, runner=None: controller.run(
+        scale=0.3 if fast else 0.4, seed=seed, runner=runner),
 }
 
 
@@ -70,6 +73,7 @@ CHART_COLUMNS: Dict[str, List[str]] = {
     "fig11": ["% matched"],
     "fig12": ["online delay", "design-theoretic delay"],
     "faults": ["violation rate"],
+    "controller": ["violation rate"],
 }
 
 

@@ -64,6 +64,12 @@ def _faults() -> ExperimentResult:
     return faults.run(n_requests=240, max_failures=4, seed=0)
 
 
+def _controller() -> ExperimentResult:
+    from repro.experiments import controller
+
+    return controller.run(scale=0.3, n_intervals=6, seed=0)
+
+
 #: snapshot key -> deterministic runner (see module docstring rules)
 GOLDEN_RUNS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig4": _fig4,
@@ -71,6 +77,7 @@ GOLDEN_RUNS: Dict[str, Callable[[], ExperimentResult]] = {
     "ablation_copy_count": _ablation_copy_count,
     "ablation_failures": _ablation_failures,
     "faults": _faults,
+    "controller": _controller,
 }
 
 

@@ -48,7 +48,8 @@ from repro.retrieval.design_theoretic import design_theoretic_retrieval
 from repro.retrieval.policy import combined_retrieval
 from repro.sim import Environment
 
-__all__ = ["BatchTracePlayer", "OnlineTracePlayer", "PlayedRequest",
+__all__ = ["BatchTracePlayer", "OnlineTracePlayer",
+           "OnlineStreamSession", "PlayedRequest",
            "resolve_engine", "select_engine", "engine_tally",
            "reset_engine_tally"]
 
@@ -594,128 +595,24 @@ class OnlineTracePlayer:
             if apps is None or len(apps) != len(buckets):
                 raise ValueError(
                     "tenant budgets require an aligned apps sequence")
-        is_read = ([True] * len(buckets) if reads is None
-                   else [bool(r) for r in reads])
         _tally_engine(self.engine, self.fallback_reason)
-        fast = self.engine == "fast"
-        if fast:
-            env = None
-            array = None
-            params = self.params or FlashParams()
-            if self.faults is not None and len(self.faults):
-                from repro.flash.faulted import FaultedReplay
+        session = OnlineStreamSession(self)
+        session.feed(arrivals, buckets, reads=reads, apps=apps)
+        return session.drain()
 
-                self._replay = FaultedReplay(
-                    self.faults, self.allocation.n_devices, params)
-        else:
-            env = Environment()
-            array = FlashArray(env, self.allocation.n_devices, self.params,
-                               ftl_factory=self.ftl_factory,
-                               module_factory=self.module_factory,
-                               faults=self.faults)
-            params = array.params
-        admission = self._make_admission()
-        tenant = None
-        if self.tenant_budgets is not None:
-            from repro.core.tenancy import TenantAdmission
+    def session(self) -> "OnlineStreamSession":
+        """Open a long-running streaming session on this player.
 
-            tenant = TenantAdmission(self.tenant_budgets,
-                                     self.allocation.replication,
-                                     self.accesses)
-        interval_ms = self.interval_ms
-        service = params.read_ms
-        busy_until = [0.0] * self.allocation.n_devices
-        played: List[PlayedRequest] = []
-
-        # Pending heap: (effective_time, seq, original_index)
-        heap: List[Tuple[float, int, int]] = []
-        for seq, t in enumerate(arrivals):
-            heapq.heappush(heap, (float(t), seq, seq))
-        seq_counter = len(arrivals)
-        current_interval = -1
-
-        def interval_of(t: float) -> int:
-            return int(t / interval_ms + 1e-9)
-
-        def process_now(t: float) -> None:
-            """One wake-up: admit and place everything due at ``t``.
-
-            Shared verbatim by both engines, so the only difference
-            between them is who serves the requests -- the DES modules
-            or the (provably identical) busy-until arithmetic.
-            """
-            nonlocal seq_counter, current_interval
-            # Roll the admission window forward.
-            idx = interval_of(t)
-            while current_interval < idx:
-                admission.start_interval()
-                if tenant is not None:
-                    tenant.start_interval()
-                current_interval += 1
-            # Gather the batch of simultaneous arrivals.
-            batch: List[int] = []
-            while heap and heap[0][0] <= t + 1e-12:
-                _, _, orig = heapq.heappop(heap)
-                batch.append(orig)
-            admitted: List[int] = []
-            admitted_writes: List[int] = []
-            for orig in batch:
-                cost = 1 if is_read[orig] else \
-                    self.allocation.replication
-                if tenant is not None:
-                    granted = bool(tenant.offer(apps[orig], cost))
-                elif self.admission == "exact":
-                    granted = bool(admission.offer_bucket(
-                        int(buckets[orig]), is_read[orig]))
-                else:
-                    granted = bool(admission.offer(cost))
-                if granted:
-                    if is_read[orig]:
-                        admitted.append(orig)
-                    else:
-                        admitted_writes.append(orig)
-                elif self.overflow == "reject":
-                    io = IORequest(
-                        arrival=float(arrivals[orig]),
-                        bucket=int(buckets[orig]),
-                        is_read=is_read[orig])
-                    played.append(PlayedRequest(
-                        io=io, interval=idx, index=orig,
-                        delayed=False, rejected=True))
-                else:
-                    # Budget overflow: delay to the next interval.
-                    next_start = (idx + 1) * interval_ms
-                    heapq.heappush(
-                        heap, (next_start, seq_counter, orig))
-                    seq_counter += 1
-            if admitted:
-                self._dispatch(admitted, t, idx, arrivals, buckets,
-                               busy_until, service, array, played,
-                               admission)
-            for orig in admitted_writes:
-                self._issue_write(orig, t, idx, arrivals, buckets,
-                                  busy_until, params, array, played,
-                                  admission)
-
-        if fast:
-            while heap:
-                process_now(heap[0][0])
-            if self._replay is not None:
-                self._replay.run()
-                self._replay = None
-        else:
-            def run():
-                while heap:
-                    t_eff = heap[0][0]
-                    if t_eff > env.now:
-                        yield env.timeout_until(t_eff)
-                    process_now(env.now)
-
-            env.process(run())
-            env.run()
-
-        return _finish_play(played, self.allocation.n_devices,
-                            self.interval_ms)
+        The session owns all play-loop state (admission window, device
+        mirror, pending heap), so a caller can :meth:`~OnlineStream\
+Session.feed` the trace chunk by chunk, :meth:`~OnlineStreamSession.\
+advance` the clock to an interval boundary, act on what it saw
+        (e.g. hand the next chunk a new placement), and keep feeding --
+        traffic never stops.  Feeding the whole trace at once and
+        draining is exactly :meth:`play`.
+        """
+        _tally_engine(self.engine, self.fallback_reason)
+        return OnlineStreamSession(self)
 
     # -- placement ---------------------------------------------------------
     def _dispatch(self, admitted: List[int], t: float, idx: int,
@@ -967,3 +864,231 @@ class OnlineTracePlayer:
         if replicas and all(r.failed for r in replicas):
             master.failed = True
             master.fail_reason = replicas[0].fail_reason
+
+
+class OnlineStreamSession:
+    """One long-running play-through of an :class:`OnlineTracePlayer`.
+
+    Owns every piece of state the online driver threads through a
+    trace -- the admission window, the tenant budgets, the busy-until
+    device mirror, the pending-request heap and the played-request
+    log -- so that a caller can interleave *feeding* traffic with
+    *acting* on what has been served so far:
+
+    >>> session = player.session()              # doctest: +SKIP
+    >>> session.feed(chunk.arrivals, chunk.buckets)  # doctest: +SKIP
+    >>> session.advance(next_chunk_start)       # doctest: +SKIP
+    >>> series, played = session.drain()        # doctest: +SKIP
+
+    ``feed`` + ``drain`` over the whole trace is byte-identical to
+    :meth:`OnlineTracePlayer.play` -- the loop below *is* the play
+    loop, merely re-entrant.  Identity across chunkings holds because
+    the pending heap orders entries by ``(time, origin, sequence)``
+    where origin 0 marks fed arrivals (in feed order) and origin 1
+    marks budget-overflow re-queues (in re-queue order): at equal
+    timestamps, arrivals beat re-queues regardless of how late the
+    arrival was fed, exactly as the one-shot heap ordered them.
+
+    Incremental :meth:`advance` is a fast-engine feature (the
+    :mod:`repro.controller` loop); the DES drains in one
+    :meth:`drain` call, where the event loop runs to completion.
+    """
+
+    def __init__(self, player: OnlineTracePlayer):
+        self.player = player
+        self.fast = player.engine == "fast"
+        if self.fast:
+            self.env = None
+            self.array = None
+            self.params = player.params or FlashParams()
+            if player.faults is not None and len(player.faults):
+                from repro.flash.faulted import FaultedReplay
+
+                player._replay = FaultedReplay(
+                    player.faults, player.allocation.n_devices,
+                    self.params)
+        else:
+            self.env = Environment()
+            self.array = FlashArray(self.env,
+                                    player.allocation.n_devices,
+                                    player.params,
+                                    ftl_factory=player.ftl_factory,
+                                    module_factory=player.module_factory,
+                                    faults=player.faults)
+            self.params = self.array.params
+        self.admission = player._make_admission()
+        self.tenant = None
+        if player.tenant_budgets is not None:
+            from repro.core.tenancy import TenantAdmission
+
+            self.tenant = TenantAdmission(player.tenant_budgets,
+                                          player.allocation.replication,
+                                          player.accesses)
+        self.service = self.params.read_ms
+        self.busy_until = [0.0] * player.allocation.n_devices
+        self.played: List[PlayedRequest] = []
+        #: request columns, growing with every feed()
+        self.arrivals: List[float] = []
+        self.buckets: List[int] = []
+        self.is_read: List[bool] = []
+        self.apps: Optional[List[str]] = \
+            None if player.tenant_budgets is None else []
+        #: pending heap: (effective_time, origin, seq, index);
+        #: origin 0 = fed arrival (seq = feed order), origin 1 =
+        #: budget-overflow re-queue (seq = re-queue order)
+        self.heap: List[Tuple[float, int, int, int]] = []
+        self._requeues = 0
+        self._current_interval = -1
+        self._drained = False
+
+    def __len__(self) -> int:
+        """Requests fed so far."""
+        return len(self.arrivals)
+
+    @property
+    def n_pending(self) -> int:
+        """Requests fed (or re-queued) but not yet processed."""
+        return len(self.heap)
+
+    # -- feeding -----------------------------------------------------------
+    def feed(self, arrivals: Sequence[float], buckets: Sequence[int],
+             reads: Optional[Sequence[bool]] = None,
+             apps: Optional[Sequence[str]] = None) -> None:
+        """Append a chunk of traffic to the stream.
+
+        Chunks must be fed in arrival order *between* calls (the heap
+        orders within a chunk); an arrival earlier than a timestamp
+        already processed by :meth:`advance` raises.
+        """
+        if self._drained:
+            raise RuntimeError("session already drained")
+        if len(arrivals) != len(buckets):
+            raise ValueError("arrivals and buckets must align")
+        if reads is not None and len(reads) != len(buckets):
+            raise ValueError("reads must align with buckets")
+        if self.tenant is not None:
+            if apps is None or len(apps) != len(buckets):
+                raise ValueError(
+                    "tenant budgets require an aligned apps sequence")
+        base = len(self.arrivals)
+        for i, t in enumerate(arrivals):
+            seq = base + i
+            self.arrivals.append(float(t))
+            self.buckets.append(int(buckets[i]))
+            self.is_read.append(True if reads is None
+                                else bool(reads[i]))
+            if self.apps is not None:
+                self.apps.append(apps[i])
+            heapq.heappush(self.heap, (float(t), 0, seq, seq))
+
+    # -- processing --------------------------------------------------------
+    def interval_of(self, t: float) -> int:
+        return int(t / self.player.interval_ms + 1e-9)
+
+    def process_now(self, t: float) -> None:
+        """One wake-up: admit and place everything due at ``t``.
+
+        Shared verbatim by both engines, so the only difference
+        between them is who serves the requests -- the DES modules
+        or the (provably identical) busy-until arithmetic.
+        """
+        player = self.player
+        # Roll the admission window forward.
+        idx = self.interval_of(t)
+        while self._current_interval < idx:
+            self.admission.start_interval()
+            if self.tenant is not None:
+                self.tenant.start_interval()
+            self._current_interval += 1
+        # Gather the batch of simultaneous arrivals.
+        batch: List[int] = []
+        while self.heap and self.heap[0][0] <= t + 1e-12:
+            _, _, _, orig = heapq.heappop(self.heap)
+            batch.append(orig)
+        admitted: List[int] = []
+        admitted_writes: List[int] = []
+        for orig in batch:
+            cost = 1 if self.is_read[orig] else \
+                player.allocation.replication
+            if self.tenant is not None:
+                granted = bool(self.tenant.offer(self.apps[orig], cost))
+            elif player.admission == "exact":
+                granted = bool(self.admission.offer_bucket(
+                    int(self.buckets[orig]), self.is_read[orig]))
+            else:
+                granted = bool(self.admission.offer(cost))
+            if granted:
+                if self.is_read[orig]:
+                    admitted.append(orig)
+                else:
+                    admitted_writes.append(orig)
+            elif player.overflow == "reject":
+                io = IORequest(
+                    arrival=float(self.arrivals[orig]),
+                    bucket=int(self.buckets[orig]),
+                    is_read=self.is_read[orig])
+                self.played.append(PlayedRequest(
+                    io=io, interval=idx, index=orig,
+                    delayed=False, rejected=True))
+            else:
+                # Budget overflow: delay to the next interval.
+                next_start = (idx + 1) * player.interval_ms
+                heapq.heappush(self.heap, (next_start, 1,
+                                           self._requeues, orig))
+                self._requeues += 1
+        if admitted:
+            player._dispatch(admitted, t, idx, self.arrivals,
+                             self.buckets, self.busy_until,
+                             self.service, self.array, self.played,
+                             self.admission)
+        for orig in admitted_writes:
+            player._issue_write(orig, t, idx, self.arrivals,
+                                self.buckets, self.busy_until,
+                                self.params, self.array, self.played,
+                                self.admission)
+
+    def advance(self, until_ms: float) -> None:
+        """Process every pending request strictly before ``until_ms``.
+
+        The cut is exclusive (with the driver's timestamp tolerance):
+        entries at or after ``until_ms`` stay pending, so feeding the
+        next chunk and advancing again batches boundary-coincident
+        arrivals exactly as the one-shot play loop would.  Fast engine
+        only -- the DES runs its event loop once, in :meth:`drain`.
+        """
+        if not self.fast:
+            raise RuntimeError(
+                "incremental advance requires the fast engine; the "
+                "DES drains in one step")
+        if self._drained:
+            raise RuntimeError("session already drained")
+        while self.heap and self.heap[0][0] < until_ms - 1e-12:
+            self.process_now(self.heap[0][0])
+
+    def drain(self) -> Tuple[IntervalSeries, List[PlayedRequest]]:
+        """Process everything pending and close the session."""
+        if self._drained:
+            raise RuntimeError("session already drained")
+        self._drained = True
+        player = self.player
+        if self.fast:
+            while self.heap:
+                self.process_now(self.heap[0][0])
+            if player._replay is not None:
+                player._replay.run()
+                player._replay = None
+        else:
+            env = self.env
+
+            def run():
+                while self.heap:
+                    t_eff = self.heap[0][0]
+                    if t_eff > env.now:
+                        yield env.timeout_until(t_eff)
+                    self.process_now(env.now)
+
+            env.process(run())
+            env.run()
+
+        return _finish_play(self.played, player.allocation.n_devices,
+                            player.interval_ms)

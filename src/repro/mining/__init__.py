@@ -8,6 +8,9 @@ Implements the substrate the paper takes from ``fim_apriori-lowmem``:
   :mod:`~repro.mining.fpgrowth` -- the three classic FIM algorithm
   families (§IV-A cites exactly these); they produce identical
   itemsets, which the test-suite exploits as a cross-check,
+* :mod:`~repro.mining.streaming` -- incremental FP-growth for the live
+  controller (:mod:`repro.controller`), provably identical to the
+  batch miners at every stream prefix,
 * :mod:`~repro.mining.matching` -- mapping data blocks to design
   blocks so that frequently co-requested blocks land on different
   design blocks, with the ``block % n_design_blocks`` fallback.
@@ -18,12 +21,15 @@ from repro.mining.eclat import eclat
 from repro.mining.fpgrowth import fpgrowth
 from repro.mining.itemsets import ItemsetCounts
 from repro.mining.matching import FIMBlockMatcher, MatchResult
+from repro.mining.streaming import StreamingFPGrowth, StreamingTransactions
 from repro.mining.transactions import transactions_from_trace
 
 __all__ = [
     "FIMBlockMatcher",
     "ItemsetCounts",
     "MatchResult",
+    "StreamingFPGrowth",
+    "StreamingTransactions",
     "apriori",
     "eclat",
     "fpgrowth",

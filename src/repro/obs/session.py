@@ -198,6 +198,19 @@ class ObsSession:
                                        pr.interval, excess)
         reg.counter("qos.requests").inc(len(report.requests))
 
+    def on_controller(self, event: str, count: int = 1) -> None:
+        """One live-controller decision (:mod:`repro.controller`).
+
+        ``event`` is a short slug -- ``boundary``, ``replan``,
+        ``delta_applied``, ``delta_deferred``, ``delta_blocked``,
+        ``rescue``, ``epsilon_update`` -- landing on the
+        ``controller.{event}`` counter.  Controller decisions are
+        derived purely from mined patterns and played-request
+        timestamps, so the counters live in the engine-compared
+        request section.
+        """
+        self.registry.counter(f"controller.{event}").inc(count)
+
     def on_sla_observation(self, ok: bool) -> None:
         """One observation fed to a :class:`repro.core.monitor.SLAMonitor`."""
         self.registry.counter("sla.observed").inc()

@@ -1,0 +1,161 @@
+"""Unit tests for the re-replication planner
+(:mod:`repro.controller.planner`)."""
+
+import pytest
+
+from repro.allocation.design_theoretic import DesignTheoreticAllocation
+from repro.controller.planner import (
+    PlacementDelta,
+    ReplicationPlanner,
+    pair_support_by_block,
+)
+from repro.mining.itemsets import ItemsetCounts
+from repro.mining.matching import MatchResult
+
+ALLOC = DesignTheoreticAllocation.from_parameters(9, 3)
+N = ALLOC.n_buckets  # 36
+
+
+def match(mapping):
+    return MatchResult(dict(mapping), frozenset(mapping), N)
+
+
+class TestDiff:
+    def test_no_change_no_deltas(self):
+        planner = ReplicationPlanner(ALLOC)
+        current = match({10: 3, 11: 4})
+        assert planner.diff(current, current) == []
+
+    def test_remap_and_new_block(self):
+        planner = ReplicationPlanner(ALLOC)
+        current = match({10: 3})
+        target = match({10: 5, 11: 7})
+        deltas = planner.diff(target, current,
+                              supports={10: 9, 11: 2})
+        assert [(d.block, d.old, d.new, d.support)
+                for d in deltas] == [(10, 3, 5, 9), (11, 11 % N, 7, 2)]
+
+    def test_eviction_back_to_modulo(self):
+        planner = ReplicationPlanner(ALLOC)
+        current = match({10: 3})
+        target = match({})
+        deltas = planner.diff(target, current)
+        assert deltas == [PlacementDelta(block=10, old=3, new=10 % N)]
+
+    def test_matching_the_fallback_is_free(self):
+        # target assigns the block exactly where modulo already put it
+        planner = ReplicationPlanner(ALLOC)
+        target = match({10: 10 % N})
+        assert planner.diff(target, MatchResult.empty(N)) == []
+
+    def test_ordered_by_support_then_block(self):
+        planner = ReplicationPlanner(ALLOC)
+        target = match({20: 1, 21: 2, 22: 3})
+        deltas = planner.diff(target, MatchResult.empty(N),
+                              supports={20: 1, 21: 5, 22: 5})
+        assert [d.block for d in deltas] == [21, 22, 20]
+
+
+class TestPlan:
+    def test_unlimited_plan_is_the_offline_swap(self):
+        planner = ReplicationPlanner(ALLOC)
+        current = match({10: 3})
+        target = match({10: 5, 11: 7})
+        plan = planner.plan(target, current)
+        assert plan.mapping is target
+        assert not plan.deferred and not plan.blocked
+        assert plan.cost == 2 * ALLOC.replication
+
+    def test_budget_defers_weakest_supports(self):
+        planner = ReplicationPlanner(ALLOC, migration_budget=1)
+        target = match({20: 1, 21: 2})
+        plan = planner.plan(target, MatchResult.empty(N),
+                            supports={20: 9, 21: 1})
+        assert [d.block for d in plan.applied] == [20]
+        assert [d.block for d in plan.deferred] == [21]
+        # the deferred block keeps its current (modulo) placement...
+        assert plan.mapping.design_block_of(21) == 21 % N
+        assert plan.mapping.design_block_of(20) == 1
+        # ...but mining knowledge is not forgotten
+        assert 21 in plan.mapping.matched_blocks
+        assert plan.cost == ALLOC.replication
+
+    def test_zero_budget_moves_nothing(self):
+        planner = ReplicationPlanner(ALLOC, migration_budget=0)
+        target = match({20: 1})
+        plan = planner.plan(target, MatchResult.empty(N))
+        assert plan.applied == [] and plan.cost == 0
+        assert plan.mapping.design_block_of(20) == 20 % N
+
+    def test_deferred_move_picked_up_next_round(self):
+        planner = ReplicationPlanner(ALLOC, migration_budget=1)
+        target = match({20: 1, 21: 2})
+        first = planner.plan(target, MatchResult.empty(N),
+                             supports={20: 9, 21: 1})
+        second = planner.plan(target, first.mapping,
+                              supports={20: 9, 21: 1})
+        assert [d.block for d in second.applied] == [21]
+        assert second.mapping.design_block_of(21) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="migration_budget"):
+            ReplicationPlanner(ALLOC, migration_budget=-1)
+
+
+class TestFaultAwareness:
+    def test_never_replicates_onto_dead_modules(self):
+        planner = ReplicationPlanner(ALLOC)
+        # design block 0 lives on devices (0, 1, 2); kill device 1
+        target = match({20: 0})
+        plan = planner.plan(target, MatchResult.empty(N),
+                            excluded=frozenset({1}))
+        assert [d.block for d in plan.blocked] == [20]
+        assert plan.applied == []
+        assert plan.mapping.design_block_of(20) == 20 % N
+        for d in plan.applied:
+            assert not (set(ALLOC.devices_for(d.new)) & {1})
+
+    def test_live_target_still_moves_under_faults(self):
+        planner = ReplicationPlanner(ALLOC)
+        # find a design block fully disjoint from the dead set
+        dead = frozenset({1})
+        live_db = next(b for b in range(N)
+                       if not set(ALLOC.devices_for(b)) & dead)
+        target = match({20: live_db})
+        plan = planner.plan(target, MatchResult.empty(N),
+                            excluded=dead)
+        assert [d.block for d in plan.applied] == [20]
+        assert plan.blocked == []
+
+    def test_rescues_blocks_on_fully_dead_design_blocks(self):
+        planner = ReplicationPlanner(ALLOC)
+        dead = frozenset(ALLOC.devices_for(0))  # kills design block 0
+        current = match({20: 0})
+        plan = planner.plan(MatchResult.empty(N), current,
+                            excluded=dead)
+        rescues = [d for d in plan.applied if d.rescue]
+        assert [d.block for d in rescues] == [20]
+        new_db = plan.mapping.design_block_of(20)
+        assert set(ALLOC.devices_for(new_db)) - dead
+
+    def test_rescues_outrank_pattern_moves_under_budget(self):
+        planner = ReplicationPlanner(ALLOC, migration_budget=1)
+        dead = frozenset(ALLOC.devices_for(0))
+        current = match({20: 0})
+        live_db = next(b for b in range(N)
+                       if not set(ALLOC.devices_for(b)) & dead)
+        target = match({20: 0, 21: live_db})
+        plan = planner.plan(target, current,
+                            supports={21: 99}, excluded=dead)
+        assert len(plan.applied) == 1
+        assert plan.applied[0].rescue
+        assert plan.applied[0].block == 20
+
+
+class TestSupports:
+    def test_pair_support_by_block(self):
+        itemsets = ItemsetCounts(
+            {frozenset({1, 2}): 5, frozenset({2, 3}): 7,
+             frozenset({1}): 9},
+            n_transactions=10, min_support=1)
+        assert pair_support_by_block(itemsets) == {1: 5, 2: 7, 3: 7}

@@ -47,6 +47,52 @@ class TestControllerMechanics:
         assert ctrl2.update(0.0) == 1e-6
 
 
+class TestBoundaryDecisions:
+    """The live controller (:mod:`repro.controller`) calls ``update``
+    once per interval boundary; these pin the per-boundary rule."""
+
+    def test_boundary_sequence_is_deterministic(self):
+        observations = [5.0, 5.0, 0.0, 2.0, 9.0, 0.1]
+        runs = []
+        for _ in range(2):
+            ctrl = AdaptiveEpsilonController(2.0, epsilon0=1e-3,
+                                             gain=0.5)
+            runs.append([ctrl.update(o) for o in observations])
+        assert runs[0] == runs[1]
+
+    def test_state_carries_across_boundaries(self):
+        ctrl = AdaptiveEpsilonController(2.0, epsilon0=1e-3, gain=0.5)
+        first = ctrl.update(5.0)
+        second = ctrl.update(5.0)
+        assert first == pytest.approx(1.5e-3)
+        assert second == pytest.approx(first * 1.5)
+
+    def test_up_then_down_returns_to_start(self):
+        # multiplicative steps are exact inverses, so one boundary
+        # over target followed by one under lands back where it began
+        ctrl = AdaptiveEpsilonController(2.0, epsilon0=1e-3, gain=0.5)
+        ctrl.update(5.0)
+        ctrl.update(0.0)
+        assert ctrl.epsilon == pytest.approx(1e-3)
+
+    def test_drive_trajectory_obeys_the_update_rule(self):
+        # every consecutive pair in a driven trajectory must be one
+        # legal boundary step apart (up, down, hold -- then clamped)
+        parts = exchange_like_trace(scale=0.3, seed=2, n_intervals=6)
+        ctrl = AdaptiveEpsilonController(2.0, epsilon0=1e-4, gain=0.6)
+        res = ctrl.drive(parts, n_devices=9)
+        lo, hi = ctrl.bounds
+        for eps, pct, nxt in zip(res.epsilons, res.delayed_pct,
+                                 res.epsilons[1:]):
+            if pct > 2.0:
+                expected = eps * 1.6
+            elif pct < 2.0:
+                expected = eps / 1.6
+            else:
+                expected = eps
+            assert nxt == pytest.approx(min(hi, max(lo, expected)))
+
+
 class TestDrive:
     @pytest.fixture(scope="class")
     def parts(self):

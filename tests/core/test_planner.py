@@ -65,3 +65,52 @@ class TestPlanning:
     def test_max_plans_respected(self):
         slo = SLO(response_ms=0.5, requests_per_ms=5.0)
         assert len(plan_configurations(slo, max_plans=3)) <= 3
+
+
+class TestIntervalBoundaries:
+    """T = M * read_ms is the boundary at which QoS state resets and
+    the live controller replans; pin the boundary algebra."""
+
+    def test_response_exactly_on_a_boundary_is_feasible(self):
+        # 40 req/ms needs M = 2 (M = 1 tops out at ~37.7 req/ms); a
+        # response target of exactly 2 service times still admits it
+        slo = SLO(response_ms=2 * READ, requests_per_ms=40.0)
+        plans = plan_configurations(slo)
+        assert plans
+        assert all(p.accesses == 2 for p in plans)
+        # shaving the target below the boundary kills every plan
+        tight = SLO(response_ms=2 * READ - 1e-6, requests_per_ms=40.0)
+        assert plan_configurations(tight) == []
+
+    def test_just_below_a_boundary_drops_an_access(self):
+        slo = SLO(response_ms=2 * READ - 1e-6, requests_per_ms=1.0)
+        plans = plan_configurations(slo)
+        assert plans
+        assert all(p.accesses == 1 for p in plans)
+
+    def test_smallest_sufficient_interval_per_design(self):
+        from repro.core.guarantees import guarantee_capacity
+
+        slo = SLO(response_ms=0.5, requests_per_ms=5.0)
+        plans = plan_configurations(slo)
+        # one plan per (N, c): the search breaks at the smallest M
+        keys = [(p.n_devices, p.replication) for p in plans]
+        assert len(keys) == len(set(keys))
+        for p in plans:
+            if p.accesses == 1:
+                continue
+            m = p.accesses - 1
+            s = min(guarantee_capacity(m, p.replication),
+                    p.n_devices * m)
+            assert s / (m * READ) < slo.requests_per_ms
+
+    def test_live_controller_adopts_the_plan_interval(self):
+        # the controller's replan cadence is the planner's T
+        from repro.controller import ControllerConfig
+
+        slo = SLO(response_ms=0.4, requests_per_ms=20.0)
+        best = plan_configurations(slo)[0]
+        config = ControllerConfig.from_slo(slo)
+        assert config.interval_ms == best.interval_ms
+        assert config.n_devices == best.n_devices
+        assert config.accesses == best.accesses

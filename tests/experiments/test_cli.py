@@ -9,7 +9,8 @@ class TestRunnerTable:
     def test_all_artefacts_registered(self):
         assert set(RUNNERS) == {
             "table2", "table3", "table4", "fig4", "fig6", "fig8",
-            "fig9", "fig10", "fig11", "fig12", "faults"}
+            "fig9", "fig10", "fig11", "fig12", "faults",
+            "controller"}
 
     def test_fast_runners_return_results(self):
         for name in ("table2", "fig6"):

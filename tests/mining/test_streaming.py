@@ -1,0 +1,131 @@
+"""Unit tests for the incremental miner and windower
+(:mod:`repro.mining.streaming`)."""
+
+import pytest
+
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.streaming import (
+    StreamingFPGrowth,
+    StreamingTransactions,
+)
+from repro.mining.transactions import transactions_from_arrays
+
+TXNS = [frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 2, 3}),
+        frozenset({4}), frozenset({1, 2}), frozenset()]
+
+
+class TestStreamingFPGrowth:
+    def test_equals_batch_on_full_stream(self):
+        miner = StreamingFPGrowth(min_support=1, max_size=2)
+        miner.add_many(TXNS)
+        assert miner.mine() == fpgrowth(TXNS, 1, max_size=2)
+
+    def test_equals_batch_on_every_prefix(self):
+        miner = StreamingFPGrowth(min_support=2, max_size=2)
+        for i, txn in enumerate(TXNS):
+            miner.add(txn)
+            assert miner.mine() == fpgrowth(TXNS[:i + 1], 2,
+                                            max_size=2)
+
+    def test_fold_order_does_not_matter(self):
+        a = StreamingFPGrowth()
+        a.add_many(TXNS)
+        b = StreamingFPGrowth()
+        b.add_many(reversed(TXNS))
+        assert a.mine() == b.mine()
+
+    def test_duplicate_items_collapse(self):
+        miner = StreamingFPGrowth()
+        miner.add([5, 5, 5, 7])
+        assert miner.mine().support({5, 7}) == 1
+
+    def test_empty_transaction_counts_toward_denominator(self):
+        miner = StreamingFPGrowth()
+        miner.add([])
+        miner.add([1])
+        result = miner.mine()
+        assert result.n_transactions == 2
+        assert miner.n_transactions == 2
+
+    def test_mine_overrides_per_call(self):
+        miner = StreamingFPGrowth(min_support=1, max_size=2)
+        miner.add_many(TXNS)
+        tight = miner.mine(min_support=3)
+        assert tight == fpgrowth(TXNS, 3, max_size=2)
+        # overrides do not stick
+        assert miner.mine() == fpgrowth(TXNS, 1, max_size=2)
+
+    def test_reset_forgets_everything(self):
+        miner = StreamingFPGrowth()
+        miner.add_many(TXNS)
+        miner.reset()
+        assert miner.n_transactions == 0
+        assert miner.n_nodes == 0
+        assert len(miner.mine()) == 0
+        miner.add([8, 9])
+        assert miner.mine() == fpgrowth([frozenset({8, 9})], 1,
+                                        max_size=2)
+
+    def test_tree_shares_prefixes(self):
+        miner = StreamingFPGrowth()
+        miner.add([1, 2, 3])
+        miner.add([1, 2, 3])
+        miner.add([1, 2, 4])
+        # 1-2-3 plus one extra node for the 4 branch
+        assert miner.n_nodes == 4
+
+
+class TestStreamingTransactions:
+    def _collect(self, pairs, window_ms, flush=True):
+        out = []
+        stream = StreamingTransactions(window_ms, out.append)
+        for t, b in pairs:
+            stream.observe(t, b)
+        if flush:
+            stream.flush()
+        return out, stream
+
+    def test_matches_batch_windowing(self):
+        arrivals = [0.0, 0.05, 0.2, 0.21, 0.9, 1.0]
+        blocks = [1, 2, 3, 3, 4, 5]
+        batch = transactions_from_arrays(arrivals, blocks, 0.133)
+        streamed, _ = self._collect(zip(arrivals, blocks), 0.133)
+        assert streamed == batch
+
+    def test_trailing_window_needs_flush(self):
+        streamed, stream = self._collect(
+            [(0.0, 1), (1.0, 2)], 0.5, flush=False)
+        assert streamed == [frozenset({1})]
+        stream.flush()
+        assert stream.n_emitted == 2
+
+    def test_windows_align_to_first_arrival(self):
+        # same gaps, shifted origin: identical transactions
+        a, _ = self._collect([(10.0, 1), (10.6, 2)], 0.5)
+        b, _ = self._collect([(0.0, 1), (0.6, 2)], 0.5)
+        assert a == b == [frozenset({1}), frozenset({2})]
+
+    def test_reset_realigns(self):
+        out = []
+        stream = StreamingTransactions(0.5, out.append)
+        stream.observe(0.0, 1)
+        stream.reset()
+        stream.observe(100.0, 2)  # new base, same window 0
+        stream.observe(100.1, 3)
+        stream.flush()
+        assert out == [frozenset({2, 3})]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_ms"):
+            StreamingTransactions(0.0, lambda t: None)
+
+    def test_feeds_miner_like_batch_pipeline(self):
+        arrivals = [i * 0.07 for i in range(40)]
+        blocks = [i % 5 for i in range(40)]
+        miner = StreamingFPGrowth()
+        stream = StreamingTransactions(0.133, miner.add)
+        for t, b in zip(arrivals, blocks):
+            stream.observe(t, b)
+        stream.flush()
+        txns = transactions_from_arrays(arrivals, blocks, 0.133)
+        assert miner.mine() == fpgrowth(txns, 1, max_size=2)

@@ -1,0 +1,59 @@
+"""Shared input-validation contract across all four miners.
+
+Every miner must reject ``min_support < 1`` (it would silently return
+*everything*) and ``max_size < 1`` with a ``ValueError`` -- the same
+message-bearing behaviour whether the miner is batch or streaming.
+"""
+
+import pytest
+
+from repro.mining import apriori, eclat, fpgrowth
+from repro.mining.streaming import StreamingFPGrowth
+
+TXNS = [frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 2, 3})]
+
+BATCH_MINERS = [apriori, eclat, fpgrowth]
+
+
+@pytest.mark.parametrize("miner", BATCH_MINERS,
+                         ids=lambda m: m.__name__)
+@pytest.mark.parametrize("bad_support", [0, -1, -100])
+def test_batch_rejects_bad_min_support(miner, bad_support):
+    with pytest.raises(ValueError, match="min_support"):
+        miner(TXNS, bad_support, max_size=2)
+
+
+@pytest.mark.parametrize("miner", BATCH_MINERS,
+                         ids=lambda m: m.__name__)
+@pytest.mark.parametrize("bad_size", [0, -1])
+def test_batch_rejects_bad_max_size(miner, bad_size):
+    with pytest.raises(ValueError, match="max_size"):
+        miner(TXNS, 1, max_size=bad_size)
+
+
+@pytest.mark.parametrize("bad_support", [0, -1, -100])
+def test_streaming_rejects_bad_min_support(bad_support):
+    with pytest.raises(ValueError, match="min_support"):
+        StreamingFPGrowth(min_support=bad_support)
+    miner = StreamingFPGrowth()
+    miner.add_many(TXNS)
+    with pytest.raises(ValueError, match="min_support"):
+        miner.mine(min_support=bad_support)
+
+
+@pytest.mark.parametrize("bad_size", [0, -1])
+def test_streaming_rejects_bad_max_size(bad_size):
+    with pytest.raises(ValueError, match="max_size"):
+        StreamingFPGrowth(max_size=bad_size)
+    miner = StreamingFPGrowth()
+    miner.add_many(TXNS)
+    with pytest.raises(ValueError, match="max_size"):
+        miner.mine(max_size=bad_size)
+
+
+@pytest.mark.parametrize("miner", BATCH_MINERS,
+                         ids=lambda m: m.__name__)
+def test_valid_edges_accepted(miner):
+    # min_support == 1 and max_size == 1 are the smallest legal values
+    result = miner(TXNS, 1, max_size=1)
+    assert result.support({2}) == 3
