@@ -304,6 +304,88 @@ StreamingFPGrowth` mines the exact itemsets and supports batch
     return table + "|" + fingerprint(live.report) + "|" + audit
 
 
+def _admission_small(seed: int) -> str:
+    """Vectorized-admission kernel probe: on-vs-off double run.
+
+    Plays delayed-pileup, reject-overflow and faulted workloads with
+    the segmented admission kernel (:mod:`repro.flash.admitpath`)
+    enabled and disabled, and demands byte-identical
+    :class:`~repro.core.qos.QoSReport` fingerprints -- per-request
+    timestamps, devices, delay/reject flags *and* the degraded-mode
+    counts ``n_failed``/``n_faulted``.  Also asserts the kernel
+    actually engaged (no silent scalar fallback would make the
+    comparison vacuous).  The returned payload then guards the
+    kernel's own run-to-run determinism.
+    """
+    import json
+    import random
+
+    from repro.core.qos import QoSReport
+    from repro.experiments import faults as faults_exp
+    from repro.faults import FaultModel, FaultSchedule
+    from repro.flash import admitpath
+    from repro.flash.driver import OnlineTracePlayer, engine_tally
+    from repro.flash.params import FlashParams
+
+    alloc = faults_exp.make_allocation("design", 9)
+    rng = random.Random(seed)
+    burst_arr = [k * 0.4 + j * 0.001
+                 for k in range(8) for j in range(30)]
+    rand_arr = sorted(rng.uniform(0.0, 10.0) for _ in range(300))
+    model = FaultModel(down_rate=0.4, down_mean_ms=1.0,
+                       slow_rate=0.4, slow_mean_ms=1.0,
+                       slow_factor=3.0, error_rate=0.4,
+                       error_mean_ms=1.0, error_prob=0.5)
+    cells = [
+        ("pileup_delay", burst_arr, "delay", None),
+        ("pileup_reject", burst_arr, "reject", None),
+        ("random_delay", rand_arr, "delay", None),
+        ("crash", burst_arr, "delay",
+         FaultSchedule.crashes([0, 4], at=0.5)),
+        ("stochastic", burst_arr, "delay",
+         model.materialize(9, horizon_ms=4.0, seed=seed + 31)),
+    ]
+
+    def fingerprint(report) -> str:
+        rows = [[p.index, p.interval, int(p.delayed), int(p.rejected),
+                 p.io.arrival, p.io.issued_at, p.io.completed_at,
+                 p.io.device, p.io.retries, int(p.io.faulted),
+                 int(p.failed), p.io.fail_reason]
+                for p in report.requests]
+        return json.dumps([rows, report.n_failed, report.n_faulted])
+
+    def run_cells() -> Dict[str, str]:
+        out = {}
+        for name, arr, overflow, faults in cells:
+            player = OnlineTracePlayer(alloc, interval_ms=0.4,
+                                       overflow=overflow,
+                                       faults=faults)
+            buckets = [i % alloc.n_buckets for i in range(len(arr))]
+            series, played = player.play(arr, buckets)
+            params = player.params or FlashParams()
+            guarantee = player.accesses * params.read_ms
+            out[name] = fingerprint(
+                QoSReport(series, played, guarantee))
+        return out
+
+    before = engine_tally().get("admission.vector", 0)
+    vectorized = run_cells()
+    engaged = engine_tally().get("admission.vector", 0) - before
+    if engaged < len(cells):
+        raise ValueError(
+            f"the vectorized admission kernel engaged on only "
+            f"{engaged}/{len(cells)} probe cells -- the on-vs-off "
+            "comparison would be vacuous")
+    with admitpath.disabled():
+        scalar = run_cells()
+    for name in vectorized:
+        if vectorized[name] != scalar[name]:
+            raise ValueError(
+                f"vectorized admission diverged from the scalar "
+                f"loop on the {name!r} probe cell")
+    return "|".join(f"{k}:{v}" for k, v in sorted(vectorized.items()))
+
+
 #: name -> callable(seed) -> serialized result string
 PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "fig8": _fig8_small,
@@ -315,6 +397,7 @@ PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "kernels": _kernels_small,
     "faults": _faults_small,
     "controller": _controller_small,
+    "admission": _admission_small,
 }
 
 

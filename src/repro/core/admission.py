@@ -23,6 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
+import numpy as np
+
+from repro import obs
 from repro.core.guarantees import guarantee_capacity
 from repro.graph.kernels import WarmStartMatcher
 
@@ -32,6 +35,21 @@ __all__ = [
     "ExactAdmission",
     "StatisticalAdmission",
 ]
+
+
+def _sequential_sum(values: np.ndarray) -> float:
+    """Strict left-to-right float sum (``((v0 + v1) + v2) + ...``).
+
+    The same contract as :func:`repro.flash.batch.sequential_sum`,
+    restated here because importing :mod:`repro.flash` from this
+    module would close an import cycle through the trace drivers.
+    Pairwise ``np.sum`` would be faster but reorders additions; the
+    reference dict loop accumulated strictly left to right, and Q
+    must stay bit-identical to it.
+    """
+    if values.size == 0:
+        return 0.0
+    return float(np.add.accumulate(values)[-1])
 
 
 @dataclass(frozen=True)
@@ -75,6 +93,21 @@ class DeterministicAdmission:
         """Reset at an interval boundary."""
         self._count = 0
 
+    def resume(self, count: int) -> None:
+        """Adopt a mid-interval count computed elsewhere.
+
+        The vectorized admission kernel
+        (:mod:`repro.flash.admitpath`) tracks the per-interval count
+        itself; when a streaming session demotes to the scalar loop
+        mid-interval, the controller resumes from the kernel's count
+        so subsequent offers see exactly the state the scalar loop
+        would have reached.
+        """
+        if count < 0 or count > self.limit:
+            raise ValueError(
+                f"count must be in [0, {self.limit}], got {count}")
+        self._count = count
+
     def offer(self, n_requests: int = 1) -> AdmissionDecision:
         """Offer ``n_requests`` more requests for the current interval."""
         if n_requests < 0:
@@ -115,8 +148,16 @@ class StatisticalAdmission:
         self.accesses = accesses
         self.limit = guarantee_capacity(accesses, replication)
         self._fallback = fallback or (lambda k: 0.0)
-        # Empirical interval-size histogram: N_k and N_t.
-        self._size_counts: Dict[int, int] = {}
+        # Empirical interval-size histogram: N_k and N_t, as
+        # insertion-ordered parallel arrays (running R_k histogram
+        # with the 1 - P_k factors precomputed per size) so Q is one
+        # elementwise product and a prefix-dot -- the same floats,
+        # in the same order, as the reference dict loop.
+        self._slot: Dict[int, int] = {}
+        self._hist_counts = np.zeros(8, dtype=np.int64)
+        self._hist_omp = np.zeros(8, dtype=np.float64)
+        self._n_slots = 0
+        self._hist_total = 0
         self._total_intervals = 0
         self._count = 0
         # Guarantee violations knowingly admitted (conflicting requests
@@ -132,10 +173,33 @@ class StatisticalAdmission:
     def start_interval(self) -> None:
         """Close the previous interval into the histogram and reset."""
         if self._total_intervals > 0 or self._count > 0:
-            self._size_counts[self._count] = (
-                self._size_counts.get(self._count, 0) + 1)
+            self._record_size(self._count)
         self._total_intervals += 1
         self._count = 0
+
+    def _record_size(self, size: int) -> None:
+        """Fold one closed interval's request count into ``R_k``."""
+        slot = self._slot.get(size)
+        if slot is None:
+            slot = self._n_slots
+            if slot == self._hist_counts.size:
+                self._hist_counts = np.concatenate(
+                    (self._hist_counts,
+                     np.zeros(slot, dtype=np.int64)))
+                self._hist_omp = np.concatenate(
+                    (self._hist_omp,
+                     np.zeros(slot, dtype=np.float64)))
+            self._slot[size] = slot
+            self._hist_omp[slot] = 1.0 - self.p_k(size)
+            self._n_slots += 1
+        self._hist_counts[slot] += 1
+        self._hist_total += 1
+
+    @property
+    def size_counts(self) -> Dict[int, int]:
+        """The empirical histogram ``{interval size: N_k}``."""
+        return {size: int(self._hist_counts[slot])
+                for size, slot in self._slot.items()}
 
     def p_k(self, k: int) -> float:
         """Optimal-retrieval probability for request size ``k``."""
@@ -152,13 +216,23 @@ class StatisticalAdmission:
         (knowingly admitted conflicts) add their own mass:
 
             Q = [sum_k (1 - P_k) N_k + V] / N_t
+
+        Evaluated as a prefix-dot of the running ``R_k`` histogram
+        against the precomputed ``1 - P_k`` factors (strict
+        left-to-right addition order), bit-identical to the reference
+        insertion-ordered dict loop.
         """
-        counts = dict(self._size_counts)
-        counts[hypothetical_size] = counts.get(hypothetical_size, 0) + 1
-        total = sum(counts.values())
-        q = 0.0
-        for k, n_k in counts.items():
-            q += (1.0 - self.p_k(k)) * (n_k / total)
+        n = self._n_slots
+        omp = self._hist_omp[:n]
+        total = self._hist_total + 1
+        slot = self._slot.get(hypothetical_size)
+        if slot is None:
+            q = _sequential_sum(omp * (self._hist_counts[:n] / total)) \
+                + (1.0 - self.p_k(hypothetical_size)) * (1 / total)
+        else:
+            counts = self._hist_counts[:n].copy()
+            counts[slot] += 1
+            q = _sequential_sum(omp * (counts / total))
         q += (self._violations + extra_violations) / total
         return min(1.0, q)
 
@@ -235,6 +309,11 @@ class ExactAdmission:
                for d in self.excluded):
             raise ValueError("excluded device out of range")
         self._matcher = WarmStartMatcher(allocation.n_devices, accesses)
+        # Per-bucket candidate cache: the allocation and the excluded
+        # set are fixed for the controller's lifetime, so the live
+        # replica tuple (and the matcher-side bitset it hashes to) is
+        # computed once per bucket instead of once per offer.
+        self._candidates: Dict[int, tuple] = {}
 
     @property
     def interval_count(self) -> int:
@@ -242,9 +321,28 @@ class ExactAdmission:
         return len(self._matcher)
 
     def start_interval(self) -> None:
-        """Reset at an interval boundary."""
-        self._matcher = WarmStartMatcher(self.allocation.n_devices,
-                                         self.accesses)
+        """Reset at an interval boundary.
+
+        Clears the warm-started matcher *in place*
+        (:meth:`repro.graph.kernels.WarmStartMatcher.clear`) instead
+        of reallocating its per-device structures; the reuse lands on
+        the ``admission.exact_reuse`` obs counter.
+        """
+        self._matcher.clear()
+        if obs.ACTIVE:
+            obs.SESSION.on_admission_reuse()
+
+    def candidates_for(self, bucket: int) -> tuple:
+        """Live replica devices of ``bucket`` (cached; may be empty)."""
+        key = int(bucket)
+        devices = self._candidates.get(key)
+        if devices is None:
+            devices = self.allocation.devices_for(key)
+            if self.excluded:
+                devices = tuple(d for d in devices
+                                if d not in self.excluded)
+            self._candidates[key] = devices
+        return devices
 
     def offer_bucket(self, bucket: int,
                      is_read: bool = True) -> AdmissionDecision:
@@ -255,12 +353,9 @@ class ExactAdmission:
         (a degraded write; the fault layer flags it downstream).
         """
         matcher = self._matcher
-        devices = self.allocation.devices_for(int(bucket))
-        if self.excluded:
-            devices = tuple(d for d in devices
-                            if d not in self.excluded)
-            if not devices:
-                return AdmissionDecision(False, len(matcher))
+        devices = self.candidates_for(bucket)
+        if not devices:
+            return AdmissionDecision(False, len(matcher))
         if is_read:
             added = [matcher.add(devices)]
         else:

@@ -295,6 +295,18 @@ class FaultSchedule:
         pts, masks = self._mask_cache
         return masks[bisect_right(pts, t)]
 
+    def mask_segments(self) -> Tuple[List[float], List[frozenset]]:
+        """``(boundaries, masks)`` backing :meth:`masked_at`.
+
+        ``masked_at(t) == masks[bisect_right(boundaries, t)]`` for every
+        ``t``; batch drivers use this to look up the masked set for a
+        whole sorted time column with one ``searchsorted`` instead of a
+        bisection per request.
+        """
+        if self._mask_cache is None:
+            self.masked_at(0.0)
+        return self._mask_cache
+
     def read_error_draw(self, module: int, index: int) -> float:
         """The deterministic uniform for read attempt ``index`` on
         ``module`` -- compare against :meth:`error_prob`."""

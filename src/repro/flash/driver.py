@@ -33,6 +33,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import obs
 from repro.allocation.base import AllocationScheme
 from repro.core.admission import (
@@ -40,6 +42,7 @@ from repro.core.admission import (
     ExactAdmission,
     StatisticalAdmission,
 )
+from repro.flash import admitpath
 from repro.flash.array import FlashArray, IORequest
 from repro.flash.fastpath import supports_fast_playback
 from repro.flash.metrics import IntervalSeries
@@ -63,9 +66,13 @@ _ENGINE_TALLY: Dict[str, int] = {}
 def engine_tally() -> Dict[str, int]:
     """Snapshot of engine selections since the last reset.
 
-    Keys are ``"fast"``, ``"des"`` and ``"fallback.<reason>"``;
-    consumed by ``tools/bench_runner.py`` to report fast-path
-    coverage instead of guessing.
+    Keys are ``"fast"``, ``"des"`` and ``"fallback.<reason>"`` for
+    playback-engine picks, plus ``"admission.vector"`` /
+    ``"admission.scalar"`` / ``"admission.demoted"`` and
+    ``"admission.fallback.<reason>"`` for the admission-kernel path
+    each streaming session resolved to; consumed by
+    ``tools/bench_runner.py`` to report fast-path coverage instead of
+    guessing.
     """
     return dict(_ENGINE_TALLY)
 
@@ -81,6 +88,21 @@ def _tally_engine(engine: str, reason: str) -> None:
         _ENGINE_TALLY[key] = _ENGINE_TALLY.get(key, 0) + 1
     if obs.ACTIVE:
         obs.SESSION.on_engine(engine, reason)
+
+
+def _tally_admission(kind: str, reason: str) -> None:
+    """Record one session's admission-kernel resolution.
+
+    ``kind`` is ``"vector"`` (the :mod:`repro.flash.admitpath`
+    segmented kernel), ``"scalar"`` (the reference loop) or
+    ``"demoted"`` (a vector session that fell back mid-stream);
+    ``reason`` names the fallback, mirroring the engine tally.
+    """
+    key = f"admission.{kind}"
+    _ENGINE_TALLY[key] = _ENGINE_TALLY.get(key, 0) + 1
+    if reason:
+        key = f"admission.fallback.{reason}"
+        _ENGINE_TALLY[key] = _ENGINE_TALLY.get(key, 0) + 1
 
 
 def select_engine(engine: str, module_factory=None, ftl_factory=None,
@@ -940,6 +962,32 @@ class OnlineStreamSession:
         self._requeues = 0
         self._current_interval = -1
         self._drained = False
+        #: vectorized admission kernel (fast engine, counting
+        #: admission, ε = 0, no tenant budgets); ``None`` keeps the
+        #: scalar reference loop.  ``admission_kernel`` /
+        #: ``admission_fallback_reason`` report the resolution the
+        #: same way ``engine_selected`` / ``fallback_reason`` do.
+        self._vec = None
+        self._cand_cache: Dict[int, Tuple[int, ...]] = {}
+        #: per fault-mask segment: bucket -> (first live replica or
+        #: -1, live candidate tuple); see _bulk_span
+        self._bulk_cache: Dict[int, Dict[int, Tuple[int, tuple]]] = {}
+        self.admission_kernel = "scalar"
+        self.admission_fallback_reason = "des_engine"
+        if self.fast:
+            ok, reason = admitpath.supports_vector_admission(
+                player.admission, player.epsilon,
+                player.tenant_budgets)
+            if ok:
+                self._vec = admitpath.VectorAdmissionWindow(
+                    player.interval_ms, self.admission.limit,
+                    player.overflow)
+                self.admission_kernel = "vector"
+                self.admission_fallback_reason = ""
+            else:
+                self.admission_fallback_reason = reason
+        _tally_admission(self.admission_kernel,
+                         self.admission_fallback_reason)
 
     def __len__(self) -> int:
         """Requests fed so far."""
@@ -948,6 +996,8 @@ class OnlineStreamSession:
     @property
     def n_pending(self) -> int:
         """Requests fed (or re-queued) but not yet processed."""
+        if self._vec is not None:
+            return self._vec.n_pending
         return len(self.heap)
 
     # -- feeding -----------------------------------------------------------
@@ -970,6 +1020,22 @@ class OnlineStreamSession:
             if apps is None or len(apps) != len(buckets):
                 raise ValueError(
                     "tenant budgets require an aligned apps sequence")
+        if self._vec is not None and reads is not None \
+                and not all(reads):
+            # Writes cost ``replication`` budget units and fan out to
+            # every replica -- inherently scalar; rebuild the heap and
+            # continue on the reference loop.
+            self._demote("writes")
+        if self._vec is not None:
+            base = len(self.arrivals)
+            n = len(arrivals)
+            times = np.ascontiguousarray(arrivals, dtype=np.float64)
+            self.arrivals.extend(times.tolist())
+            self.buckets.extend(int(b) for b in buckets)
+            self.is_read.extend([True] * n)
+            self._vec.feed(times, np.arange(base, base + n,
+                                            dtype=np.int64))
+            return
         base = len(self.arrivals)
         for i, t in enumerate(arrivals):
             seq = base + i
@@ -1018,11 +1084,15 @@ class OnlineStreamSession:
             else:
                 granted = bool(self.admission.offer(cost))
             if granted:
+                if obs.ACTIVE:
+                    obs.SESSION.on_admission("admitted")
                 if self.is_read[orig]:
                     admitted.append(orig)
                 else:
                     admitted_writes.append(orig)
             elif player.overflow == "reject":
+                if obs.ACTIVE:
+                    obs.SESSION.on_admission("rejected")
                 io = IORequest(
                     arrival=float(self.arrivals[orig]),
                     bucket=int(self.buckets[orig]),
@@ -1032,6 +1102,8 @@ class OnlineStreamSession:
                     delayed=False, rejected=True))
             else:
                 # Budget overflow: delay to the next interval.
+                if obs.ACTIVE:
+                    obs.SESSION.on_admission("delayed")
                 next_start = (idx + 1) * player.interval_ms
                 heapq.heappush(self.heap, (next_start, 1,
                                            self._requeues, orig))
@@ -1062,8 +1134,345 @@ class OnlineStreamSession:
                 "DES drains in one step")
         if self._drained:
             raise RuntimeError("session already drained")
+        if self._vec is not None:
+            self._advance_vector(until_ms)
+            if self._vec is not None:
+                return
         while self.heap and self.heap[0][0] < until_ms - 1e-12:
             self.process_now(self.heap[0][0])
+
+    # -- vectorized admission path -----------------------------------------
+    def _advance_vector(self, until_ms: Optional[float]) -> None:
+        """Classify-and-dispatch everything due before ``until_ms``.
+
+        The segmented kernel (:mod:`repro.flash.admitpath`) computes
+        the whole chunk's admission decisions in one pass; dispatch
+        then walks the plan batch by batch with the scalar loop's
+        exact placement arithmetic.  When the kernel cannot guarantee
+        byte-identity (sub-tolerance timestamp gaps, out-of-order
+        feeds) the session demotes: the pending set is rebuilt into
+        the reference heap and processing continues scalar.
+        """
+        try:
+            plan = self._vec.take(until_ms)
+        except admitpath.DemotionRequired as exc:
+            self._demote(exc.reason)
+            return
+        if plan is not None:
+            self._run_plan(plan)
+
+    def _demote(self, reason: str) -> None:
+        """Fall back to the scalar loop mid-stream, exactly.
+
+        Pending arrivals become ``(t, 0, seq, seq)`` heap entries (the
+        feed sequence *is* the column index) and the delayed-spill
+        carry becomes ``(boundary, 1, requeue, index)`` entries in
+        spill order, reproducing the heap the scalar loop would have
+        built; the admission window resumes mid-interval via
+        :meth:`~repro.core.admission.DeterministicAdmission.resume`.
+        """
+        state = self._vec.export_state()
+        self._vec = None
+        self.admission_kernel = "scalar"
+        self.admission_fallback_reason = reason
+        _tally_admission("demoted", reason)
+        heap = self.heap
+        for t, seq in zip(state["times"].tolist(),
+                          state["indices"].tolist()):
+            heap.append((t, 0, seq, seq))
+        carry = state["carry"].tolist()
+        for j, idx in enumerate(carry):
+            heap.append((state["carry_time"], 1, j, idx))
+        self._requeues = len(carry)
+        heapq.heapify(heap)
+        self._current_interval = state["interval"]
+        if state["interval"] >= 0:
+            self.admission.resume(state["count"])
+
+    def _run_plan(self, plan) -> None:
+        """Dispatch one :class:`~repro.flash.admitpath.AdmissionPlan`.
+
+        Placement is the scalar loop inlined.  Maximal runs of
+        *simple* entries -- singleton batches the kernel admitted --
+        go through :meth:`_bulk_span`, a jammed loop that skips the
+        per-request candidate filtering, ``masked_at`` bisection and
+        conflict arithmetic whenever the first live replica is idle
+        (provably the scalar outcome; see the method).  Everything
+        else -- rejected entries, simultaneous batches -- walks
+        :meth:`_scalar_span`, the reference loop verbatim.
+        ``offer_conflict`` cannot arise here (vector mode requires
+        ε = 0, where conflicts always hold the request).
+        """
+        if obs.ACTIVE:
+            session = obs.SESSION
+            if plan.n_admitted:
+                session.on_admission("admitted", plan.n_admitted)
+            if plan.n_delayed:
+                session.on_admission("delayed", plan.n_delayed)
+            if plan.n_rejected:
+                session.on_admission("rejected", plan.n_rejected)
+        order = plan.order.tolist()
+        times = plan.times.tolist()
+        intervals = plan.intervals.tolist()
+        admitted = plan.admitted.tolist()
+        starts = plan.starts.tolist()
+        n = len(order)
+        if n == 0:
+            return
+        # Maximal runs of admitted singleton batches (starts[i] and
+        # the next entry, if any, starts a new batch too).
+        simple = plan.starts & plan.admitted
+        if n > 1:
+            simple[:-1] &= plan.starts[1:]
+        flat = np.flatnonzero(np.diff(simple.view(np.int8)))
+        edges = (flat + 1).tolist()
+        if bool(simple[0]):
+            edges.insert(0, 0)
+        if bool(simple[-1]):
+            edges.append(n)
+        cols = (order, times, intervals, admitted, starts)
+        pos = 0
+        for a, b in zip(edges[::2], edges[1::2]):
+            if b - a < 8:
+                continue  # not worth the span set-up; scalar absorbs it
+            if pos < a:
+                self._scalar_span(pos, a, *cols)
+            self._bulk_span(plan, a, b, order, times, intervals)
+            pos = b
+        if pos < n:
+            self._scalar_span(pos, n, *cols)
+
+    def _scalar_span(self, i: int, hi: int, order, times, intervals,
+                     admitted, starts) -> None:
+        """Reference dispatch of plan entries ``[i, hi)`` (both batch
+        boundaries): per simultaneous batch, rejected entries are
+        appended first, multi-request batches go through the shared
+        :meth:`OnlineTracePlayer._dispatch` (combined retrieval), and
+        singleton batches run the ``_pick``/conflict/issue arithmetic
+        directly -- the same floats through the same operations, minus
+        the heap and the per-request admission bookkeeping the kernel
+        already did."""
+        player = self.player
+        arrivals = self.arrivals
+        bucket_col = self.buckets
+        busy = self.busy_until
+        service = self.service
+        played = self.played
+        faults = player.faults
+        replay = player._replay
+        cand_cache = self._cand_cache
+        devices_for = player.allocation.devices_for
+        guarantee = player.accesses * service
+        n = hi
+        while i < n:
+            j = i + 1
+            while j < n and not starts[j]:
+                j += 1
+            t = times[i]
+            idx = intervals[i]
+            b = i
+            while b < j and not admitted[b]:
+                orig = order[b]
+                io = IORequest(arrival=arrivals[orig],
+                               bucket=bucket_col[orig])
+                played.append(PlayedRequest(
+                    io=io, interval=idx, index=orig,
+                    delayed=False, rejected=True))
+                b += 1
+            if j - b > 1:
+                player._dispatch(order[b:j], t, idx, arrivals,
+                                 bucket_col, busy, service, None,
+                                 played, self.admission)
+                i = j
+                continue
+            if j == b:
+                i = j
+                continue
+            orig = order[b]
+            i = j
+            bucket = bucket_col[orig]
+            cs = cand_cache.get(bucket)
+            if cs is None:
+                cs = devices_for(bucket)
+                cand_cache[bucket] = cs
+            if faults is not None:
+                masked = faults.masked_at(t)
+                if masked:
+                    live = tuple(d for d in cs if d not in masked)
+                    if not live:
+                        io = _unavailable_io(arrivals[orig], bucket, t)
+                        played.append(PlayedRequest(
+                            io=io, interval=idx, index=orig,
+                            delayed=False))
+                        continue
+                    cs = live
+            dev = -1
+            for d in cs:
+                if busy[d] <= t + 1e-12:
+                    dev = d
+                    break
+            if dev < 0:
+                dev = cs[0]
+                low = busy[dev]
+                for d in cs[1:]:
+                    if busy[d] < low:
+                        low = busy[d]
+                        dev = d
+            io = IORequest(arrival=arrivals[orig], bucket=bucket)
+            if busy[dev] - t + service > guarantee + 1e-12:
+                issue_at = busy[dev]
+                delayed = True
+            else:
+                issue_at = t
+                delayed = io.arrival + 1e-9 < t
+            started = busy[dev] if busy[dev] > issue_at else issue_at
+            busy[dev] = started + service
+            if replay is not None:
+                replay.submit_read(io, dev, issue_at, t,
+                                   candidates=cs)
+            else:
+                io.device = dev
+                io.issued_at = issue_at
+                io.enqueued_at = issue_at
+                io.started_at = started
+                io.completed_at = busy[dev]
+            played.append(PlayedRequest(io=io, interval=idx,
+                                        index=orig, delayed=delayed))
+
+    def _bulk_span(self, plan, a: int, b: int, order, times,
+                   intervals) -> None:
+        """Jammed dispatch of plan entries ``[a, b)``, all admitted
+        singleton batches.
+
+        The span is cut at fault-mask change points (one
+        ``searchsorted`` over the whole time column replaces a
+        ``masked_at`` bisection per request); within a segment the
+        masked set is constant, so each bucket's live candidates and
+        first choice resolve through a per-mask memo.  When the first
+        live replica ``dev`` is idle (``busy[dev] <= t``) the scalar
+        loop provably picks it (``_pick`` returns the first candidate
+        within tolerance), starts at ``t`` (``max(busy, t) == t``) and
+        sees no conflict (``busy - t + service <= service <=
+        accesses * service``), so the emit collapses to one addition
+        -- the same addition, on the same floats.  Any other case
+        (queued device, all replicas masked, ``accesses == 0``) runs
+        the reference arithmetic inline, so the span never needs a
+        fallback walk.
+        """
+        from repro.flash.faulted import _Submission
+
+        player = self.player
+        arrivals = self.arrivals
+        bucket_col = self.buckets
+        busy = self.busy_until
+        service = self.service
+        played_append = self.played.append
+        faults = player.faults
+        replay = player._replay
+        cand_cache = self._cand_cache
+        bulk_cache = self._bulk_cache
+        devices_for = player.allocation.devices_for
+        guarantee = player.accesses * service
+        # busy <= t alone rules out a conflict only while one service
+        # fits the guarantee; otherwise every entry takes the slow arm.
+        fastable = service <= guarantee + 1e-12
+        if faults is not None:
+            pts, masks = faults.mask_segments()
+            mk = np.searchsorted(np.asarray(pts, dtype=np.float64),
+                                 plan.times[a:b], side="right")
+            cuts = (np.flatnonzero(mk[:-1] != mk[1:]) + 1).tolist()
+            bounds = [0, *cuts, b - a]
+        else:
+            mk, masks = None, (frozenset(),)
+            bounds = [0, b - a]
+        if replay is not None:
+            heap_append = replay._heap.append
+            seq = replay._seq
+        for s0, s1 in zip(bounds[:-1], bounds[1:]):
+            ki = int(mk[s0]) if mk is not None else 0
+            mask = masks[ki]
+            per = bulk_cache.get(ki)
+            if per is None:
+                per = bulk_cache[ki] = {}
+            per_get = per.get
+            lo, hi = a + s0, a + s1
+            for orig, t, itv in zip(order[lo:hi], times[lo:hi],
+                                    intervals[lo:hi]):
+                bkt = bucket_col[orig]
+                ent = per_get(bkt)
+                if ent is None:
+                    cs = cand_cache.get(bkt)
+                    if cs is None:
+                        cs = devices_for(bkt)
+                        cand_cache[bkt] = cs
+                    if mask:
+                        cs = tuple(d for d in cs if d not in mask)
+                    ent = per[bkt] = (cs[0] if cs else -1, cs)
+                dev, live = ent
+                arr = arrivals[orig]
+                if fastable and dev >= 0 and busy[dev] <= t:
+                    # Idle first replica: issue = start = t.
+                    comp = t + service
+                    busy[dev] = comp
+                    io = IORequest(arr, bkt)
+                    if replay is not None:
+                        sub = _Submission(io, dev, t, t, seq,
+                                          candidates=live,
+                                          first_issue=t)
+                        heap_append((t, t, seq, sub))
+                        seq += 1
+                    else:
+                        io.device = dev
+                        io.issued_at = t
+                        io.enqueued_at = t
+                        io.started_at = t
+                        io.completed_at = comp
+                    played_append(PlayedRequest(io, itv,
+                                                arr + 1e-9 < t, orig))
+                    continue
+                if dev < 0:  # every replica masked: unavailable
+                    io = _unavailable_io(arr, bkt, t)
+                    played_append(PlayedRequest(io, itv,
+                                                False, orig))
+                    continue
+                # Queued device: the reference arithmetic, inline.
+                dev = -1
+                for d in live:
+                    if busy[d] <= t + 1e-12:
+                        dev = d
+                        break
+                if dev < 0:
+                    dev = live[0]
+                    low = busy[dev]
+                    for d in live[1:]:
+                        if busy[d] < low:
+                            low = busy[d]
+                            dev = d
+                io = IORequest(arr, bkt)
+                if busy[dev] - t + service > guarantee + 1e-12:
+                    issue_at = busy[dev]
+                    delayed = True
+                else:
+                    issue_at = t
+                    delayed = arr + 1e-9 < t
+                started = busy[dev] if busy[dev] > issue_at else issue_at
+                busy[dev] = started + service
+                if replay is not None:
+                    sub = _Submission(io, dev, issue_at, t, seq,
+                                      candidates=live,
+                                      first_issue=issue_at)
+                    heap_append((issue_at, t, seq, sub))
+                    seq += 1
+                else:
+                    io.device = dev
+                    io.issued_at = issue_at
+                    io.enqueued_at = issue_at
+                    io.started_at = started
+                    io.completed_at = busy[dev]
+                played_append(PlayedRequest(io, itv,
+                                            delayed, orig))
+        if replay is not None:
+            replay._seq = seq
 
     def drain(self) -> Tuple[IntervalSeries, List[PlayedRequest]]:
         """Process everything pending and close the session."""
@@ -1072,6 +1481,8 @@ class OnlineStreamSession:
         self._drained = True
         player = self.player
         if self.fast:
+            if self._vec is not None:
+                self._advance_vector(None)
             while self.heap:
                 self.process_now(self.heap[0][0])
             if player._replay is not None:

@@ -162,13 +162,17 @@ class FaultedReplay:
         self._writes.append(wm)
 
     def _push(self, sub: _Submission) -> None:
-        heapq.heappush(self._heap,
-                       (sub.put, sub.created, sub.seq, sub))
+        # Driver-phase submissions accumulate unordered; run() heapifies
+        # the whole batch in one O(n) pass.  (put, created, seq) is a
+        # total order -- seq is unique -- so the pop sequence is the
+        # same as under per-submission heappush.
+        self._heap.append((sub.put, sub.created, sub.seq, sub))
 
     # -- replay -----------------------------------------------------------
     def run(self) -> None:
         """Serve every submission; fills the IORequests in place."""
         heap = self._heap
+        heapq.heapify(heap)
         quiet = self._quiet
         deferred = self._deferred
         while heap:
@@ -295,7 +299,9 @@ class FaultedReplay:
         sub.put = t + backoff if backoff > 0 else t
         sub.seq = self._seq
         self._seq += 1
-        self._push(sub)
+        # Mid-run resubmission: the heap is live, push for real.
+        heapq.heappush(self._heap,
+                       (sub.put, sub.created, sub.seq, sub))
 
     # -- bulk phases ------------------------------------------------------
     def _flush_quiet(self) -> None:

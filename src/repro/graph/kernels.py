@@ -575,6 +575,26 @@ class WarmStartMatcher:
                 "fast_placements": self.fast_placements}
 
     # -- updates ----------------------------------------------------------
+    def clear(self) -> None:
+        """Empty the window in place, keeping allocated structures.
+
+        Equivalent to constructing a fresh matcher with the same
+        ``(n_devices, capacity)`` -- request ids restart at 0 and the
+        repair counters reset -- but reuses the per-device load and
+        resident containers, so interval-boundary resets in
+        :class:`repro.core.admission.ExactAdmission` stay
+        allocation-free.
+        """
+        for d in range(self.n_devices):
+            self._loads[d] = 0
+            self._residents[d].clear()
+        self._mask.clear()
+        self._device.clear()
+        self._pending.clear()
+        self._next_id = 0
+        self.repairs = 0
+        self.fast_placements = 0
+
     def add(self, candidates: Sequence[int]) -> int:
         """Admit one request; returns its id for later :meth:`remove`."""
         mask = mask_of(candidates, self.n_devices)

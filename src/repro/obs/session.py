@@ -117,7 +117,28 @@ class ObsSession:
         if reason:
             self.kernel.counter(f"engine.fallback.{reason}").inc()
 
+    def on_admission_reuse(self) -> None:
+        """One in-place :class:`WarmStartMatcher` reuse across an
+        exact-admission interval boundary (allocation-free reset).
+
+        Engine-specific plumbing detail, so it lands in the kernel
+        section on ``kernels.admission.exact_reuse``.
+        """
+        self.kernel.counter("kernels.admission.exact_reuse").inc()
+
     # -- request-side hooks (engine-independent) -------------------------
+    def on_admission(self, kind: str, count: int = 1) -> None:
+        """One admission-controller decision over an offered request.
+
+        ``kind`` is ``admitted``, ``delayed`` (admitted after an
+        overflow requeue or a busy-device wait) or ``rejected``,
+        landing on the ``admission.{kind}`` counter.  Both the scalar
+        driver loop and the vectorized admission kernel
+        (:mod:`repro.flash.admitpath`) emit these with identical
+        totals, so they live in the engine-compared request section.
+        """
+        self.registry.counter(f"admission.{kind}").inc(count)
+
     def observe_request(self, pr) -> None:
         """Fold one :class:`~repro.flash.driver.PlayedRequest` in.
 

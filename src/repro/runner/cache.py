@@ -5,7 +5,8 @@ parameters and seed, so its result can be cached across processes and
 sessions.  Keys are sha256 digests over the canonical JSON of the
 cell's identity -- experiment name, cell name, fully-qualified
 function, parameters, a fingerprint of the whole ``repro`` source
-tree, and the process-level runtime switches (sanitizers, kernels)
+tree, and the process-level runtime switches (sanitizers, kernels,
+admission kernel)
 -- so any code change invalidates every entry at once (cheap and
 safe: correctness never depends on a partial-invalidation heuristic)
 and results computed under one runtime mode never satisfy another.
@@ -67,10 +68,12 @@ def runtime_token() -> Dict[str, bool]:
     (``sanitizers.enable()``, ``kernels.disabled()``) take effect.
     """
     from repro.check import sanitizers
+    from repro.flash import admitpath
     from repro.graph import kernels
 
     return {"sanitizers": bool(sanitizers.ACTIVE),
-            "kernels": bool(kernels.ENABLED)}
+            "kernels": bool(kernels.ENABLED),
+            "admission_kernel": bool(admitpath.ENABLED)}
 
 
 def _canonical(payload: Any) -> str:

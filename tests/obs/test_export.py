@@ -176,3 +176,47 @@ class TestCli:
         bad.write_text(json.dumps({"traceEvents": [{}]}))
         assert obs_cli.main(["validate", str(bad)]) == 1
         assert "INVALID" in capsys.readouterr().err
+
+
+class TestAdmissionCounters:
+    def observed_payload(self, **kw):
+        import numpy as np
+
+        from repro import obs
+        from repro.allocation.design_theoretic import (
+            DesignTheoreticAllocation,
+        )
+        from repro.flash.driver import OnlineTracePlayer
+
+        alloc = DesignTheoreticAllocation.from_parameters(9, 3)
+        rng = np.random.default_rng(11)
+        arrivals = sorted(rng.uniform(0, 1.0, 60).tolist())
+        buckets = [int(b) for b in rng.integers(0, alloc.n_buckets, 60)]
+        with obs.observed() as session:
+            OnlineTracePlayer(alloc, 0.133, **kw).play(arrivals,
+                                                       buckets)
+        return session.to_payload()
+
+    def test_admission_counters_surface_in_prometheus(self):
+        payload = self.observed_payload()
+        counters = payload["request"]["metrics"]["counters"]
+        assert counters["admission.admitted"] >= 1
+        assert counters["admission.delayed"] >= 1
+        text = obs_export.to_prometheus(payload)
+        assert "admission_admitted" in text
+        assert "admission_delayed" in text
+
+    def test_admission_counters_engine_identical(self):
+        from repro.flash import admitpath
+        from repro.obs.session import request_sections
+
+        vec = self.observed_payload()
+        with admitpath.disabled():
+            ref = self.observed_payload()
+        assert request_sections(vec)["metrics"]["counters"] == \
+            request_sections(ref)["metrics"]["counters"]
+
+    def test_exact_reuse_counter_increments(self):
+        payload = self.observed_payload(admission="exact")
+        kernel = payload["kernel"]["metrics"]["counters"]
+        assert kernel["kernels.admission.exact_reuse"] >= 1

@@ -161,3 +161,29 @@ class TestViolationLedger:
         assert a.total == 3
         assert a.by_tenant["x"] == (2, 3.0)
         assert a.by_tenant["y"] == (1, 3.0)
+
+
+class TestAdmissionHooks:
+    def test_on_admission_counts_into_request_section(self):
+        session = ObsSession()
+        session.on_admission("admitted", 5)
+        session.on_admission("delayed", 2)
+        session.on_admission("rejected")
+        payload = session.to_payload()
+        counters = payload["request"]["metrics"]["counters"]
+        assert counters["admission.admitted"] == 5
+        assert counters["admission.delayed"] == 2
+        assert counters["admission.rejected"] == 1
+
+    def test_exact_reuse_lands_in_kernel_section(self):
+        # matcher warm-start reuse is an engine detail: the scalar
+        # exact path resets per interval while the vector path never
+        # runs exact admission, so the counter must stay out of the
+        # engine-compared request section
+        session = ObsSession()
+        session.on_admission_reuse()
+        payload = session.to_payload()
+        assert payload["kernel"]["metrics"]["counters"][
+            "kernels.admission.exact_reuse"] == 1
+        assert "kernels.admission.exact_reuse" not in \
+            payload["request"]["metrics"]["counters"]

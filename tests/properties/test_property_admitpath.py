@@ -1,0 +1,157 @@
+"""Property-based byte-identity of the segmented admission kernel.
+
+:mod:`repro.flash.admitpath` claims the vectorized admission/dispatch
+path is bit-for-bit the scalar reference loop under *any* counting-
+admission workload the kernel accepts -- random interval boundaries,
+delayed-request pileups that chain across intervals, reject-mode
+drops, fault schedules that shift placement mid-trace, and arbitrary
+chunked feeding.  These properties sweep all of it and compare the
+full per-request record against ``admitpath.disabled()`` runs, plus
+chunked sessions against one-shot plays.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultEvent, FaultSchedule
+from repro.flash import admitpath
+from repro.flash.driver import OnlineTracePlayer
+from repro.flash.params import MSR_SSD_PARAMS
+from tests.support.builders import design_alloc
+
+ALLOC = design_alloc()
+
+#: arrivals quantized to 10 us so simultaneous batches and boundary
+#: coincidences actually happen; pileups come from tight quanta
+traces = st.lists(
+    st.tuples(st.integers(0, 2000),
+              st.integers(0, ALLOC.n_buckets - 1)),
+    min_size=1, max_size=80,
+).map(lambda rows: sorted((t * 0.01, b) for t, b in rows))
+
+intervals = st.sampled_from([0.1, 0.133, 0.4, 1.0])
+overflows = st.sampled_from(["delay", "reject"])
+#: admission budget scales with M (limit = (c-1)M^2 + cM)
+accesses_st = st.integers(1, 3)
+
+
+@st.composite
+def schedules(draw):
+    events = draw(st.lists(
+        st.tuples(st.integers(0, 8), st.floats(0, 20, allow_nan=False),
+                  st.floats(0.05, 8, allow_nan=False),
+                  st.booleans()),
+        min_size=0, max_size=12))
+    evs = [FaultEvent("crash", m, start) if crash else
+           FaultEvent("down", m, start, start + dur)
+           for m, start, dur, crash in events]
+    return FaultSchedule(evs, n_modules=9, seed=3) if evs else None
+
+
+def played_key(played):
+    return [(p.index, p.interval, p.delayed, p.rejected,
+             p.io.device, p.io.issued_at, p.io.started_at,
+             p.io.completed_at, p.io.failed, p.io.fail_reason,
+             p.io.faulted, p.io.retries)
+            for p in played]
+
+
+def play(trace, interval_ms, overflow, accesses, faults,
+         chunks=None):
+    arrivals = [t for t, _ in trace]
+    buckets = [b for _, b in trace]
+    player = OnlineTracePlayer(ALLOC, interval_ms=interval_ms,
+                               overflow=overflow, accesses=accesses,
+                               params=MSR_SSD_PARAMS, faults=faults)
+    if chunks is None:
+        _, played = player.play(arrivals, buckets)
+        return played
+    session = player.session()
+    for lo, hi in chunks:
+        session.feed(arrivals[lo:hi], buckets[lo:hi])
+    _, played = session.drain()
+    return played
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces, intervals, overflows, accesses_st, schedules())
+def test_vector_matches_scalar(trace, interval_ms, overflow, accesses,
+                               faults):
+    vec = play(trace, interval_ms, overflow, accesses, faults)
+    with admitpath.disabled():
+        ref = play(trace, interval_ms, overflow, accesses, faults)
+    assert played_key(vec) == played_key(ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces, intervals, overflows, accesses_st, schedules(),
+       st.integers(1, 6))
+def test_chunked_session_matches_one_shot(trace, interval_ms,
+                                          overflow, accesses, faults,
+                                          n_chunks):
+    n = len(trace)
+    size = max(1, n // n_chunks)
+    chunks = [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+    chunked = play(trace, interval_ms, overflow, accesses, faults,
+                   chunks=chunks)
+    one_shot = play(trace, interval_ms, overflow, accesses, faults)
+    assert played_key(chunked) == played_key(one_shot)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 30), st.integers(1, 2), overflows)
+def test_pileup_chains_match_scalar(per_interval, accesses, overflow):
+    # every interval oversubscribed: delay mode chains spills across
+    # consecutive boundaries, reject mode drops the overflow
+    trace = sorted((k * 0.4 + j * 0.004, (k * per_interval + j) % 36)
+                   for k in range(8) for j in range(per_interval))
+    vec = play(trace, 0.4, overflow, accesses, None)
+    with admitpath.disabled():
+        ref = play(trace, 0.4, overflow, accesses, None)
+    assert played_key(vec) == played_key(ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 39), st.integers(0, 35)),
+                min_size=1, max_size=60),
+       st.lists(st.integers(0, 8), min_size=0, max_size=3,
+                unique=True),
+       st.floats(0, 8, allow_nan=False))
+def test_exact_admission_chunked_at_interval_boundaries(rows, dead,
+                                                        crash_at):
+    # Chunk boundaries that coincide exactly with QoS interval
+    # boundaries are the adversarial split for the scalar exact-
+    # admission path: the matcher warm-start cache resets per
+    # interval, and a crash schedule shifts the candidate sets --
+    # however the trace is cut at boundaries, the drained result
+    # must equal the one-shot play byte for byte.
+    interval_ms = 0.4
+    trace = sorted((q * 0.1, b) for q, b in rows)  # 4 quanta/interval
+    arrivals = [t for t, _ in trace]
+    buckets = [b for _, b in trace]
+    faults = FaultSchedule(
+        [FaultEvent("crash", m, crash_at) for m in dead],
+        n_modules=9, seed=3) if dead else None
+
+    def make_player():
+        return OnlineTracePlayer(ALLOC, interval_ms=interval_ms,
+                                 admission="exact",
+                                 params=MSR_SSD_PARAMS, faults=faults)
+
+    _, one_shot = make_player().play(arrivals, buckets)
+
+    session = make_player().session()
+    assert session.admission_fallback_reason == "exact_admission"
+    boundary = interval_ms
+    lo = 0
+    while lo < len(arrivals):
+        hi = lo
+        while hi < len(arrivals) and arrivals[hi] < boundary:
+            hi += 1
+        if hi > lo:
+            session.feed(arrivals[lo:hi], buckets[lo:hi])
+        session.advance(boundary)  # wake exactly at the boundary
+        lo = hi
+        boundary += interval_ms
+    _, chunked = session.drain()
+    assert played_key(chunked) == played_key(one_shot)

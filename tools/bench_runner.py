@@ -10,23 +10,35 @@ root (schema below):
    through the :class:`repro.flash.faulted.FaultedReplay` fast path vs
    the current DES vs a *PR-6-equivalent* DES (linear-scan fault masks,
    the pre-optimization baseline), with a byte-identity cross-check.
-3. **sweep**: the fault-injection experiment grid (15 cells) serial vs
+3. **admission**: the vectorized admission kernel
+   (:mod:`repro.flash.admitpath`) vs a *PR-8-equivalent* scalar driver
+   loop on the faulted-sweep cell and a delayed-pileup cell (same
+   monkeypatch protocol as the faulted breakout), plus the raw
+   classification throughput of the kernel itself -- rows identical
+   both ways.
+4. **sweep**: the fault-injection experiment grid (15 cells) serial vs
    chunked-parallel through the persistent pool, rows identical.
-4. **harness serial vs parallel**: every experiment's cells through
+5. **harness serial vs parallel**: every experiment's cells through
    ``ParallelRunner(jobs=1)`` and ``ParallelRunner(jobs=N)``
    (uncached both times, pool forced), asserting identical rows; also
    reports fast-path coverage from the engine tally.
-5. **cache**: a warm rerun against a fresh on-disk cache.
+6. **cache**: a warm rerun against a fresh on-disk cache.
+
+Every run also appends a dated one-line summary to
+``BENCH_trajectory.jsonl`` so the ``BENCH_*.json`` snapshots gain a
+history (CI archives both).
 
 Run after engine or runner changes::
 
     PYTHONPATH=src python tools/bench_runner.py [--jobs N]
         [--scale smoke|fast|full]
         [--min-parallel-speedup X] [--min-fastpath-coverage Y]
+        [--min-admission-speedup Z] [--max-sweep-seconds S]
 
 ``--scale fast`` (default) uses the CLI's ``--fast`` workload sizes so
 the benchmark finishes in minutes; ``smoke`` shrinks further for CI,
-where the ``--min-*`` gates turn regressions into a non-zero exit.
+where the ``--min-*``/``--max-*`` gates turn regressions into a
+non-zero exit.
 """
 
 from __future__ import annotations
@@ -43,18 +55,22 @@ ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 OUT = ROOT / "BENCH_runner.json"
+TRAJECTORY = ROOT / "BENCH_trajectory.jsonl"
 
 #: workload sizes per --scale
 SCALES = {
     "smoke": {"fig8_scale": 0.25, "fig8_intervals": 8,
               "fault_requests": 360, "sweep_requests": 240,
-              "sweep_failures": 3, "repeats": 2},
+              "sweep_failures": 3, "repeats": 2,
+              "classify_requests": 200_000},
     "fast": {"fig8_scale": 0.5, "fig8_intervals": 24,
              "fault_requests": 720, "sweep_requests": 480,
-             "sweep_failures": 4, "repeats": 3},
+             "sweep_failures": 4, "repeats": 3,
+             "classify_requests": 1_000_000},
     "full": {"fig8_scale": 0.5, "fig8_intervals": 24,
              "fault_requests": 2000, "sweep_requests": 720,
-             "sweep_failures": 4, "repeats": 3},
+             "sweep_failures": 4, "repeats": 3,
+             "classify_requests": 2_000_000},
 }
 
 
@@ -223,6 +239,179 @@ def bench_faulted(cfg: dict) -> dict:
     return out
 
 
+# -- vectorized admission kernel -------------------------------------------
+
+@contextlib.contextmanager
+def _pr8_baseline():
+    """Temporarily restore the PR-8 admission/driver-loop behavior.
+
+    PR 8 ran the per-request scalar admission loop (heap pop, interval
+    roll, ``offer``, dispatch) for every configuration, and the
+    faulted replay heap-pushed every submission individually.
+    Disabling the admission kernel and patching the per-submission
+    push back in reproduces that baseline on today's code -- the same
+    protocol as :func:`_pr6_baseline` for the faulted breakout.
+    """
+    import heapq
+
+    from repro.flash import admitpath
+    from repro.flash.faulted import FaultedReplay
+
+    def push(self, sub):
+        heapq.heappush(self._heap,
+                       (sub.put, sub.created, sub.seq, sub))
+
+    saved = FaultedReplay._push
+    FaultedReplay._push = push
+    try:
+        with admitpath.disabled():
+            yield
+    finally:
+        FaultedReplay._push = saved
+
+
+def _driver_loop(alloc, schedule, arrivals, buckets):
+    """Time the online driver loop proper on the fast engine.
+
+    The *driver* bracket covers feed + admission/classification/
+    dispatch -- the per-request loop the admission kernel vectorizes
+    (under the PR-8 baseline it also carries the per-submission
+    replay heap pushes that loop performed).  The faulted playback
+    that serves the submitted queues afterwards is timed separately
+    (it has its own breakout and is byte-identical code on both
+    sides); the engine-independent series/report epilogue that
+    ``drain()`` adds on top is left out entirely.  Returns
+    ``(played, driver_seconds, total_seconds)``.
+    """
+    from repro.flash.driver import OnlineTracePlayer
+
+    player = OnlineTracePlayer(alloc, interval_ms=0.4,
+                               faults=schedule, engine="fast")
+    session = player.session()
+    t0 = time.perf_counter()
+    session.feed(arrivals, buckets)
+    if session._vec is not None:
+        session._advance_vector(None)
+    while session.heap:
+        session.process_now(session.heap[0][0])
+    t1 = time.perf_counter()
+    if player._replay is not None:
+        player._replay.run()
+        player._replay = None
+    t2 = time.perf_counter()
+    session._drained = True
+    return session.played, t1 - t0, t2 - t0
+
+
+def _admission_cells(cfg: dict) -> dict:
+    """The admission-breakout workloads.
+
+    ``sweep_crash`` is the faulted-sweep driver-loop cell (the same
+    allocation/schedule/trace as the ``faulted`` breakout's crash
+    cell); ``pileup_delay`` exercises the delayed-spill carry chains
+    with every interval oversubscribed.
+    """
+    alloc, schedule, arrivals, buckets = _faulted_cell(cfg, "crash")
+    n = cfg["fault_requests"]
+    burst_arr = [k * 0.4 + (j % 24) * 0.004 for k in range(n // 24)
+                 for j in range(24)]
+    burst_buckets = [i % alloc.n_buckets
+                     for i in range(len(burst_arr))]
+    return {
+        "sweep_crash": (alloc, schedule, arrivals, buckets,
+                        "the faulted sweep's crash cell "
+                        f"(2 dead modules, n={n})"),
+        "pileup_delay": (alloc, None, burst_arr, burst_buckets,
+                         "24 requests per interval, every interval "
+                         f"over budget (n={len(burst_arr)})"),
+    }
+
+
+def _classify_throughput(cfg: dict) -> dict:
+    """Raw classification rate of the segmented admission kernel.
+
+    Feeds an uncongested trace (every interval within budget, so the
+    whole chunk classifies through the bulk-emission path) straight
+    into :class:`repro.flash.admitpath.VectorAdmissionWindow` --
+    no dispatch, no playback -- and reports requests per second.
+    This is the 1M+ req/s stretch of the admission path itself.
+    """
+    import numpy as np
+
+    from repro.flash.admitpath import VectorAdmissionWindow
+
+    n = cfg["classify_requests"]
+    times = np.arange(n, dtype=np.float64) * 0.1
+    indices = np.arange(n, dtype=np.int64)
+
+    def classify():
+        window = VectorAdmissionWindow(0.4, 5, "delay")
+        window.feed(times, indices)
+        plan = window.take(None)
+        assert plan is not None and len(plan) == n
+        return plan
+
+    best = min(_timed(classify)[1] for _ in range(3))
+    return {
+        "workload": f"uncongested classification, n={n}",
+        "n_requests": n,
+        "seconds": round(best, 6),
+        "requests_per_second": int(n / best),
+    }
+
+
+def bench_admission(cfg: dict) -> dict:
+    """Admission kernel vs the PR-8 scalar driver loop.
+
+    The gated number is ``sweep_crash.speedup_vs_pr8`` -- the
+    faulted-sweep driver loop with the segmented admission kernel
+    against the same loop run scalar -- with played-request rows
+    byte-identical both ways.
+    """
+    from repro.flash.driver import engine_tally
+
+    out = {}
+    for name, (alloc, schedule, arrivals, buckets, what) \
+            in _admission_cells(cfg).items():
+        before = engine_tally().get("admission.vector", 0)
+        vec_played, _, _ = _driver_loop(alloc, schedule,
+                                        arrivals, buckets)
+        if engine_tally().get("admission.vector", 0) == before:
+            raise AssertionError(
+                f"admission kernel did not engage on {name!r}")
+        # The cells are a few ms each, so extra repeats are cheap and
+        # keep the min-of-N gate clear of first-run jitter.
+        reps = max(cfg["repeats"], 6)
+        vec_runs = [_driver_loop(alloc, schedule, arrivals,
+                                 buckets)[1:]
+                    for _ in range(reps)]
+        vec_s = min(r[0] for r in vec_runs)
+        vec_total = min(r[1] for r in vec_runs)
+        with _pr8_baseline():
+            pr8_played, _, _ = _driver_loop(alloc, schedule,
+                                            arrivals, buckets)
+            pr8_runs = [_driver_loop(alloc, schedule, arrivals,
+                                     buckets)[1:]
+                        for _ in range(reps)]
+            pr8_s = min(r[0] for r in pr8_runs)
+            pr8_total = min(r[1] for r in pr8_runs)
+        if _fault_fingerprint(vec_played) != \
+                _fault_fingerprint(pr8_played):
+            raise AssertionError(
+                f"vectorized admission diverged from the scalar "
+                f"loop ({name})")
+        out[name] = {
+            "workload": what,
+            "pr8_scalar_seconds": round(pr8_s, 6),
+            "vector_seconds": round(vec_s, 6),
+            "speedup_vs_pr8": round(pr8_s / vec_s, 2),
+            "end_to_end_speedup": round(pr8_total / vec_total, 2),
+            "rows_identical": True,
+        }
+    out["classify"] = _classify_throughput(cfg)
+    return out
+
+
 # -- faulted sweep through the pool ----------------------------------------
 
 def bench_sweep(cfg: dict, jobs: int) -> dict:
@@ -365,9 +554,43 @@ def _gate(report: dict, args) -> int:
             failures.append(
                 f"fast-path coverage {coverage} is below the "
                 f"{args.min_fastpath_coverage} gate")
+    if args.min_admission_speedup is not None:
+        speedup = report["admission"]["sweep_crash"]["speedup_vs_pr8"]
+        if speedup < args.min_admission_speedup:
+            failures.append(
+                f"admission-kernel driver-loop speedup {speedup}x "
+                f"is below the {args.min_admission_speedup}x gate")
+    if args.max_sweep_seconds is not None:
+        wall = report["sweep"]["parallel_seconds"]
+        if wall > args.max_sweep_seconds:
+            failures.append(
+                f"faulted-sweep wall time {wall}s exceeds the "
+                f"{args.max_sweep_seconds}s gate")
     for line in failures:
         print(f"GATE FAILED: {line}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _append_trajectory(report: dict, path: Path) -> None:
+    """Append one dated summary line (JSONL) for bench history."""
+    import datetime
+
+    entry = {
+        "date": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "scale": report["scale"],
+        "engine_speedup": report["engine"]["speedup"],
+        "faulted_crash_speedup_vs_pr6":
+            report["faulted"]["crash"]["speedup_vs_pr6"],
+        "admission_speedup_vs_pr8":
+            report["admission"]["sweep_crash"]["speedup_vs_pr8"],
+        "admission_classify_rps":
+            report["admission"]["classify"]["requests_per_second"],
+        "sweep_parallel_seconds": report["sweep"]["parallel_seconds"],
+        "harness_speedup": report["harness"]["speedup"],
+    }
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry) + "\n")
 
 
 def main(argv=None) -> int:
@@ -387,6 +610,22 @@ def main(argv=None) -> int:
                         default=None, metavar="Y",
                         help="exit non-zero if fast-path playback "
                              "coverage falls below Y (fraction)")
+    parser.add_argument("--min-admission-speedup", type=float,
+                        default=None, metavar="Z",
+                        help="exit non-zero if the admission-kernel "
+                             "driver-loop speedup vs the PR-8 scalar "
+                             "baseline falls below Z")
+    parser.add_argument("--max-sweep-seconds", type=float,
+                        default=None, metavar="S",
+                        help="exit non-zero if the parallel faulted "
+                             "sweep takes longer than S seconds")
+    parser.add_argument("--trajectory", type=Path, default=TRAJECTORY,
+                        metavar="PATH",
+                        help="bench-history JSONL to append a dated "
+                             "summary line to (default: "
+                             "BENCH_trajectory.jsonl)")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="skip the bench-history append")
     args = parser.parse_args(argv)
     scale = "full" if args.full else args.scale
     cfg = SCALES[scale]
@@ -397,12 +636,16 @@ def main(argv=None) -> int:
         "scale": scale,
         "engine": bench_engine(cfg),
         "faulted": bench_faulted(cfg),
+        "admission": bench_admission(cfg),
         "sweep": bench_sweep(cfg, args.jobs),
         "harness": bench_harness(args.jobs, fast=scale != "full"),
     }
     OUT.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"\nwritten to {OUT}")
+    if not args.no_trajectory:
+        _append_trajectory(report, args.trajectory)
+        print(f"trajectory appended to {args.trajectory}")
     return _gate(report, args)
 
 
