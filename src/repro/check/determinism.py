@@ -386,6 +386,55 @@ def _admission_small(seed: int) -> str:
     return "|".join(f"{k}:{v}" for k, v in sorted(vectorized.items()))
 
 
+def _cluster_small(seed: int) -> str:
+    """Sharded-cluster probe: the scale-out layer, replayed.
+
+    Asserts, before the across-runs comparison:
+
+    * **1-shard identity** -- a 1-array cluster reproduces
+      ``play_workload`` byte for byte (same interval-series state),
+      so the scale-out layer adds nothing at N=1;
+    * **mode identity** -- the serial streaming path (routing sync
+      off) and the parallel-runner cell path produce identical
+      :class:`~repro.cluster.ClusterReport` fingerprints.
+
+    The returned payload (cluster experiment table + 4-array cluster
+    fingerprint) then guards the layer's run-to-run determinism:
+    sharding, mirror planning, replica routing and the mergeable
+    roll-up.
+    """
+    from repro.cluster import ClusterConfig, ShardedCluster
+    from repro.experiments import cluster as cluster_exp
+    from repro.experiments.common import play_workload
+    from repro.experiments.fig8 import make_parts
+    from repro.runner import ParallelRunner
+
+    parts = make_parts("exchange", 0.2, 4, seed)
+
+    single = play_workload(parts, n_devices=9, seed=seed)
+    one = ShardedCluster(ClusterConfig(
+        n_arrays=1, n_devices=9, cross_replication=1,
+        seed=seed)).play(parts)
+    if one.series.state() != single.report.series.state():
+        raise ValueError("a 1-array cluster diverged from the "
+                         "single-array pipeline")
+
+    config = ClusterConfig(n_arrays=4, n_devices=9,
+                           cross_replication=2, seed=seed)
+    serial = ShardedCluster(config).play(parts, router_sync=False)
+    runner = ParallelRunner(jobs=2, cache=None, auto_degrade=False)
+    celled = ShardedCluster(config).play(parts, runner=runner)
+    if serial.fingerprint() != celled.fingerprint():
+        raise ValueError("the serial cluster path diverged from the "
+                         "parallel-runner cell path")
+
+    table = cluster_exp.run(scale=0.2, n_intervals=4,
+                            seed=seed).to_json()
+    synced = ShardedCluster(config).play(parts)
+    return table + "|" + synced.fingerprint() + "|" + \
+        serial.fingerprint()
+
+
 #: name -> callable(seed) -> serialized result string
 PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "fig8": _fig8_small,
@@ -398,6 +447,7 @@ PROBE_WORKLOADS: Dict[str, Callable[[int], str]] = {
     "faults": _faults_small,
     "controller": _controller_small,
     "admission": _admission_small,
+    "cluster": _cluster_small,
 }
 
 

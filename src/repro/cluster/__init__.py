@@ -1,0 +1,34 @@
+"""``repro.cluster``: sharded multi-array QoS (scale-out layer).
+
+Wraps N independent :class:`~repro.core.qos.QoSFlashArray` instances
+behind one request-facing API: consistent-hash or range sharding of
+the block space, cross-array replication of hot FIM patterns under a
+migration budget, least-loaded replica routing with whole-array fault
+domains, and a mergeable cluster-wide QoS roll-up.  See
+``docs/cluster.md`` for the architecture and the determinism
+contracts.
+"""
+
+from repro.cluster.cluster import (ArrayResult, BoundaryRecord,
+                                   ClusterConfig, ClusterReport,
+                                   ShardedCluster)
+from repro.cluster.replicator import (ArrayMirrorAllocation,
+                                      CrossArrayReplicator)
+from repro.cluster.routing import ReplicaRouter
+from repro.cluster.sharding import (HashSharding, RangeSharding,
+                                    Sharding, make_sharding)
+
+__all__ = [
+    "ArrayMirrorAllocation",
+    "ArrayResult",
+    "BoundaryRecord",
+    "ClusterConfig",
+    "ClusterReport",
+    "CrossArrayReplicator",
+    "HashSharding",
+    "RangeSharding",
+    "ReplicaRouter",
+    "ShardedCluster",
+    "Sharding",
+    "make_sharding",
+]

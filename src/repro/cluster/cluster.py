@@ -1,0 +1,660 @@
+"""``ShardedCluster``: N independent QoS arrays behind one front door.
+
+Scale-out happens in three composable layers:
+
+1. **Sharding** (:mod:`repro.cluster.sharding`) gives every data block
+   a *home array*; each array runs the full single-array stack --
+   per-array FIM matching, admission control, the byte-identical
+   playback engines, module-level fault injection.
+2. **Cross-array replication** (:mod:`repro.cluster.replicator`)
+   mirrors hot blocks onto secondary arrays under a migration budget,
+   reusing :class:`repro.controller.ReplicationPlanner` verbatim.
+3. **Routing** (:mod:`repro.cluster.routing`) sends each read of a
+   replicated block to the least-loaded *live* replica array, failing
+   over when :mod:`repro.faults` kills a whole array.
+
+Determinism contracts (enforced by tests and the ``cluster`` probe):
+
+* **1-shard identity** -- a 1-array cluster replays
+  :func:`repro.experiments.common.play_workload` byte for byte: with
+  one array, routing is the identity, per-array mining sees exactly
+  the offline trace, and the streaming session's chunking invariance
+  makes feed-per-part equal feed-once.
+* **Mode identity** -- the serial streaming path and the
+  parallel-runner cell path produce identical
+  :class:`ClusterReport` fingerprints when routing runs open-loop
+  (``router_sync=False``): routing is then a pure function of the
+  trace, and per-array playback is embarrassingly parallel.
+* **Dispatch atomicity** -- array-scoped faults act on *routing
+  only*: a request dispatched to an array before the fault instant
+  completes normally, so killing fewer replica arrays than a pattern
+  holds never fails one of its reads, and per-array QoS reports stay
+  well-formed (no mid-flight corruption to merge around).
+
+Roll-up leans on the mergeable observability primitives: per-shard
+:class:`~repro.flash.metrics.IntervalSeries` fold into one
+cluster-wide series whose state equals recording the concatenated
+sample stream (order-independent histogram + exact-moment state).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.cluster.replicator import CrossArrayReplicator
+from repro.cluster.routing import ReplicaRouter
+from repro.cluster.sharding import Sharding, make_sharding
+from repro.controller.planner import pair_support_by_block
+from repro.core.qos import QoSFlashArray, QoSReport
+from repro.faults import FaultSchedule
+from repro.flash.driver import OnlineTracePlayer
+from repro.flash.metrics import IntervalSeries
+from repro.mining.apriori import apriori
+from repro.mining.matching import FIMBlockMatcher, MatchResult
+from repro.mining.transactions import transactions_from_trace
+from repro.obs.series import ModuleSeries, module_interval_series
+from repro.traces.records import Trace
+
+__all__ = ["ClusterConfig", "ShardedCluster", "ClusterReport",
+           "ArrayResult", "BoundaryRecord"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a :class:`ShardedCluster` needs, in one record.
+
+    The per-array knobs mirror :class:`~repro.core.qos.QoSFlashArray`
+    (so the 1-shard identity contract is like-for-like); the cluster
+    knobs add sharding, cross-array replication and routing.
+    """
+
+    n_arrays: int = 4
+    n_devices: int = 9
+    replication: int = 3
+    interval_ms: float = 0.133
+    epsilon: float = 0.0
+    accesses: Optional[int] = None
+    seed: int = 0
+    engine: str = "auto"
+    admission: str = "counting"
+    #: ``"hash"`` (consistent-hash ring, default) or ``"range"``
+    sharding: str = "hash"
+    #: block-space size for range sharding (ignored for hash)
+    n_blocks: int = 1 << 16
+    #: virtual nodes per array on the hash ring
+    vnodes: int = 64
+    #: replica arrays per hot block including the home (2 = one
+    #: mirror); clamped to ``n_arrays``
+    cross_replication: int = 2
+    #: cross-array mirror moves applied per boundary per mirror rank;
+    #: ``None`` = unlimited
+    migration_budget: Optional[int] = None
+    #: minimum mined pair support for a block to earn a mirror
+    hot_support: int = 2
+    fim_window_ms: float = 0.133
+    min_support: int = 1
+
+    def __post_init__(self):
+        if self.n_arrays < 1:
+            raise ValueError("n_arrays must be >= 1")
+        if self.cross_replication < 1:
+            raise ValueError("cross_replication must be >= 1")
+        if self.hot_support < 1:
+            raise ValueError("hot_support must be >= 1")
+
+    @property
+    def effective_cross_replication(self) -> int:
+        return min(self.cross_replication, self.n_arrays)
+
+    def make_sharding(self) -> Sharding:
+        return make_sharding(self.sharding, self.n_arrays,
+                             n_blocks=self.n_blocks,
+                             vnodes=self.vnodes)
+
+
+def _array_faults(faults: Optional[FaultSchedule], array: int,
+                  n_devices: int) -> Optional[FaultSchedule]:
+    """The module-scope restriction of a cluster schedule to one
+    array (array ``a`` owns global modules ``[a*n, (a+1)*n)``)."""
+    if faults is None:
+        return None
+    return faults.for_array(array, array * n_devices, n_devices)
+
+
+def _make_qos(config: ClusterConfig,
+              faults: Optional[FaultSchedule]) -> QoSFlashArray:
+    return QoSFlashArray(
+        n_devices=config.n_devices, replication=config.replication,
+        interval_ms=config.interval_ms, accesses=config.accesses,
+        epsilon=config.epsilon, seed=config.seed,
+        engine=config.engine, admission=config.admission,
+        faults=faults)
+
+
+def _make_player(config: ClusterConfig, qos: QoSFlashArray,
+                 faults: Optional[FaultSchedule]) -> OnlineTracePlayer:
+    """Exactly :meth:`QoSFlashArray.run_online`'s player construction
+    (the 1-shard identity contract depends on the match)."""
+    probs = qos.probabilities() if config.epsilon > 0 else None
+    return OnlineTracePlayer(
+        qos.allocation, config.interval_ms, epsilon=config.epsilon,
+        probabilities=probs, accesses=qos.accesses, params=qos.params,
+        engine=config.engine, admission=config.admission,
+        faults=faults)
+
+
+@dataclass
+class ArrayResult:
+    """One array's contribution to a cluster play-through.
+
+    ``fingerprint`` hashes the full per-request detail columns inside
+    the producing process, so cross-mode and double-run identity
+    checks never need to ship request lists across workers; ``report``
+    carries them anyway in the serial path (``None`` from runner
+    cells).
+    """
+
+    array: int
+    series: IntervalSeries
+    n_requests: int
+    n_failed: int
+    n_faulted: int
+    n_delayed: int
+    n_rejected: int
+    n_violations: int
+    fingerprint: str
+    report: Optional[QoSReport] = None
+    module_series: Optional[ModuleSeries] = None
+
+
+def _array_result(array: int, series: IntervalSeries, played,
+                  guarantee_ms: float,
+                  keep_requests: bool) -> ArrayResult:
+    report = QoSReport(series, list(played), guarantee_ms)
+    h = hashlib.sha256()
+    if played:
+        floats = np.array(
+            [[p.io.arrival, p.io.issued_at, p.io.completed_at,
+              p.io.response_ms, p.io.total_ms] for p in played],
+            dtype=np.float64)
+        ints = np.array(
+            [[p.interval, p.io.device, p.io.retries, int(p.delayed),
+              int(p.rejected), int(p.failed),
+              int(getattr(p.io, "faulted", False))] for p in played],
+            dtype=np.int64)
+        h.update(floats.tobytes())
+        h.update(ints.tobytes())
+    n_delayed = sum(1 for p in played
+                    if p.delayed and not p.rejected)
+    n_rejected = sum(1 for p in played if p.rejected)
+    return ArrayResult(
+        array=array, series=series, n_requests=len(played),
+        n_failed=report.n_failed, n_faulted=report.n_faulted,
+        n_delayed=n_delayed, n_rejected=n_rejected,
+        n_violations=report.n_violations, fingerprint=h.hexdigest(),
+        report=report if keep_requests else None)
+
+
+def _cell_play_array(config: ClusterConfig, array: int,
+                     arrivals: np.ndarray, buckets: np.ndarray,
+                     faults_data: Optional[Dict]) -> ArrayResult:
+    """One array's full playback -- the parallel runner's cell.
+
+    Module-level and pure: the routed per-array trace comes in as
+    plain columns, the per-array fault restriction is rebuilt in the
+    worker, and the result is picklable summary state.  Equal to the
+    serial streaming path by the session's chunking invariance.
+    """
+    faults = None
+    if faults_data is not None:
+        faults = _array_faults(FaultSchedule.from_dict(faults_data),
+                               array, config.n_devices)
+    qos = _make_qos(config, faults)
+    player = _make_player(config, qos, faults)
+    series, played = player.play(
+        [float(t) for t in arrivals], [int(b) for b in buckets])
+    return _array_result(array, series, played, qos.guarantee_ms,
+                         keep_requests=False)
+
+
+@dataclass(frozen=True)
+class BoundaryRecord:
+    """One part boundary's cluster decisions (audit trail)."""
+
+    part: int
+    boundary_ms: float
+    n_hot: int
+    n_mirrored: int
+    moves_applied: int
+    moves_deferred: int
+    moves_blocked: int
+    excluded_arrays: Tuple[int, ...] = ()
+
+
+@dataclass
+class ClusterReport:
+    """Cluster-wide roll-up of one play-through.
+
+    ``series`` merges the per-array interval series through the
+    mergeable histogram/exact-moment state, so its totals equal a
+    single report over the concatenated samples; the per-request
+    accounting (``n_failed``, ``n_violations``, ...) sums the
+    per-array counts plus the reads the router could not place
+    (``n_unrouted`` -- every replica array dead at arrival).
+    """
+
+    config: ClusterConfig
+    guarantee_ms: float
+    arrays: List[ArrayResult]
+    n_unrouted: int
+    routed: List[int]
+    audit: List[BoundaryRecord] = field(default_factory=list)
+
+    @property
+    def series(self) -> IntervalSeries:
+        merged = IntervalSeries()
+        for ar in self.arrays:
+            merged.merge(ar.series)
+        return merged
+
+    @property
+    def overall(self):
+        return self.series.overall()
+
+    @property
+    def n_requests(self) -> int:
+        return sum(ar.n_requests for ar in self.arrays) \
+            + self.n_unrouted
+
+    @property
+    def n_failed(self) -> int:
+        return sum(ar.n_failed for ar in self.arrays) \
+            + self.n_unrouted
+
+    @property
+    def n_faulted(self) -> int:
+        return sum(ar.n_faulted for ar in self.arrays)
+
+    @property
+    def n_rejected(self) -> int:
+        return sum(ar.n_rejected for ar in self.arrays)
+
+    @property
+    def n_violations(self) -> int:
+        return sum(ar.n_violations for ar in self.arrays) \
+            + self.n_unrouted
+
+    @property
+    def violation_rate(self) -> float:
+        total = self.n_requests - self.n_rejected
+        return self.n_violations / total if total else 0.0
+
+    @property
+    def guarantee_met(self) -> bool:
+        if self.n_unrouted or self.n_failed:
+            return False
+        stats = self.overall
+        return stats.n_total == 0 \
+            or stats.max <= self.guarantee_ms + 1e-9
+
+    @property
+    def pct_delayed(self) -> float:
+        total = sum(ar.n_requests for ar in self.arrays)
+        delayed = sum(ar.n_delayed for ar in self.arrays)
+        return 100.0 * delayed / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        stats = self.overall
+        out = stats.summary()
+        out["guarantee_ms"] = self.guarantee_ms
+        out["guarantee_met"] = float(self.guarantee_met)
+        out["n_arrays"] = float(len(self.arrays))
+        out["n_unrouted"] = float(self.n_unrouted)
+        if self.n_failed or self.n_faulted:
+            out["n_failed"] = float(self.n_failed)
+            out["n_faulted"] = float(self.n_faulted)
+            out["violation_rate"] = self.violation_rate
+        return out
+
+    def fingerprint(self) -> str:
+        """Byte-comparable identity of the whole play-through.
+
+        Covers every per-request detail column (via the per-array
+        fingerprints), the routing census and the unrouted count --
+        the double-run determinism probe and the serial-vs-runner
+        mode test compare exactly this.
+        """
+        h = hashlib.sha256()
+        for ar in self.arrays:
+            h.update(f"{ar.array}:{ar.n_requests}:"
+                     f"{ar.fingerprint};".encode("ascii"))
+        h.update(repr(self.routed).encode("ascii"))
+        h.update(str(self.n_unrouted).encode("ascii"))
+        return h.hexdigest()
+
+
+class ShardedCluster:
+    """N independent :class:`~repro.core.qos.QoSFlashArray` instances
+    behind one request-facing API.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ClusterConfig` in force.
+    faults:
+        Optional cluster-level :class:`repro.faults.FaultSchedule`.
+        Module-scoped events use *global* module IDs (array ``a`` owns
+        ``[a*n_devices, (a+1)*n_devices)``) and are restricted per
+        array; array-scoped events (``scope="array"``) mask whole
+        arrays out of routing (:meth:`~repro.faults.FaultSchedule.\
+masked_arrays_at`) without ever touching in-flight playback.
+    """
+
+    def __init__(self, config: ClusterConfig,
+                 faults: Optional[FaultSchedule] = None):
+        self.config = config
+        self.faults = faults
+        self.sharding = config.make_sharding()
+        self.arrays = [
+            _make_qos(config, _array_faults(faults, a,
+                                            config.n_devices))
+            for a in range(config.n_arrays)]
+        ref = self.arrays[0]
+        self.guarantee_ms = ref.guarantee_ms
+        #: aggregate service rate per array, for the router's decay
+        self._drain_rate = config.n_devices / ref.params.read_ms
+
+    # -- the play-through -------------------------------------------------
+    def play(self, parts: Sequence[Trace], runner=None,
+             router_sync: Optional[bool] = None) -> ClusterReport:
+        """Play a multi-part workload through the cluster.
+
+        Per part: at the boundary each array mines its own previous
+        sub-trace (FIM matching, as in ``play_workload``), the
+        cluster-wide hot set drives one budgeted
+        :class:`~repro.cluster.replicator.CrossArrayReplicator` round,
+        then every request is routed (home array, or the least-loaded
+        live replica for mirrored reads) and fed to its array.
+
+        ``runner`` switches per-array playback to parallel-runner
+        cells; routing then runs open-loop (no boundary queue-depth
+        sync, since playback state does not exist yet) and the result
+        is byte-identical to the serial path with
+        ``router_sync=False``.  ``router_sync`` defaults to True in
+        the serial path and is forced False with a runner.
+        """
+        cfg = self.config
+        parts = list(parts)
+        if router_sync is None:
+            router_sync = runner is None
+        if runner is not None:
+            router_sync = False
+        router = ReplicaRouter(cfg.n_arrays, self._drain_rate)
+        replicator = CrossArrayReplicator(
+            cfg.n_arrays, self.sharding.array_of,
+            cross_replication=cfg.effective_cross_replication,
+            migration_budget=cfg.migration_budget)
+        matchers = [FIMBlockMatcher(qos.allocation)
+                    for qos in self.arrays]
+        match = [MatchResult.empty(qos.allocation.n_buckets)
+                 for qos in self.arrays]
+        audit: List[BoundaryRecord] = []
+        serial = runner is None
+        sessions = players = None
+        marks = [0] * cfg.n_arrays
+        module_series: Optional[List[ModuleSeries]] = None
+        if serial:
+            players = [
+                _make_player(cfg, qos,
+                             _array_faults(self.faults, a,
+                                           cfg.n_devices))
+                for a, qos in enumerate(self.arrays)]
+            sessions = [p.session() for p in players]
+            if router_sync:
+                module_series = [
+                    ModuleSeries(cfg.interval_ms, cfg.n_devices)
+                    for _ in range(cfg.n_arrays)]
+        #: accumulated per-array feeds for the runner path
+        feed_arrivals: List[List[np.ndarray]] = \
+            [[] for _ in range(cfg.n_arrays)]
+        feed_buckets: List[List[np.ndarray]] = \
+            [[] for _ in range(cfg.n_arrays)]
+        prev_sub: List[Optional[Trace]] = [None] * cfg.n_arrays
+        n_unrouted = 0
+
+        for part_idx, part in enumerate(parts):
+            boundary = float(part.arrival_ms[0]) if len(part) else 0.0
+            if part_idx > 0:
+                if serial and all(s.fast for s in sessions):
+                    for s in sessions:
+                        s.advance(boundary)
+                    if router_sync:
+                        self._sync_router(router, sessions, marks,
+                                          module_series, boundary)
+                        marks = [len(s.played) for s in sessions]
+                self._boundary_round(part_idx, boundary,
+                                     parts[part_idx - 1], prev_sub,
+                                     matchers, match, replicator,
+                                     audit)
+            dest, unrouted = self._route_part(part, router,
+                                              replicator)
+            n_unrouted += int(unrouted.sum())
+            for a in range(cfg.n_arrays):
+                sel = np.flatnonzero((dest == a) & ~unrouted)
+                if sel.size == 0:
+                    sub = None
+                else:
+                    sub = part[sel]
+                prev_sub[a] = sub
+                if sub is None:
+                    continue
+                mapped = self._map_buckets(match[a], sub.block)
+                if serial:
+                    sessions[a].feed(
+                        [float(t) for t in sub.arrival_ms], mapped)
+                else:
+                    feed_arrivals[a].append(
+                        np.asarray(sub.arrival_ms, dtype=np.float64))
+                    feed_buckets[a].append(
+                        np.asarray(mapped, dtype=np.int64))
+
+        if serial:
+            results = []
+            for a, session in enumerate(sessions):
+                series, played = session.drain()
+                result = _array_result(a, series, played,
+                                       self.guarantee_ms,
+                                       keep_requests=True)
+                if module_series is not None:
+                    module_series[a].merge(module_interval_series(
+                        played[marks[a]:], cfg.n_devices,
+                        cfg.interval_ms))
+                    result.module_series = module_series[a]
+                results.append(result)
+                if obs.ACTIVE:
+                    obs.SESSION.record_qos_report(result.report)
+        else:
+            results = self._run_cells(runner, feed_arrivals,
+                                      feed_buckets)
+
+        return ClusterReport(config=cfg,
+                             guarantee_ms=self.guarantee_ms,
+                             arrays=results,
+                             n_unrouted=n_unrouted,
+                             routed=list(router.routed),
+                             audit=audit)
+
+    # -- boundary work ----------------------------------------------------
+    def _boundary_round(self, part_idx: int, boundary: float,
+                        prev_part: Trace,
+                        prev_sub: List[Optional[Trace]],
+                        matchers, match, replicator,
+                        audit: List[BoundaryRecord]) -> None:
+        """Mine at the boundary, then run one replication round.
+
+        Two mining scopes, deliberately distinct: each array mines
+        its *own* previous sub-trace to train its FIM bucket matching
+        (exactly the single-array pipeline, which keeps the 1-shard
+        identity), while the replicator's hot set is mined over the
+        *whole* previous part -- a hot pattern whose blocks home on
+        different arrays never co-occurs in any per-array sub-trace,
+        so only the cluster-wide pass can see it.
+        """
+        cfg = self.config
+        for a, sub in enumerate(prev_sub):
+            if sub is None or not len(sub):
+                continue
+            txns = transactions_from_trace(sub, cfg.fim_window_ms)
+            itemsets = apriori(txns, cfg.min_support, max_size=2)
+            match[a] = matchers[a].match(itemsets)
+        whole = apriori(
+            transactions_from_trace(prev_part, cfg.fim_window_ms),
+            cfg.min_support, max_size=2)
+        hot = {b: s for b, s in pair_support_by_block(whole).items()
+               if s >= cfg.hot_support}
+        excluded: FrozenSet[int] = frozenset()
+        if self.faults is not None:
+            excluded = self.faults.masked_arrays_at(boundary)
+        applied = deferred = blocked = 0
+        if replicator.n_mirrors > 0:
+            for plan in replicator.update(hot, excluded=excluded):
+                applied += len(plan.applied)
+                deferred += len(plan.deferred)
+                blocked += len(plan.blocked)
+        audit.append(BoundaryRecord(
+            part=part_idx, boundary_ms=boundary, n_hot=len(hot),
+            n_mirrored=len(replicator.mirror_table()),
+            moves_applied=applied, moves_deferred=deferred,
+            moves_blocked=blocked,
+            excluded_arrays=tuple(sorted(excluded))))
+
+    # -- routing ----------------------------------------------------------
+    def _route_part(self, part: Trace, router: ReplicaRouter,
+                    replicator: CrossArrayReplicator,
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Destination array (and unrouted mask) for one part.
+
+        Vectorized over the unique-block table; only mirrored reads
+        walk the per-request router loop, so home-only traffic routes
+        at numpy speed.  Requests must arrive time-sorted (trace parts
+        are) so router decisions replay in arrival order.
+        """
+        cfg = self.config
+        n = len(part)
+        if n == 0:
+            return (np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=bool))
+        blocks = np.asarray(part.block, dtype=np.int64)
+        arrivals = np.asarray(part.arrival_ms, dtype=np.float64)
+        uniq, inverse = np.unique(blocks, return_inverse=True)
+        home_lut = np.asarray(
+            self.sharding.array_of_many(uniq.tolist()),
+            dtype=np.int64)
+        dest = home_lut[inverse]
+        unrouted = np.zeros(n, dtype=bool)
+
+        mirror_table = replicator.mirror_table() \
+            if replicator.n_mirrors > 0 else {}
+        routed_by_router = np.zeros(n, dtype=bool)
+        if mirror_table:
+            replica_lut = {
+                int(b): replicator.replicas(int(b))
+                for b in uniq if int(b) in mirror_table}
+            mirrored_uniq = np.fromiter(
+                (int(b) in replica_lut for b in uniq),
+                dtype=bool, count=uniq.size)
+            candidates_mask = mirrored_uniq[inverse] \
+                & np.asarray(part.is_read, dtype=bool)
+            for i in np.flatnonzero(candidates_mask):
+                t = float(arrivals[i])
+                cands = replica_lut[int(blocks[i])]
+                if self.faults is not None:
+                    masked = self.faults.masked_arrays_at(t)
+                    live = [a for a in cands if a not in masked]
+                else:
+                    live = list(cands)
+                choice = router.route(live, t)
+                routed_by_router[i] = True
+                if choice is None:
+                    unrouted[i] = True
+                else:
+                    dest[i] = choice
+
+        # Home-only traffic: fail requests whose home array is masked
+        # at arrival (dispatch-atomic: nothing already dispatched is
+        # touched).  Segment-wise so the common healthy case stays
+        # fully vectorized.
+        if self.faults is not None:
+            pts, masks = self.faults.array_mask_segments()
+            if any(masks):
+                seg = np.searchsorted(np.asarray(pts), arrivals,
+                                      side="right")
+                plain = ~routed_by_router
+                for s in np.unique(seg):
+                    dead = masks[s]
+                    if not dead:
+                        continue
+                    sel = plain & (seg == s) \
+                        & np.isin(dest, sorted(dead))
+                    unrouted |= sel
+        return dest, unrouted
+
+    def _map_buckets(self, match: MatchResult,
+                     blocks: np.ndarray) -> List[int]:
+        """FIM-mapped design buckets via a unique-block table."""
+        uniq, inverse = np.unique(np.asarray(blocks, dtype=np.int64),
+                                  return_inverse=True)
+        lut = np.fromiter(
+            (match.design_block_of(int(b)) for b in uniq),
+            dtype=np.int64, count=uniq.size)
+        return [int(b) for b in lut[inverse]]
+
+    def _sync_router(self, router: ReplicaRouter, sessions, marks,
+                     module_series: List[ModuleSeries],
+                     boundary: float) -> None:
+        """Re-anchor the router to measured boundary queue depths.
+
+        The per-array :class:`~repro.obs.series.ModuleSeries` is a
+        pure function of played timestamps (importable and exact
+        whether or not observability is recording), so syncing never
+        couples routing to ``repro.obs`` being enabled.
+        """
+        cfg = self.config
+        k = int(boundary / cfg.interval_ms + 1e-9)
+        for a, session in enumerate(sessions):
+            fresh = module_interval_series(
+                session.played[marks[a]:], cfg.n_devices,
+                cfg.interval_ms)
+            module_series[a].merge(fresh)
+            depth = sum(
+                module_series[a].depth.get((d, k), 0)
+                for d in range(cfg.n_devices))
+            router.sync(a, depth, boundary)
+
+    # -- parallel cells ---------------------------------------------------
+    def _run_cells(self, runner, feed_arrivals,
+                   feed_buckets) -> List[ArrayResult]:
+        """Per-array playback as parallel-runner cells."""
+        from repro.runner import Cell
+
+        cfg = self.config
+        faults_data = self.faults.to_dict() \
+            if self.faults is not None else None
+        cells = []
+        for a in range(cfg.n_arrays):
+            arr = (np.concatenate(feed_arrivals[a])
+                   if feed_arrivals[a]
+                   else np.zeros(0, dtype=np.float64))
+            buck = (np.concatenate(feed_buckets[a])
+                    if feed_buckets[a]
+                    else np.zeros(0, dtype=np.int64))
+            cells.append(Cell(
+                "cluster", f"array{a}", _cell_play_array,
+                (cfg, a, arr, buck, faults_data),
+                cacheable=False))
+        return list(runner.run(cells))

@@ -1,0 +1,194 @@
+"""Cross-array replication of hot FIM patterns.
+
+The single-array controller re-replicates hot data blocks across
+*design blocks*; the cluster repeats the trick one level up: blocks
+whose mined pair support marks them hot get a read-only mirror on a
+*secondary array*, so reads of them can fail over (and load-balance)
+across arrays.
+
+The planning problem is identical to the single-array one -- diff a
+target placement against the current one, order moves by support,
+apply at most ``migration_budget`` per boundary, defer the rest, veto
+moves onto dead hardware -- so :class:`CrossArrayReplicator` *is*
+:class:`repro.controller.ReplicationPlanner` run over a synthetic
+one-replica allocation in which "design block" ``a`` lives on
+"device" ``a``: design blocks and devices are both array indices, the
+planner's mapping **is** the block -> mirror-array table, and its
+budget/deferral/veto/rescue semantics carry over unchanged (the
+budget-parity unit test pins this).
+
+Lifecycle (after the QumuloReplication accept/clean model): a block
+enters the mirror table when mining marks it hot (*accept*), keeps
+its mirror while the pattern persists, and is evicted under the same
+budget when the pattern fades (*clean*).  Mirrors are read-only
+serving copies; the home array remains the write master.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.allocation.base import AllocationScheme
+from repro.controller.planner import ReplicationPlan, ReplicationPlanner
+from repro.mining.matching import MatchResult
+
+__all__ = ["ArrayMirrorAllocation", "CrossArrayReplicator"]
+
+
+class ArrayMirrorAllocation(AllocationScheme):
+    """The cluster seen as a 1-replica allocation over arrays.
+
+    Design block ``a`` lives on device ``a`` -- both are array
+    indices -- so a :class:`ReplicationPlanner` over this scheme plans
+    block -> *array* placements: its dead-array veto becomes a
+    dead-array veto and its migration cost counts whole-array copies.
+
+    One extra *phantom* bucket (index ``n_arrays``) with an empty
+    device set stands for "no mirror".  The replicator keys its
+    mapping so every block's modulo fallback lands on the phantom
+    (see :meth:`CrossArrayReplicator._key`): the planner's implicit
+    "already in place" default then always means *unmirrored*, every
+    real mirror is an explicit budgeted move, and evictions back to
+    the fallback (= dropping the mirror) can never be vetoed by dead
+    hardware -- the phantom touches none.
+    """
+
+    def __init__(self, n_arrays: int):
+        if n_arrays < 1:
+            raise ValueError("n_arrays must be >= 1")
+        self.n_devices = n_arrays
+        self.replication = 1
+        self.n_buckets = n_arrays + 1
+
+    def devices_for(self, bucket: int) -> Tuple[int, ...]:
+        bucket = int(bucket)
+        if not 0 <= bucket < self.n_buckets:
+            raise ValueError(f"bucket {bucket} out of range")
+        if bucket == self.n_buckets - 1:
+            return ()  # the phantom "no mirror" bucket
+        return (bucket,)
+
+
+class CrossArrayReplicator:
+    """Budgeted mirroring of hot blocks onto secondary arrays.
+
+    Parameters
+    ----------
+    n_arrays:
+        Cluster size (mirroring needs at least 2).
+    home_of:
+        Callable block -> home array (the sharding function).
+    cross_replication:
+        Total replica arrays per hot block including the home
+        (``2`` = one mirror, the paper-style double).  Each mirror
+        rank runs its own planner round under its own budget.
+    migration_budget:
+        Cross-array moves applied per boundary *per rank*; ``None`` =
+        unlimited.  Unfunded moves defer exactly like the single-array
+        planner's.
+    """
+
+    def __init__(self, n_arrays: int, home_of,
+                 cross_replication: int = 2,
+                 migration_budget: Optional[int] = None):
+        if cross_replication < 1:
+            raise ValueError("cross_replication must be >= 1")
+        if cross_replication > n_arrays:
+            raise ValueError(
+                f"cannot keep {cross_replication} replica arrays in a "
+                f"{n_arrays}-array cluster")
+        self.n_arrays = n_arrays
+        self.home_of = home_of
+        self.cross_replication = cross_replication
+        self.n_mirrors = cross_replication - 1
+        self.allocation = ArrayMirrorAllocation(n_arrays)
+        self._planners = [
+            ReplicationPlanner(self.allocation,
+                               migration_budget=migration_budget)
+            for _ in range(self.n_mirrors)]
+        self._current = [MatchResult.empty(self.allocation.n_buckets)
+                         for _ in range(self.n_mirrors)]
+
+    # -- key space ---------------------------------------------------------
+    def _key(self, block: int) -> int:
+        """Planner key for a data block.
+
+        Chosen so ``key % n_buckets`` is always the phantom bucket:
+        the planner's modulo fallback then uniformly means "no
+        mirror", so creating *any* real mirror is an explicit move
+        (diffed, budgeted, vetoable) and dropping one is an eviction
+        back to the phantom.
+        """
+        base = self.allocation.n_buckets
+        return int(block) * base + self.n_arrays
+
+    def _block_of_key(self, key: int) -> int:
+        return (int(key) - self.n_arrays) // self.allocation.n_buckets
+
+    # -- placement geometry ----------------------------------------------
+    def mirror_target(self, block: int, rank: int) -> int:
+        """Deterministic rank-``rank`` mirror array for ``block``.
+
+        Spreads mirrors over the ``n_arrays - 1`` non-home arrays by
+        block number; distinct ranks land on distinct arrays.
+        """
+        home = int(self.home_of(block))
+        span = self.n_arrays - 1
+        return (home + 1 + (int(block) % span + rank) % span) \
+            % self.n_arrays
+
+    def mirrors(self, block: int) -> Tuple[int, ...]:
+        """The live mirror arrays for ``block``, by rank.
+
+        Reads the planner mapping *directly*: a block with no explicit
+        entry sits on the phantom fallback, i.e. has no mirror.
+        """
+        key = self._key(block)
+        out: List[int] = []
+        for cur in self._current:
+            m = cur.mapping.get(key)
+            if m is not None and m not in out:
+                out.append(m)
+        return tuple(out)
+
+    def replicas(self, block: int) -> Tuple[int, ...]:
+        """All serving arrays for ``block`` in preference order:
+        home first, then mirrors by rank."""
+        home = int(self.home_of(block))
+        return (home,) + tuple(m for m in self.mirrors(block)
+                               if m != home)
+
+    def mirror_table(self) -> Dict[int, Tuple[int, ...]]:
+        """Snapshot: every mirrored block -> its mirror arrays."""
+        blocks = sorted({self._block_of_key(k) for cur in self._current
+                         for k in cur.mapping})
+        return {b: self.mirrors(b) for b in blocks}
+
+    # -- the boundary round ----------------------------------------------
+    def update(self, hot_supports: Dict[int, int],
+               excluded: FrozenSet[int] = frozenset(),
+               ) -> List[ReplicationPlan]:
+        """One planning round: mirror the hot set, clean the rest.
+
+        ``hot_supports`` maps each currently-hot data block to its
+        mined support (e.g. :func:`repro.controller.\
+pair_support_by_block` output, thresholded by the caller);
+        ``excluded`` is the dead-array set at the boundary
+        (:meth:`repro.faults.FaultSchedule.masked_arrays_at`).
+        Returns one :class:`ReplicationPlan` per mirror rank; deferred
+        moves are retried next round while the pattern persists.
+        """
+        plans: List[ReplicationPlan] = []
+        supports = {self._key(b): int(s)
+                    for b, s in hot_supports.items()}
+        for rank, planner in enumerate(self._planners):
+            mapping = {self._key(b): self.mirror_target(b, rank)
+                       for b in sorted(hot_supports)}
+            target = MatchResult(mapping, frozenset(mapping),
+                                 self.allocation.n_buckets)
+            plan = planner.plan(target, self._current[rank],
+                                supports=supports,
+                                excluded=excluded)
+            self._current[rank] = plan.mapping
+            plans.append(plan)
+        return plans

@@ -1,0 +1,112 @@
+"""Least-loaded replica routing across arrays.
+
+When a data block is cross-replicated, every read of it has a choice
+of serving arrays.  :class:`ReplicaRouter` picks the *least-loaded
+live* candidate using a deterministic queue-depth estimate:
+
+* each routed read adds one job to its target's backlog;
+* backlog drains at the array's aggregate service rate
+  (``n_devices / read_ms`` jobs per ms) between routing decisions;
+* at part boundaries the estimate can be re-synced to the *actual*
+  boundary queue depth of each array, computed from the played
+  request timestamps via :func:`repro.obs.series.\
+module_interval_series` -- a pure post-hoc function, so routing never
+  depends on whether observability is enabled;
+* ties break by *replica preference order* (home array first, then
+  mirrors in rank order), never by array index arithmetic -- the
+  tie-break unit test pins this down.
+
+Dead arrays are handled by the caller masking candidates through
+:meth:`repro.faults.FaultSchedule.masked_arrays_at` before asking the
+router; the router itself is fault-agnostic.
+
+Modeling grounding: *Modeling of Request Cloning in Cloud Server
+Systems using Processor Sharing* -- routing each request to the
+shortest queue among replicas approximates the cloning win without
+issuing redundant work.
+
+Everything here is a pure function of the routing-call sequence, so
+double-running the same workload replays byte-identical decisions
+(the cluster determinism probe enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ReplicaRouter"]
+
+
+class ReplicaRouter:
+    """Deterministic least-loaded routing over replica arrays.
+
+    Parameters
+    ----------
+    n_arrays:
+        Cluster size.
+    drain_rate:
+        Estimated jobs an array retires per millisecond (aggregate
+        service rate, ``n_devices / read_ms``).
+    """
+
+    def __init__(self, n_arrays: int, drain_rate: float):
+        if n_arrays < 1:
+            raise ValueError("n_arrays must be >= 1")
+        if drain_rate <= 0:
+            raise ValueError("drain_rate must be > 0")
+        self.n_arrays = n_arrays
+        self.drain_rate = float(drain_rate)
+        self._backlog = [0.0] * n_arrays
+        self._last_t = [0.0] * n_arrays
+        #: routing census: reads sent to each array
+        self.routed = [0] * n_arrays
+
+    def backlog(self, array: int, t: float) -> float:
+        """The decayed backlog estimate for ``array`` at time ``t``."""
+        decayed = self._backlog[array] \
+            - (t - self._last_t[array]) * self.drain_rate
+        return decayed if decayed > 0.0 else 0.0
+
+    def route(self, candidates: Sequence[int],
+              t: float) -> Optional[int]:
+        """Pick the least-loaded candidate for a read arriving at ``t``.
+
+        ``candidates`` must already be masked to live arrays, in
+        replica preference order (home first); on a backlog tie the
+        *earliest* candidate wins.  Returns ``None`` when no candidate
+        is live (the caller accounts the read as unrouted).
+        """
+        best = None
+        best_load = 0.0
+        for a in candidates:
+            load = self.backlog(a, t)
+            if best is None or load < best_load:
+                best, best_load = a, load
+        if best is None:
+            return None
+        self._backlog[best] = best_load + 1.0
+        self._last_t[best] = t
+        self.routed[best] += 1
+        return best
+
+    def observe(self, array: int, t: float) -> None:
+        """Account a read routed outside the router (home-only
+        traffic) so the estimate reflects total array load."""
+        self._backlog[array] = self.backlog(array, t) + 1.0
+        self._last_t[array] = t
+
+    def sync(self, array: int, depth: int, t: float) -> None:
+        """Re-anchor ``array``'s estimate to a measured queue depth.
+
+        Called at part boundaries with the boundary depth from the
+        per-array :class:`repro.obs.series.ModuleSeries`; between
+        syncs the decaying estimate extrapolates.
+        """
+        self._backlog[array] = float(depth)
+        self._last_t[array] = t
+
+    def state(self) -> Dict[str, List[float]]:
+        """Comparable snapshot (fingerprinted by determinism tests)."""
+        return {"backlog": list(self._backlog),
+                "last_t": list(self._last_t),
+                "routed": list(self.routed)}

@@ -1,0 +1,172 @@
+"""Partitioning the data-block space across arrays.
+
+A sharding function assigns every data block a *home array* -- the
+array that owns the block's primary replicas.  Two strategies:
+
+:class:`HashSharding` (default)
+    A consistent-hash ring with virtual nodes.  Each array owns
+    ``vnodes`` points on a 64-bit ring derived from sha256 (never the
+    builtin ``hash``, whose per-process randomisation would break
+    determinism); a block maps to the first ring point clockwise from
+    its own sha256 position.  Adding an array only claims the keys
+    whose successor became one of the new array's points -- every
+    other key keeps its home, the property the cluster remap test
+    locks down.
+
+:class:`RangeSharding`
+    Explicit split points over the block space: array ``i`` owns
+    ``[boundaries[i-1], boundaries[i])``.  Degenerate layouts (empty
+    shards, everything on one array) are legal and covered by the
+    boundary-case unit tests.
+
+Both are pure functions of their construction parameters, so a
+sharding decision replayed from the same config is byte-identical --
+the cluster determinism probe double-runs exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["Sharding", "HashSharding", "RangeSharding", "make_sharding"]
+
+
+def _ring_hash(token: str) -> int:
+    """Deterministic 64-bit ring position for ``token`` (sha256)."""
+    digest = hashlib.sha256(token.encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class Sharding:
+    """Base interface: map data blocks to home-array indices."""
+
+    #: number of arrays in the cluster
+    n_arrays: int
+
+    def array_of(self, block: int) -> int:
+        raise NotImplementedError
+
+    def array_of_many(self, blocks: Iterable[int]) -> List[int]:
+        """Memoized bulk lookup (the routing pass's hot loop)."""
+        cache: Dict[int, int] = self._cache
+        out = []
+        for b in blocks:
+            b = int(b)
+            a = cache.get(b)
+            if a is None:
+                a = cache[b] = self.array_of(b)
+            out.append(a)
+        return out
+
+    @property
+    def _cache(self) -> Dict[int, int]:
+        cache = getattr(self, "_memo", None)
+        if cache is None:
+            cache = self._memo = {}
+        return cache
+
+    def describe(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+
+class HashSharding(Sharding):
+    """Consistent-hash ring sharding with virtual nodes.
+
+    Parameters
+    ----------
+    n_arrays:
+        Cluster size.
+    vnodes:
+        Ring points per array; more points smooth the key balance at
+        the cost of a larger ring (64 keeps the max/min shard ratio
+        modest while the ring stays tiny).
+    """
+
+    def __init__(self, n_arrays: int, vnodes: int = 64):
+        if n_arrays < 1:
+            raise ValueError("n_arrays must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.n_arrays = n_arrays
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for a in range(n_arrays):
+            for v in range(vnodes):
+                points.append((_ring_hash(f"array-{a}:vnode-{v}"), a))
+        # Ties between distinct tokens are astronomically unlikely but
+        # the sort must still be total: break by array index.
+        points.sort()
+        self._ring_keys = [p[0] for p in points]
+        self._ring_arrays = [p[1] for p in points]
+
+    def array_of(self, block: int) -> int:
+        pos = _ring_hash(f"block-{int(block)}")
+        idx = bisect_right(self._ring_keys, pos)
+        if idx == len(self._ring_keys):
+            idx = 0  # wrap: the ring is circular
+        return self._ring_arrays[idx]
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": "hash", "n_arrays": self.n_arrays,
+                "vnodes": self.vnodes}
+
+    def __repr__(self) -> str:
+        return (f"HashSharding(n_arrays={self.n_arrays}, "
+                f"vnodes={self.vnodes})")
+
+
+class RangeSharding(Sharding):
+    """Contiguous block ranges per array.
+
+    ``boundaries`` are ``n_arrays - 1`` ascending split points; array
+    ``i`` owns blocks ``b`` with ``boundaries[i-1] <= b <
+    boundaries[i]`` (array 0 from ``-inf``, the last array to
+    ``+inf``).  A repeated boundary yields an *empty shard*, which the
+    cluster handles like any other array (it simply plays nothing).
+    """
+
+    def __init__(self, boundaries: Sequence[int], n_arrays: int):
+        if n_arrays < 1:
+            raise ValueError("n_arrays must be >= 1")
+        if len(boundaries) != n_arrays - 1:
+            raise ValueError(
+                f"need {n_arrays - 1} boundaries for {n_arrays} "
+                f"arrays, got {len(boundaries)}")
+        bounds = [int(b) for b in boundaries]
+        if any(b2 < b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("boundaries must be non-decreasing")
+        self.n_arrays = n_arrays
+        self.boundaries = bounds
+
+    @classmethod
+    def even(cls, n_arrays: int, n_blocks: int) -> "RangeSharding":
+        """Equal-width ranges over ``[0, n_blocks)``."""
+        if n_blocks < n_arrays:
+            raise ValueError("need at least one block per array")
+        step = n_blocks / n_arrays
+        bounds = [int(round(step * i)) for i in range(1, n_arrays)]
+        return cls(bounds, n_arrays)
+
+    def array_of(self, block: int) -> int:
+        return bisect_right(self.boundaries, int(block))
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": "range", "n_arrays": self.n_arrays,
+                "boundaries": list(self.boundaries)}
+
+    def __repr__(self) -> str:
+        return (f"RangeSharding({self.boundaries}, "
+                f"n_arrays={self.n_arrays})")
+
+
+def make_sharding(kind: str, n_arrays: int,
+                  n_blocks: int = 0, vnodes: int = 64) -> Sharding:
+    """Factory over the two strategies (``"hash"`` or ``"range"``)."""
+    if kind == "hash":
+        return HashSharding(n_arrays, vnodes=vnodes)
+    if kind == "range":
+        return RangeSharding.even(n_arrays, n_blocks)
+    raise ValueError(f"unknown sharding kind {kind!r}; "
+                     f"choose from ('hash', 'range')")

@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments import (
     ablations,
+    cluster,
     controller,
     faults,
     fig4,
@@ -61,6 +62,9 @@ RUNNERS: Dict[str, Callable] = {
         n_requests=240 if fast else 720, seed=seed, runner=runner),
     "controller": lambda fast, seed=0, runner=None: controller.run(
         scale=0.3 if fast else 0.4, seed=seed, runner=runner),
+    "cluster": lambda fast, seed=0, runner=None: cluster.run(
+        scale=0.2 if fast else 0.5, n_intervals=4 if fast else 8,
+        seed=seed, runner=runner),
 }
 
 
@@ -74,6 +78,7 @@ CHART_COLUMNS: Dict[str, List[str]] = {
     "fig12": ["online delay", "design-theoretic delay"],
     "faults": ["violation rate"],
     "controller": ["violation rate"],
+    "cluster": ["violation rate"],
 }
 
 

@@ -70,6 +70,12 @@ def _controller() -> ExperimentResult:
     return controller.run(scale=0.3, n_intervals=6, seed=0)
 
 
+def _cluster() -> ExperimentResult:
+    from repro.experiments import cluster
+
+    return cluster.run(scale=0.2, n_intervals=4, seed=0)
+
+
 #: snapshot key -> deterministic runner (see module docstring rules)
 GOLDEN_RUNS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig4": _fig4,
@@ -78,6 +84,7 @@ GOLDEN_RUNS: Dict[str, Callable[[], ExperimentResult]] = {
     "ablation_failures": _ablation_failures,
     "faults": _faults,
     "controller": _controller,
+    "cluster": _cluster,
 }
 
 

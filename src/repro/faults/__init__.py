@@ -25,6 +25,7 @@ Wiring (see :doc:`docs/faults.md </../docs/faults>`):
 
 from repro.faults.models import (
     FAULT_KINDS,
+    FAULT_SCOPES,
     FaultEvent,
     FaultModel,
     FaultSchedule,
@@ -34,6 +35,7 @@ from repro.faults.view import ModuleFaultView
 
 __all__ = [
     "FAULT_KINDS",
+    "FAULT_SCOPES",
     "FaultEvent",
     "FaultModel",
     "FaultSchedule",

@@ -50,10 +50,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["FaultEvent", "FaultSchedule", "FaultModel", "RetryPolicy",
-           "FAULT_KINDS"]
+           "FAULT_KINDS", "FAULT_SCOPES"]
 
 #: the recognised fault kinds, in canonical order
 FAULT_KINDS = ("crash", "down", "slow", "read_error")
+
+#: the recognised fault scopes -- ``module`` targets one module of an
+#: array, ``array`` targets a whole array inside a cluster
+FAULT_SCOPES = ("module", "array")
 
 _INF = float("inf")
 
@@ -65,6 +69,14 @@ class FaultEvent:
     ``end`` is exclusive (an event over ``[start, end)``); crashes
     ignore it and last forever.  ``factor`` only applies to ``slow``
     events, ``prob`` only to ``read_error`` events.
+
+    ``scope`` selects the fault domain: ``"module"`` (the default)
+    targets module ``module`` of one array, ``"array"`` targets the
+    whole array with index ``module`` inside a cluster.  Array-scoped
+    events affect *routing only* (``masked_arrays_at``): a request
+    dispatched to an array before the fault instant completes
+    normally, so killing fewer replicas than a pattern holds never
+    fails a read (see ``docs/cluster.md``).
     """
 
     kind: str
@@ -73,11 +85,15 @@ class FaultEvent:
     end: float = _INF
     factor: float = 1.0
     prob: float = 0.0
+    scope: str = "module"
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; "
                              f"choose from {FAULT_KINDS}")
+        if self.scope not in FAULT_SCOPES:
+            raise ValueError(f"unknown fault scope {self.scope!r}; "
+                             f"choose from {FAULT_SCOPES}")
         if self.module < 0:
             raise ValueError("module must be >= 0")
         if self.start < 0:
@@ -96,17 +112,25 @@ class FaultEvent:
         return self.start <= t < self.end
 
     def to_list(self) -> List[object]:
-        return [self.kind, self.module, self.start,
-                "inf" if self.end == _INF else self.end,
-                self.factor, self.prob]
+        # The scope column is emitted only for array-scoped events so
+        # module-only schedules keep their historical serialisation
+        # (and therefore byte-identical ``cache_token``s).
+        row: List[object] = [self.kind, self.module, self.start,
+                             "inf" if self.end == _INF else self.end,
+                             self.factor, self.prob]
+        if self.scope != "module":
+            row.append(self.scope)
+        return row
 
     @classmethod
     def from_list(cls, row: Sequence[object]) -> "FaultEvent":
-        kind, module, start, end, factor, prob = row
+        kind, module, start, end, factor, prob = row[:6]
+        scope = str(row[6]) if len(row) > 6 else "module"
         return cls(kind=str(kind), module=int(module),
                    start=float(start),
                    end=_INF if end == "inf" else float(end),
-                   factor=float(factor), prob=float(prob))
+                   factor=float(factor), prob=float(prob),
+                   scope=scope)
 
 
 @dataclass(frozen=True)
@@ -174,10 +198,10 @@ class FaultSchedule:
                  retry: Optional[RetryPolicy] = None):
         evs = sorted(events, key=lambda e: (e.start, e.module,
                                             FAULT_KINDS.index(e.kind),
-                                            e.end))
+                                            e.end, e.scope))
         if n_modules is not None:
             for e in evs:
-                if e.module >= n_modules:
+                if e.scope == "module" and e.module >= n_modules:
                     raise ValueError(
                         f"event targets module {e.module} but the "
                         f"array has {n_modules} modules")
@@ -185,19 +209,31 @@ class FaultSchedule:
         self.n_modules = n_modules
         self.seed = int(seed)
         self.retry = retry or RetryPolicy()
+        # Query structures are keyed per scope: an array-scoped event
+        # on id 2 must never leak into module-2 lookups (or vice
+        # versa), and each scope gets its own masked-set cache.
         self._by_module: Dict[int, List[FaultEvent]] = {}
+        self._by_array: Dict[int, List[FaultEvent]] = {}
         for e in self.events:
-            self._by_module.setdefault(e.module, []).append(e)
-        #: earliest crash per module (is_dead in O(1))
+            table = (self._by_module if e.scope == "module"
+                     else self._by_array)
+            table.setdefault(e.module, []).append(e)
+        #: earliest crash per module / per array (is_dead in O(1))
         self._crash_at: Dict[int, float] = {}
+        self._array_crash_at: Dict[int, float] = {}
         for e in self.events:
             if e.kind == "crash":
-                prev = self._crash_at.get(e.module, _INF)
+                table = (self._crash_at if e.scope == "module"
+                         else self._array_crash_at)
+                prev = table.get(e.module, _INF)
                 if e.start < prev:
-                    self._crash_at[e.module] = e.start
-        #: lazily built masked-set change points (see masked_at)
+                    table[e.module] = e.start
+        #: lazily built masked-set change points, one per scope
+        #: (see masked_at / masked_arrays_at)
         self._mask_cache: Optional[Tuple[List[float],
                                          List[frozenset]]] = None
+        self._array_mask_cache: Optional[Tuple[List[float],
+                                               List[frozenset]]] = None
 
     # -- constructors -----------------------------------------------------
     @classmethod
@@ -221,11 +257,19 @@ class FaultSchedule:
 
     @property
     def affected_modules(self) -> Tuple[int, ...]:
-        """Modules named by at least one event, ascending."""
+        """Modules named by at least one module-scoped event, ascending."""
         return tuple(sorted(self._by_module))
+
+    @property
+    def affected_arrays(self) -> Tuple[int, ...]:
+        """Arrays named by at least one array-scoped event, ascending."""
+        return tuple(sorted(self._by_array))
 
     def events_for(self, module: int) -> Tuple[FaultEvent, ...]:
         return tuple(self._by_module.get(module, ()))
+
+    def events_for_array(self, array: int) -> Tuple[FaultEvent, ...]:
+        return tuple(self._by_array.get(array, ()))
 
     def is_dead(self, module: int, t: float) -> bool:
         """True once a crash of ``module`` has taken effect."""
@@ -281,19 +325,29 @@ class FaultSchedule:
         The masked set only changes at event boundaries (``active_at``
         is right-continuous on ``[start, end)``), so it is precomputed
         per boundary segment once and looked up by bisection -- this
-        is the driver's per-dispatch hot path.
+        is the driver's per-dispatch hot path.  Only module-scoped
+        events contribute; array-scoped faults have their own cache
+        behind :meth:`masked_arrays_at`.
         """
         if self._mask_cache is None:
-            pts = sorted({e.start for e in self.events
-                          if e.kind in ("crash", "down")} |
-                         {e.end for e in self.events
-                          if e.kind == "down" and e.end != _INF})
-            masks = [frozenset()] + [
-                frozenset(m for m in self._by_module
-                          if self.is_down(m, p)) for p in pts]
-            self._mask_cache = (pts, masks)
+            self._mask_cache = self._build_mask_cache(
+                self._by_module, self.is_down)
         pts, masks = self._mask_cache
         return masks[bisect_right(pts, t)]
+
+    @staticmethod
+    def _build_mask_cache(by_id: Dict[int, List[FaultEvent]],
+                          is_down) -> Tuple[List[float],
+                                            List[frozenset]]:
+        """Change-point table for one scope's crash/down events."""
+        events = [e for evs in by_id.values() for e in evs]
+        pts = sorted({e.start for e in events
+                      if e.kind in ("crash", "down")} |
+                     {e.end for e in events
+                      if e.kind == "down" and e.end != _INF})
+        masks = [frozenset()] + [
+            frozenset(m for m in by_id if is_down(m, p)) for p in pts]
+        return (pts, masks)
 
     def mask_segments(self) -> Tuple[List[float], List[frozenset]]:
         """``(boundaries, masks)`` backing :meth:`masked_at`.
@@ -306,6 +360,58 @@ class FaultSchedule:
         if self._mask_cache is None:
             self.masked_at(0.0)
         return self._mask_cache
+
+    # -- array-scope queries ----------------------------------------------
+    def is_array_dead(self, array: int, t: float) -> bool:
+        """True once an array-scoped crash of ``array`` took effect."""
+        return t >= self._array_crash_at.get(array, _INF)
+
+    def is_array_down(self, array: int, t: float) -> bool:
+        """True while array ``array`` is unavailable (down or dead)."""
+        for e in self._by_array.get(array, ()):
+            if e.kind == "crash" and t >= e.start:
+                return True
+            if e.kind == "down" and e.active_at(t):
+                return True
+        return False
+
+    def masked_arrays_at(self, t: float) -> frozenset:
+        """Arrays the cluster router must avoid at time ``t``.
+
+        The array-scope analogue of :meth:`masked_at`, backed by its
+        own change-point cache so module and array fault IDs can never
+        collide (module 2 down does not mask array 2, and vice versa).
+        """
+        if self._array_mask_cache is None:
+            self._array_mask_cache = self._build_mask_cache(
+                self._by_array, self.is_array_down)
+        pts, masks = self._array_mask_cache
+        return masks[bisect_right(pts, t)]
+
+    def array_mask_segments(self) -> Tuple[List[float], List[frozenset]]:
+        """``(boundaries, masks)`` backing :meth:`masked_arrays_at`."""
+        if self._array_mask_cache is None:
+            self.masked_arrays_at(0.0)
+        return self._array_mask_cache
+
+    def for_array(self, array: int, offset: int,
+                  n_modules: int) -> "FaultSchedule":
+        """Restrict to one array of a cluster, rebasing module IDs.
+
+        Module-scoped events with global IDs in ``[offset, offset +
+        n_modules)`` are kept and rebased to local IDs; array-scoped
+        events are dropped (they act on routing, not playback -- see
+        the dispatch-atomic contract in ``docs/cluster.md``).  The
+        read-error seed is offset by ``array`` so per-array draws stay
+        decorrelated but deterministic.
+        """
+        local = [FaultEvent(e.kind, e.module - offset, e.start, e.end,
+                            e.factor, e.prob)
+                 for e in self.events
+                 if e.scope == "module"
+                 and offset <= e.module < offset + n_modules]
+        return FaultSchedule(local, n_modules=n_modules,
+                             seed=self.seed + array, retry=self.retry)
 
     def read_error_draw(self, module: int, index: int) -> float:
         """The deterministic uniform for read attempt ``index`` on

@@ -269,3 +269,21 @@ class IntervalSeries:
         for interval in self.intervals():
             merged.merge(self._stats[interval])
         return merged
+
+    def merge(self, other: "IntervalSeries") -> None:
+        """Fold another series in, interval by interval.
+
+        Because the per-interval :class:`ResponseStats` fold state is
+        order- and grouping-independent, merging per-shard series in
+        any order yields the same cluster-wide state as recording the
+        concatenated sample stream directly -- the property the
+        cluster report roll-up relies on.
+        """
+        for interval, st in other._stats.items():
+            self.stats(interval).merge(st)
+
+    def state(self) -> Tuple:
+        """Comparable signature over all intervals (see
+        :meth:`ResponseStats.state`)."""
+        return tuple((i, self._stats[i].state())
+                     for i in self.intervals())

@@ -78,9 +78,16 @@ def apriori(transactions: Sequence[Transaction], min_support: int = 1,
     result.update(level_counts)
     k = 2
     while k <= max_size and level_counts:
-        cands = _candidates(list(level_counts), k)
-        if not cands:
-            break
+        if k == 2:
+            # The level-2 join of frequent singletons is *every* pair
+            # and the prune step is vacuous, so materialising the
+            # candidate set costs O(|vocab|^2) for nothing; counting
+            # the pairs observed in the data gives the same result.
+            cands: Set[FrozenSet[int]] = set()
+        else:
+            cands = _candidates(list(level_counts), k)
+            if not cands:
+                break
         counts: Dict[FrozenSet[int], int] = defaultdict(int)
         vocab = set()
         for s in level_counts:
@@ -91,9 +98,7 @@ def apriori(transactions: Sequence[Transaction], min_support: int = 1,
                 continue
             if k == 2:
                 for pair in combinations(sorted(items), 2):
-                    fp = frozenset(pair)
-                    if fp in cands:
-                        counts[fp] += 1
+                    counts[frozenset(pair)] += 1
             else:
                 for cand in cands:
                     if cand <= items:

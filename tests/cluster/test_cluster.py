@@ -1,0 +1,104 @@
+"""ShardedCluster unit tests: roll-up identity, mode identity,
+config validation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ShardedCluster
+from repro.flash.metrics import IntervalSeries
+from repro.runner import ParallelRunner
+from repro.traces.records import Trace
+
+
+def _parts(n_parts=3, n=60, n_blocks=24, seed=0):
+    rng = np.random.default_rng(seed)
+    parts = []
+    t0 = 0.0
+    for i in range(n_parts):
+        dts = rng.uniform(0.05, 0.3, size=n)
+        arrivals = t0 + np.cumsum(dts)
+        blocks = rng.integers(0, n_blocks, size=n)
+        parts.append(Trace.from_arrays(arrivals,
+                                       blocks.astype(np.int64)))
+        t0 = float(arrivals[-1]) + 5.0
+    return parts
+
+
+class TestRollUp:
+    def test_merged_series_equals_concatenated_recording(self):
+        """Cluster-wide roll-up == one series over every array's
+        samples, recorded in any interleaved order."""
+        config = ClusterConfig(n_arrays=3, n_devices=9,
+                               cross_replication=2, hot_support=2)
+        report = ShardedCluster(config).play(_parts())
+        flat = IntervalSeries()
+        # concatenate per-array request streams into one recording
+        for result in report.arrays:
+            for pr in result.report.requests:
+                if pr.rejected or pr.failed:
+                    continue
+                flat.record(pr.interval, pr.io.response_ms,
+                            pr.io.delay_ms if pr.delayed else 0.0)
+        assert report.series.state() == flat.state()
+
+    def test_counts_sum_across_arrays(self):
+        config = ClusterConfig(n_arrays=3, n_devices=9,
+                               cross_replication=1)
+        report = ShardedCluster(config).play(_parts())
+        assert report.n_requests == \
+            sum(r.n_requests for r in report.arrays)
+        assert report.n_violations == \
+            sum(r.n_violations for r in report.arrays)
+        total = sum(len(p) for p in _parts())
+        assert report.n_requests == total
+
+
+class TestModeIdentity:
+    def test_serial_equals_runner_cells(self):
+        config = ClusterConfig(n_arrays=3, n_devices=9,
+                               cross_replication=2, hot_support=2)
+        parts = _parts()
+        serial = ShardedCluster(config).play(parts,
+                                             router_sync=False)
+        runner = ParallelRunner(jobs=2, cache=None,
+                                auto_degrade=False)
+        celled = ShardedCluster(config).play(parts, runner=runner)
+        assert serial.fingerprint() == celled.fingerprint()
+        assert [r.series.state() for r in serial.arrays] == \
+            [r.series.state() for r in celled.arrays]
+
+    def test_runner_mode_forces_router_sync_off(self):
+        config = ClusterConfig(n_arrays=2, n_devices=9,
+                               cross_replication=1)
+        parts = _parts(n_parts=2)
+        runner = ParallelRunner(jobs=1)
+        celled = ShardedCluster(config).play(parts, runner=runner,
+                                             router_sync=True)
+        serial = ShardedCluster(config).play(parts,
+                                             router_sync=False)
+        assert celled.fingerprint() == serial.fingerprint()
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_arrays=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(cross_replication=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(hot_support=0)
+
+    def test_effective_cross_replication_clamps(self):
+        assert ClusterConfig(n_arrays=1, cross_replication=2) \
+            .effective_cross_replication == 1
+
+    def test_summary_shape(self):
+        config = ClusterConfig(n_arrays=2, n_devices=9,
+                               cross_replication=1)
+        report = ShardedCluster(config).play(_parts(n_parts=2))
+        summary = report.summary()
+        assert summary["n_arrays"] == 2.0
+        assert summary["n_unrouted"] == 0.0
+        assert "n_failed" not in summary  # healthy run keeps shape
+        assert report.guarantee_met == \
+            bool(summary["guarantee_met"])

@@ -1,0 +1,95 @@
+"""Array-scoped fault events: scope isolation, change-point cache
+regressions, per-array schedule restriction."""
+
+from repro.faults import FAULT_SCOPES, FaultEvent, FaultSchedule
+
+
+class TestScopeIsolation:
+    def test_array_event_never_masks_module(self):
+        # array 2 down must NOT mask module 2, and vice versa
+        sched = FaultSchedule(
+            [FaultEvent("down", 2, 1.0, 5.0, scope="array"),
+             FaultEvent("down", 3, 1.0, 5.0)],
+            n_modules=36)
+        assert sched.masked_at(2.0) == frozenset({3})
+        assert sched.masked_arrays_at(2.0) == frozenset({2})
+        assert 2 not in sched.masked_at(2.0)
+        assert 3 not in sched.masked_arrays_at(2.0)
+
+    def test_scopes_constant(self):
+        assert FAULT_SCOPES == ("module", "array")
+
+    def test_serialisation_round_trip(self):
+        sched = FaultSchedule(
+            [FaultEvent("crash", 1, 2.0, scope="array"),
+             FaultEvent("down", 0, 0.5, 1.5)],
+            n_modules=18)
+        again = FaultSchedule.from_dict(sched.to_dict())
+        assert again == sched
+        assert {e.scope for e in again.events} == {"module", "array"}
+
+
+class TestChangePointCache:
+    def test_down_window_spanning_interval_boundary(self):
+        """Regression: a whole-array down window that straddles a QoS
+        interval boundary masks the array at every instant inside the
+        window -- before, at, and after the boundary -- and nowhere
+        outside it."""
+        interval_ms = 0.133
+        boundary = 10 * interval_ms  # 1.33
+        sched = FaultSchedule(
+            [FaultEvent("down", 1, boundary - 0.05, boundary + 0.05,
+                        scope="array")],
+            n_modules=36)
+        assert sched.masked_arrays_at(boundary - 0.1) == frozenset()
+        assert sched.masked_arrays_at(boundary - 0.01) == \
+            frozenset({1})
+        assert sched.masked_arrays_at(boundary) == frozenset({1})
+        assert sched.masked_arrays_at(boundary + 0.04) == \
+            frozenset({1})
+        assert sched.masked_arrays_at(boundary + 0.05) == frozenset()
+        assert sched.masked_arrays_at(boundary + 1.0) == frozenset()
+
+    def test_crash_masks_forever(self):
+        sched = FaultSchedule(
+            [FaultEvent("crash", 0, 3.0, scope="array")],
+            n_modules=36)
+        assert sched.masked_arrays_at(2.999) == frozenset()
+        assert sched.masked_arrays_at(3.0) == frozenset({0})
+        assert sched.masked_arrays_at(1e9) == frozenset({0})
+        assert sched.is_array_dead(0, 5.0)
+        assert not sched.is_array_dead(0, 1.0)
+
+    def test_segments_back_the_point_queries(self):
+        sched = FaultSchedule(
+            [FaultEvent("down", 0, 1.0, 2.0, scope="array"),
+             FaultEvent("down", 1, 1.5, 2.5, scope="array")],
+            n_modules=36)
+        pts, masks = sched.array_mask_segments()
+        for t in (0.5, 1.0, 1.4, 1.5, 1.9, 2.0, 2.4, 2.5, 3.0):
+            import bisect
+
+            seg = bisect.bisect_right(pts, t)
+            assert masks[seg] == sched.masked_arrays_at(t)
+
+
+class TestForArray:
+    def test_restriction_rebases_and_drops_array_scope(self):
+        sched = FaultSchedule(
+            [FaultEvent("crash", 9, 1.0),          # module 9 = array 1's 0
+             FaultEvent("down", 3, 0.5, 2.0),      # array 0's module 3
+             FaultEvent("crash", 1, 1.0, scope="array")],
+            n_modules=18)
+        local = sched.for_array(1, offset=9, n_modules=9)
+        assert len(local.events) == 1
+        assert local.events[0].module == 0
+        assert local.events[0].scope == "module"
+        other = sched.for_array(0, offset=0, n_modules=9)
+        assert len(other.events) == 1
+        assert other.events[0].module == 3
+
+    def test_restriction_decorrelates_seeds(self):
+        sched = FaultSchedule([FaultEvent("crash", 0, 1.0)],
+                              n_modules=18, seed=7)
+        assert sched.for_array(0, 0, 9).seed != \
+            sched.for_array(1, 9, 9).seed

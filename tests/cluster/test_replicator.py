@@ -1,0 +1,127 @@
+"""CrossArrayReplicator unit tests: geometry, lifecycle, budget
+parity with the single-array ReplicationPlanner."""
+
+import pytest
+
+from repro.cluster import ArrayMirrorAllocation, CrossArrayReplicator
+from repro.controller.planner import ReplicationPlanner
+from repro.mining.matching import MatchResult
+
+
+def _home(block):
+    return int(block) % 4
+
+
+class TestGeometry:
+    def test_mirror_never_on_home(self):
+        rep = CrossArrayReplicator(4, _home, cross_replication=3)
+        for block in range(100):
+            home = _home(block)
+            for rank in range(2):
+                assert rep.mirror_target(block, rank) != home
+
+    def test_ranks_land_on_distinct_arrays(self):
+        rep = CrossArrayReplicator(4, _home, cross_replication=4)
+        for block in range(50):
+            targets = [rep.mirror_target(block, r) for r in range(3)]
+            assert len(set(targets)) == 3
+
+    def test_replicas_home_first(self):
+        rep = CrossArrayReplicator(4, _home, cross_replication=2)
+        rep.update({7: 5})
+        replicas = rep.replicas(7)
+        assert replicas[0] == _home(7)
+        assert set(replicas[1:]) == set(rep.mirrors(7))
+
+    def test_too_much_replication_rejected(self):
+        with pytest.raises(ValueError):
+            CrossArrayReplicator(2, _home, cross_replication=3)
+
+
+class TestLifecycle:
+    def test_accept_then_clean(self):
+        rep = CrossArrayReplicator(4, _home, cross_replication=2)
+        rep.update({7: 5, 9: 3})
+        assert set(rep.mirror_table()) == {7, 9}
+        # the pattern fades: mirrors are evicted
+        rep.update({})
+        assert rep.mirror_table() == {}
+        assert rep.mirrors(7) == ()
+
+    def test_every_mirror_is_explicit(self):
+        # regression: a mirror target that coincides with any modulo
+        # arithmetic must still be created (the phantom-fallback key
+        # trick) -- for every hot block, exactly one mirror exists
+        rep = CrossArrayReplicator(4, _home, cross_replication=2)
+        hot = {b: 2 for b in range(40)}
+        rep.update(hot)
+        table = rep.mirror_table()
+        assert set(table) == set(hot)
+        for block, mirrors in table.items():
+            assert len(mirrors) == 1
+            assert mirrors[0] != _home(block)
+
+    def test_dead_target_is_vetoed(self):
+        rep = CrossArrayReplicator(4, _home, cross_replication=2)
+        block = 7
+        dead = rep.mirror_target(block, 0)
+        plans = rep.update({block: 5}, excluded=frozenset({dead}))
+        assert len(plans[0].blocked) == 1
+        assert rep.mirrors(block) == ()
+
+
+class TestBudgetParity:
+    """The replicator's budget/deferral semantics ARE the planner's."""
+
+    def test_plans_match_raw_planner(self):
+        hot = {10: 9, 11: 7, 12: 5, 13: 3}
+        rep = CrossArrayReplicator(4, _home, cross_replication=2,
+                                   migration_budget=2)
+        planner = ReplicationPlanner(ArrayMirrorAllocation(4),
+                                     migration_budget=2)
+        current = MatchResult.empty(rep.allocation.n_buckets)
+        for _ in range(3):
+            mapping = {rep._key(b): rep.mirror_target(b, 0)
+                       for b in sorted(hot)}
+            target = MatchResult(mapping, frozenset(mapping),
+                                 rep.allocation.n_buckets)
+            expected = planner.plan(
+                target, current,
+                supports={rep._key(b): s for b, s in hot.items()})
+            got = rep.update(hot)[0]
+            assert got.applied == expected.applied
+            assert got.deferred == expected.deferred
+            assert got.blocked == expected.blocked
+            assert got.mapping.mapping == expected.mapping.mapping
+            current = expected.mapping
+
+    def test_budget_defers_then_retries(self):
+        hot = {10: 9, 11: 7, 12: 5}
+        rep = CrossArrayReplicator(4, _home, cross_replication=2,
+                                   migration_budget=1)
+        plan = rep.update(hot)[0]
+        assert len(plan.applied) == 1
+        assert len(plan.deferred) == 2
+        # strongest support moves first
+        assert rep._block_of_key(plan.applied[0].block) == 10
+        rep.update(hot)
+        rep.update(hot)
+        assert set(rep.mirror_table()) == set(hot)
+
+    def test_unbudgeted_mirrors_everything_at_once(self):
+        hot = {b: 2 for b in range(10)}
+        rep = CrossArrayReplicator(4, _home, cross_replication=2)
+        plan = rep.update(hot)[0]
+        assert len(plan.applied) == len(hot)
+        assert plan.deferred == []
+
+
+class TestAllocation:
+    def test_phantom_bucket_has_no_devices(self):
+        alloc = ArrayMirrorAllocation(4)
+        assert alloc.n_buckets == 5
+        assert alloc.devices_for(4) == ()
+        assert [alloc.devices_for(a) for a in range(4)] == \
+            [(0,), (1,), (2,), (3,)]
+        with pytest.raises(ValueError):
+            alloc.devices_for(5)

@@ -1,0 +1,72 @@
+"""ReplicaRouter unit tests: tie-break, decay, sync, census."""
+
+import pytest
+
+from repro.cluster import ReplicaRouter
+
+
+class TestTieBreak:
+    def test_equal_backlog_prefers_earliest_candidate(self):
+        # fresh router: all backlogs zero; the tie must go to the
+        # FIRST candidate in replica-preference order, whatever the
+        # array indices are
+        router = ReplicaRouter(4, drain_rate=1.0)
+        assert router.route([2, 1, 3], t=0.0) == 2
+        # array 2 now has backlog 1; the next tie is between 1 and 3
+        assert router.route([2, 1, 3], t=0.0) == 1
+        assert router.route([2, 1, 3], t=0.0) == 3
+        # all equal again (1.0 each): back to preference order
+        assert router.route([2, 1, 3], t=0.0) == 2
+        assert router.routed == [0, 1, 2, 1]
+
+    def test_strictly_less_loaded_wins_over_preference(self):
+        router = ReplicaRouter(2, drain_rate=1.0)
+        router.sync(0, depth=5, t=0.0)
+        assert router.route([0, 1], t=0.0) == 1
+
+    def test_no_candidates_returns_none(self):
+        router = ReplicaRouter(2, drain_rate=1.0)
+        assert router.route([], t=1.0) is None
+        assert router.routed == [0, 0]
+
+
+class TestBacklogDecay:
+    def test_backlog_drains_at_rate(self):
+        router = ReplicaRouter(1, drain_rate=2.0)
+        router.sync(0, depth=4, t=0.0)
+        assert router.backlog(0, 1.0) == pytest.approx(2.0)
+        assert router.backlog(0, 2.0) == pytest.approx(0.0)
+        # never negative
+        assert router.backlog(0, 50.0) == 0.0
+
+    def test_decay_flips_the_choice_over_time(self):
+        router = ReplicaRouter(2, drain_rate=1.0)
+        router.sync(0, depth=2, t=0.0)
+        router.sync(1, depth=3, t=0.0)
+        # at t=0 array 0 is lighter ...
+        assert router.route([0, 1], t=0.0) == 0
+        # ... and keeps being lighter as both drain equally
+        assert router.route([0, 1], t=1.0) == 0
+
+    def test_observe_accounts_external_traffic(self):
+        router = ReplicaRouter(2, drain_rate=1.0)
+        router.observe(0, t=0.0)
+        router.observe(0, t=0.0)
+        # array 0 carries external load -> reads go to array 1
+        assert router.route([0, 1], t=0.0) == 1
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ReplicaRouter(0, drain_rate=1.0)
+        with pytest.raises(ValueError):
+            ReplicaRouter(2, drain_rate=0.0)
+
+    def test_state_snapshot(self):
+        router = ReplicaRouter(2, drain_rate=1.0)
+        router.route([0, 1], t=1.0)
+        state = router.state()
+        assert state["routed"] == [1, 0]
+        assert state["backlog"][0] == 1.0
+        assert state["last_t"][0] == 1.0

@@ -1,0 +1,106 @@
+"""Sharding-function unit tests: boundaries, degeneracy, balance."""
+
+import pytest
+
+from repro.cluster import (HashSharding, RangeSharding, ShardedCluster,
+                           ClusterConfig, make_sharding)
+
+
+class TestRangeSharding:
+    def test_split_points_go_right(self):
+        # array i owns [boundaries[i-1], boundaries[i]); a block AT a
+        # split point belongs to the next array (half-open ranges)
+        sh = RangeSharding([10, 20, 30], n_arrays=4)
+        assert sh.array_of(9) == 0
+        assert sh.array_of(10) == 1
+        assert sh.array_of(19) == 1
+        assert sh.array_of(20) == 2
+        assert sh.array_of(30) == 3
+        assert sh.array_of(10_000) == 3
+
+    def test_repeated_boundary_makes_empty_shard(self):
+        sh = RangeSharding([10, 10, 20], n_arrays=4)
+        # array 1 owns [10, 10) = nothing
+        owners = {sh.array_of(b) for b in range(0, 40)}
+        assert 1 not in owners
+        assert owners == {0, 2, 3}
+
+    def test_all_keys_one_shard(self):
+        sh = RangeSharding([0, 0, 0], n_arrays=4)
+        assert all(sh.array_of(b) == 3 for b in range(100))
+
+    def test_even_partition_covers_all_arrays(self):
+        sh = RangeSharding.even(4, 100)
+        owners = [sh.array_of(b) for b in range(100)]
+        assert set(owners) == {0, 1, 2, 3}
+        # contiguity: owner index is non-decreasing over the space
+        assert owners == sorted(owners)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeSharding([5], n_arrays=3)  # wrong boundary count
+        with pytest.raises(ValueError):
+            RangeSharding([20, 10], n_arrays=3)  # decreasing
+        with pytest.raises(ValueError):
+            RangeSharding.even(4, 3)  # fewer blocks than arrays
+
+
+class TestHashSharding:
+    def test_deterministic_and_in_range(self):
+        sh = HashSharding(4)
+        again = HashSharding(4)
+        for b in range(500):
+            a = sh.array_of(b)
+            assert 0 <= a < 4
+            assert a == again.array_of(b)
+
+    def test_single_array_owns_everything(self):
+        sh = HashSharding(1)
+        assert all(sh.array_of(b) == 0 for b in range(100))
+
+    def test_every_array_owns_keys(self):
+        sh = HashSharding(4)
+        owners = {sh.array_of(b) for b in range(2000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_bulk_lookup_matches_scalar(self):
+        sh = HashSharding(3)
+        blocks = list(range(100))
+        assert sh.array_of_many(blocks) == \
+            [sh.array_of(b) for b in blocks]
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_sharding("hash", 4), HashSharding)
+        assert isinstance(make_sharding("range", 4, n_blocks=100),
+                          RangeSharding)
+        with pytest.raises(ValueError):
+            make_sharding("mod", 4)
+
+
+class TestEmptyShardPlayback:
+    def test_cluster_with_empty_shard_plays(self):
+        # all traffic lands on the last array; the empty shards
+        # produce zero-request results and the roll-up stays sane
+        import numpy as np
+
+        from repro.traces.records import Trace
+
+        config = ClusterConfig(n_arrays=3, n_devices=9,
+                               sharding="range", n_blocks=30,
+                               cross_replication=1)
+        cluster = ShardedCluster(config)
+        arrivals = np.arange(1, 31, dtype=np.float64) * 0.2
+        blocks = np.full(30, 29, dtype=np.int64)  # all on one shard
+        parts = [Trace.from_arrays(arrivals, blocks),
+                 Trace.from_arrays(arrivals + 10.0, blocks)]
+        report = cluster.play(parts)
+        owner = cluster.sharding.array_of(29)
+        for result in report.arrays:
+            if result.array == owner:
+                assert result.n_requests > 0
+            else:
+                assert result.n_requests == 0
+        assert report.n_requests == sum(r.n_requests
+                                        for r in report.arrays)

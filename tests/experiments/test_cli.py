@@ -10,7 +10,7 @@ class TestRunnerTable:
         assert set(RUNNERS) == {
             "table2", "table3", "table4", "fig4", "fig6", "fig8",
             "fig9", "fig10", "fig11", "fig12", "faults",
-            "controller"}
+            "controller", "cluster"}
 
     def test_fast_runners_return_results(self):
         for name in ("table2", "fig6"):

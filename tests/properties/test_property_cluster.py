@@ -1,0 +1,169 @@
+"""Property-based tests for the sharded cluster (scale-out layer).
+
+The four contracts that make scale-out trustworthy:
+
+* **N=1 is free** -- a 1-shard cluster reproduces the single-array
+  pipeline byte for byte, whatever the workload;
+* **routing replays** -- the whole play-through (sharding, mirror
+  planning, least-loaded routing, roll-up) is a pure function of the
+  trace: double runs are fingerprint-identical;
+* **replication is honoured** -- killing fewer replica arrays than a
+  pattern holds loses none of its reads (dispatch-atomic failover);
+* **consistent hashing is minimal** -- adding an array only moves
+  keys *to* the new array, never shuffles keys between old ones.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, HashSharding, ShardedCluster
+from repro.experiments.common import play_workload
+from repro.faults import FaultEvent, FaultSchedule
+from repro.traces.records import Trace
+
+#: (dt, block) rows per part; dt > 0 keeps arrivals strictly sorted
+part_rows = st.lists(
+    st.tuples(st.floats(0.01, 0.5, allow_nan=False),
+              st.integers(0, 50)),
+    min_size=1, max_size=25)
+
+
+def _make_parts(rows_per_part, part_gap_ms=10.0):
+    """Consecutive trace parts from per-part (dt, block) rows."""
+    parts = []
+    t = 0.0
+    for i, rows in enumerate(rows_per_part):
+        t = i * part_gap_ms
+        arrivals, blocks = [], []
+        for dt, block in rows:
+            t += dt
+            arrivals.append(t)
+            blocks.append(block)
+        parts.append(Trace.from_arrays(np.array(arrivals),
+                                       np.array(blocks, dtype=np.int64)))
+    return parts
+
+
+def _hot_parts(pattern, n_parts=4, n_pairs=30, background=0,
+               part_gap_ms=5.0):
+    """Parts where ``pattern`` blocks co-occur densely (mined hot
+    from part 0 on), plus optional background blocks in part 0."""
+    p, q = pattern
+    parts = []
+    t0 = 0.0
+    for i in range(n_parts):
+        arrivals, blocks = [], []
+        t = t0
+        for j in range(n_pairs):
+            t += 0.05
+            arrivals += [t, t + 0.001]
+            blocks += [p, q]
+        if i == 0:
+            for b in range(background):
+                t += 0.05
+                arrivals.append(t)
+                blocks.append(100 + b)
+        parts.append(Trace.from_arrays(np.array(arrivals),
+                                       np.array(blocks, dtype=np.int64)))
+        t0 = t + part_gap_ms
+    return parts
+
+
+@settings(max_examples=10, deadline=None)
+@given(rows_per_part=st.lists(part_rows, min_size=1, max_size=3))
+def test_one_shard_equals_single_array(rows_per_part):
+    """Contract (a): a 1-array cluster IS the §V-D pipeline."""
+    parts = _make_parts(rows_per_part)
+    single = play_workload(parts, n_devices=9)
+    cluster = ShardedCluster(ClusterConfig(
+        n_arrays=1, n_devices=9, cross_replication=1))
+    report = cluster.play(parts)
+    assert report.series.state() == single.report.series.state()
+    ours = report.arrays[0].report.requests
+    theirs = single.report.requests
+    assert len(ours) == len(theirs)
+    for mine, ref in zip(ours, theirs):
+        assert (mine.io.arrival, mine.io.issued_at,
+                mine.io.completed_at, mine.io.device, mine.interval,
+                mine.delayed, mine.rejected) == \
+               (ref.io.arrival, ref.io.issued_at, ref.io.completed_at,
+                ref.io.device, ref.interval, ref.delayed, ref.rejected)
+
+
+@settings(max_examples=8, deadline=None)
+@given(rows_per_part=st.lists(part_rows, min_size=2, max_size=3),
+       n_arrays=st.integers(2, 4))
+def test_double_run_routing_determinism(rows_per_part, n_arrays):
+    """Contract (b): the full play-through replays bit-identically,
+    router boundary sync included."""
+    parts = _make_parts(rows_per_part)
+    config = ClusterConfig(n_arrays=n_arrays, n_devices=9,
+                           cross_replication=min(2, n_arrays),
+                           hot_support=2)
+    first = ShardedCluster(config).play(parts)
+    second = ShardedCluster(config).play(parts)
+    assert first.fingerprint() == second.fingerprint()
+    assert first.routed == second.routed
+    assert first.audit == second.audit
+
+
+@settings(max_examples=6, deadline=None)
+@given(pattern=st.tuples(st.integers(0, 40), st.integers(41, 80)),
+       kill_rank=st.integers(0, 1))
+def test_killing_fewer_arrays_than_replicas_loses_no_reads(
+        pattern, kill_rank):
+    """Contract (c) -- the acceptance property: one dead array of a
+    2x-cross-replicated pattern fails zero of the pattern's reads."""
+    config = ClusterConfig(n_arrays=4, n_devices=9,
+                           cross_replication=2, hot_support=2)
+    parts = _hot_parts(pattern, n_parts=4)
+    # Probe run: find the pattern's replica arrays once mirrored.
+    probe = ShardedCluster(config)
+    probe.play(parts[:2])
+    cluster = ShardedCluster(config)
+    replicas = {cluster.sharding.array_of(b) for b in pattern}
+    # Mirror targets are deterministic geometry; recompute them the
+    # way the replicator does rather than trusting a probe run.
+    from repro.cluster import CrossArrayReplicator
+    replicator = CrossArrayReplicator(4, cluster.sharding.array_of,
+                                      cross_replication=2)
+    for b in pattern:
+        replicas.add(replicator.mirror_target(b, 0))
+    kill = sorted(replicas)[kill_rank % len(replicas)]
+    # Kill after part 1 starts: the mirror exists from the first
+    # boundary on, and parts 1..3 contain only pattern traffic, so
+    # any lost read would surface as n_unrouted/n_failed.
+    t_kill = float(parts[1].arrival_ms[0])
+    faults = FaultSchedule(
+        [FaultEvent("crash", kill, t_kill, scope="array")],
+        n_modules=config.n_arrays * config.n_devices)
+    report = ShardedCluster(config, faults=faults).play(parts)
+    assert report.n_unrouted == 0
+    assert report.n_failed == 0
+    # the dead array really was avoided after the kill
+    masked = faults.masked_arrays_at(t_kill)
+    assert kill in masked
+
+
+@settings(max_examples=10, deadline=None)
+@given(n_arrays=st.integers(2, 6),
+       blocks=st.lists(st.integers(0, 1_000_000), min_size=50,
+                       max_size=200, unique=True))
+def test_consistent_hash_remap_is_minimal(n_arrays, blocks):
+    """Contract (d): adding an array moves keys only onto it, and
+    roughly its fair share of them."""
+    before = HashSharding(n_arrays)
+    after = HashSharding(n_arrays + 1)
+    moved = 0
+    for b in blocks:
+        old, new = before.array_of(b), after.array_of(b)
+        if old != new:
+            # a remapped key may only land on the new array
+            assert new == n_arrays
+            moved += 1
+    expected = len(blocks) / (n_arrays + 1)
+    # fair share within a generous tolerance (vnodes smooth the ring,
+    # but small samples wobble); zero moves would mean the new array
+    # owns nothing, > 3x fair share would mean the ring is broken
+    assert moved <= 3.0 * expected
